@@ -1,0 +1,107 @@
+package reach
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/labelset"
+)
+
+// labelSetOf adapts a raw 64-bit mask to the internal label-set type.
+func labelSetOf(mask uint64) labelset.Set { return labelset.Set(mask) }
+
+// Pair is one (source, target) query of a batch.
+type Pair struct {
+	S, T V
+}
+
+// BatchReach evaluates many plain reachability queries concurrently over
+// a shared index. Indexes in this library are safe for concurrent readers
+// once built (they are immutable after construction; dynamic indexes must
+// not be updated while a batch runs). workers <= 0 selects GOMAXPROCS.
+//
+// Throughput-oriented workloads (the §5 "many negative queries" regime)
+// are embarrassingly parallel; this helper is the §5 parallel-computation
+// direction applied to the query side.
+func BatchReach(ix Index, pairs []Pair, workers int) []bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	out := make([]bool, len(pairs))
+	if workers <= 1 {
+		for i, p := range pairs {
+			out[i] = ix.Reach(p.S, p.T)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = ix.Reach(pairs[i].S, pairs[i].T)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// LCRPair is one alternation-constrained query of a batch.
+type LCRPair struct {
+	S, T    V
+	Allowed uint64
+}
+
+// BatchReachLC is BatchReach for alternation-constrained queries.
+func BatchReachLC(ix LCRIndex, pairs []LCRPair, workers int) []bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	out := make([]bool, len(pairs))
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pairs[i]
+			out[i] = p.S == p.T || ix.ReachLC(p.S, p.T, labelSetOf(p.Allowed))
+		}
+	}
+	if workers <= 1 {
+		run(0, len(pairs))
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,65 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/tc"
+)
+
+func TestBatchReachMatchesSequential(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 300, M: 900, Seed: 1})
+	ix, err := Build(KindBFL, g, Options{Bits: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := tc.NewClosure(g)
+	rng := rand.New(rand.NewSource(2))
+	pairs := make([]Pair, 3000)
+	for i := range pairs {
+		pairs[i] = Pair{V(rng.Intn(g.N())), V(rng.Intn(g.N()))}
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got := BatchReach(ix, pairs, workers)
+		if len(got) != len(pairs) {
+			t.Fatalf("workers=%d: %d answers", workers, len(got))
+		}
+		for i, p := range pairs {
+			if got[i] != oracle.Reach(p.S, p.T) {
+				t.Fatalf("workers=%d: wrong answer at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestBatchReachLC(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 80, M: 320, Seed: 3}), 4, 0.5, 4)
+	ix, err := BuildLCR(LCRP2H, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := tc.NewGTC(g)
+	rng := rand.New(rand.NewSource(5))
+	pairs := make([]LCRPair, 2000)
+	for i := range pairs {
+		pairs[i] = LCRPair{V(rng.Intn(g.N())), V(rng.Intn(g.N())), uint64(rng.Intn(16))}
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got := BatchReachLC(ix, pairs, workers)
+		for i, p := range pairs {
+			want := p.S == p.T || oracle.ReachLC(p.S, p.T, labelSetOf(p.Allowed))
+			if got[i] != want {
+				t.Fatalf("workers=%d: wrong answer at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	g := Fig1Plain()
+	ix, _ := Build(KindPLL, g, Options{})
+	if got := BatchReach(ix, nil, 4); len(got) != 0 {
+		t.Fatal("non-empty result for empty batch")
+	}
+}

@@ -1,0 +1,58 @@
+// Command graphgen emits synthetic graphs in the edge-list exchange
+// format — the workloads that stand in for the surveyed papers' datasets
+// (see DESIGN.md, "Substitutions").
+//
+// Usage:
+//
+//	graphgen -family dag -n 100000 -m 400000 > dag.txt
+//	graphgen -family scalefree -n 100000 -deg 3 > sf.txt
+//	graphgen -family er -n 50000 -m 200000 -labels 8 -zipf 1.0 > lcr.txt
+//	graphgen -family layered -layers 100 -width 50 -deg 3 > deep.txt
+//	graphgen -family treeplus -n 100000 -m 5000 > treeish.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	reach "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	family := flag.String("family", "dag", "dag | er | scalefree | layered | treeplus")
+	n := flag.Int("n", 10000, "vertices")
+	m := flag.Int("m", 40000, "edges (dag, er) / extra edges (treeplus)")
+	deg := flag.Int("deg", 3, "out-degree (scalefree) / fanout (layered)")
+	layers := flag.Int("layers", 100, "layers (layered)")
+	width := flag.Int("width", 100, "layer width (layered)")
+	labels := flag.Int("labels", 0, "attach this many edge labels (0 = plain)")
+	zipf := flag.Float64("zipf", 1.0, "label skew exponent (0 = uniform)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var g *reach.Graph
+	switch *family {
+	case "dag":
+		g = gen.RandomDAG(gen.Config{N: *n, M: *m, Seed: *seed})
+	case "er":
+		g = gen.ErdosRenyi(gen.Config{N: *n, M: *m, Seed: *seed})
+	case "scalefree":
+		g = gen.ScaleFree(*n, *deg, *seed)
+	case "layered":
+		g = gen.LayeredDAG(*layers, *width, *deg, *seed)
+	case "treeplus":
+		g = gen.TreePlus(*n, *m, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	if *labels > 0 {
+		g = gen.Zipf(g, *labels, *zipf, *seed+1)
+	}
+	if err := reach.WriteGraph(os.Stdout, g); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+}

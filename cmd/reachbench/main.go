@@ -1,0 +1,66 @@
+// Command reachbench regenerates the paper's evaluation artifacts: the
+// Table 1 / Table 2 taxonomies, the Figure 1 worked examples, and the
+// E1–E10 claim experiments catalogued in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	reachbench                     # run everything at the default scale
+//	reachbench -only table1,e3    # run a subset
+//	reachbench -scale 5           # multiply graph sizes by 5
+//	reachbench -seed 42           # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "size multiplier for experiment graphs")
+	seed := flag.Int64("seed", 1, "workload seed")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,fig1,e1..e11")
+	flag.Parse()
+
+	sc := experiments.Scale{Factor: *scale}
+	w := os.Stdout
+
+	runners := map[string]func(io.Writer){
+		"table1": func(w io.Writer) { experiments.Table1(w, sc.N(2000), *seed) },
+		"table2": func(w io.Writer) { experiments.Table2(w, sc.N(150), 8, *seed) },
+		"fig1":   func(w io.Writer) { experiments.Fig1(w) },
+		"e1":     func(w io.Writer) { experiments.E1(w, sc, *seed) },
+		"e2":     func(w io.Writer) { experiments.E2(w, sc, *seed) },
+		"e3":     func(w io.Writer) { experiments.E3(w, sc, *seed) },
+		"e4":     func(w io.Writer) { experiments.E4(w, sc, *seed) },
+		"e5":     func(w io.Writer) { experiments.E5(w, sc, *seed) },
+		"e6":     func(w io.Writer) { experiments.E6(w, sc, *seed) },
+		"e7":     func(w io.Writer) { experiments.E7(w, sc, *seed) },
+		"e8":     func(w io.Writer) { experiments.E8(w, sc, *seed) },
+		"e9":     func(w io.Writer) { experiments.E9(w, sc, *seed) },
+		"e10":    func(w io.Writer) { experiments.E10(w, sc, *seed) },
+		"e11":    func(w io.Writer) { experiments.E11(w, sc, *seed) },
+	}
+	order := []string{"table1", "table2", "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+
+	selected := order
+	if *only != "" {
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(strings.ToLower(name))
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "reachbench: unknown experiment %q (want one of %s)\n",
+					name, strings.Join(order, ","))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+	for _, name := range selected {
+		runners[name](w)
+	}
+}

@@ -1,0 +1,124 @@
+// Command reachcli loads a graph in the edge-list exchange format, builds
+// the requested indexes, and answers reachability queries from the command
+// line or stdin.
+//
+// Usage:
+//
+//	reachcli -graph g.txt -index bfl -q "0 15"           # plain query
+//	reachcli -graph g.txt -q "alice bob (knows|likes)*"  # constrained
+//	echo "0 1\n0 2" | reachcli -graph g.txt              # batch on stdin
+//
+// Query lines hold "s t" for plain reachability or "s t α" for a
+// path-constrained query; vertices may be ids or names from the file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	reach "repro"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "graph file (edge-list exchange format)")
+	indexKind := flag.String("index", "bfl", "plain index kind (see -list)")
+	lcrKind := flag.String("lcr", "p2h", "LCR index kind for labeled graphs")
+	query := flag.String("q", "", "single query: 's t' or 's t α'; default reads stdin")
+	list := flag.Bool("list", false, "list available index kinds and exit")
+	stats := flag.Bool("stats", false, "print index statistics")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("plain kinds:")
+		for _, k := range reach.Kinds() {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("lcr kinds:")
+		for _, k := range reach.LCRKinds() {
+			fmt.Printf("  %s\n", k)
+		}
+		return
+	}
+	if *graphPath == "" {
+		fail("missing -graph")
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	g, err := reach.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		fail("parse %s: %v", *graphPath, err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %d vertices, %d edges, %d labels\n",
+		*graphPath, g.N(), g.M(), g.Labels())
+
+	db, err := reach.NewDB(g, reach.DBConfig{
+		Plain: reach.Kind(*indexKind),
+		LCR:   reach.LCRKind(*lcrKind),
+	})
+	if err != nil {
+		fail("build: %v", err)
+	}
+	if *stats {
+		for name, st := range db.Stats() {
+			fmt.Fprintf(os.Stderr, "index %-12s entries=%-10d bytes=%-12d build=%v\n",
+				name, st.Entries, st.Bytes, st.BuildTime)
+		}
+	}
+
+	answer := func(line string) {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			fmt.Printf("error: want 's t' or 's t α', got %q\n", line)
+			return
+		}
+		s, ok1 := vertex(g, fields[0])
+		t, ok2 := vertex(g, fields[1])
+		if !ok1 || !ok2 {
+			fmt.Printf("error: unknown vertex in %q\n", line)
+			return
+		}
+		if len(fields) == 2 {
+			fmt.Println(db.Reach(s, t))
+			return
+		}
+		alpha := strings.Join(fields[2:], " ")
+		got, err := db.Query(s, t, alpha)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Println(got)
+	}
+
+	if *query != "" {
+		answer(*query)
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		answer(line)
+	}
+}
+
+func vertex(g *reach.Graph, tok string) (reach.V, bool) {
+	if n, err := strconv.ParseUint(tok, 10, 32); err == nil && int(n) < g.N() {
+		return reach.V(n), true
+	}
+	return g.VertexByName(tok)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "reachcli: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,202 @@
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/labelset"
+	"repro/internal/regexpath"
+	"repro/internal/traversal"
+)
+
+// DB bundles a graph with one index per query class and routes arbitrary
+// path-constraint expressions to the right one — the "full-fledged index
+// in a GDBMS" integration the paper's §5 envisions. Constraints outside
+// the two indexable fragments are answered by product-automaton search
+// (§2.3's guided traversal), so every query of the α grammar is supported.
+type DB struct {
+	g     *Graph
+	plain Index
+	lcr   LCRIndex
+	rlc   RLCIndex
+	// registered holds dedicated indexes for hot constraints (§5's
+	// query-log-driven scenario), keyed by normalized expression.
+	registered map[string]*ConstraintIndex
+}
+
+// DBConfig selects the indexes a DB builds.
+type DBConfig struct {
+	// Plain selects the plain-reachability index. Default KindBFL.
+	Plain Kind
+	// LCR selects the alternation index (labeled graphs only). Default
+	// LCRP2H.
+	LCR LCRKind
+	// RLC enables the concatenation index (labeled graphs only).
+	// Default true for labeled graphs.
+	RLC bool
+	// Options passes the per-technique tunables through.
+	Options Options
+}
+
+// NewDB builds a DB over g. For unlabeled graphs only the plain index is
+// built; path-constrained queries then return an error.
+func NewDB(g *Graph, cfg DBConfig) (*DB, error) {
+	if cfg.Plain == "" {
+		cfg.Plain = KindBFL
+	}
+	if cfg.LCR == "" {
+		cfg.LCR = LCRP2H
+	}
+	db := &DB{g: g}
+	var err error
+	if db.plain, err = Build(cfg.Plain, g, cfg.Options); err != nil {
+		return nil, err
+	}
+	if g.Labeled() {
+		if db.lcr, err = BuildLCR(cfg.LCR, g, cfg.Options); err != nil {
+			return nil, err
+		}
+		db.rlc, err = BuildRLC(g, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Graph returns the underlying graph.
+func (db *DB) Graph() *Graph { return db.g }
+
+// Reach answers the plain reachability query Qr(s, t).
+func (db *DB) Reach(s, t V) bool { return db.plain.Reach(s, t) }
+
+// Query answers the path-constrained reachability query Qr(s, t, α),
+// where α follows the paper's grammar  α ::= l | α·α | α∪α | α+ | α*
+// with '|' (or '∪') for alternation, '.' (or '·' or juxtaposition) for
+// concatenation, and postfix '*' / '+'. Label names resolve against the
+// graph's label registry.
+//
+// Routing: alternation-star constraints go to the LCR index,
+// concatenation-star constraints to the RLC index, everything else to
+// product-automaton search.
+func (db *DB) Query(s, t V, alpha string) (bool, error) {
+	if !db.g.Labeled() {
+		return false, fmt.Errorf("reach: graph is unlabeled; use Reach for plain queries")
+	}
+	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
+	if err != nil {
+		return false, err
+	}
+	if ix, ok := db.registered[ast.String()]; ok {
+		return ix.Reach(s, t), nil
+	}
+	cl := regexpath.Classify(ast)
+	switch cl.Class {
+	case regexpath.ClassAlternation:
+		if s == t && !cl.PlusOnly {
+			return true, nil
+		}
+		if cl.PlusOnly {
+			// (…)+ requires at least one edge; peel the first step and
+			// then answer the star query from each allowed neighbour.
+			return db.plusAlternation(s, t, cl.Allowed), nil
+		}
+		return db.lcr.ReachLC(s, t, cl.Allowed), nil
+	case regexpath.ClassConcatenation:
+		if s == t && !cl.PlusOnly {
+			return true, nil
+		}
+		return db.rlc.ReachRLC(s, t, cl.Sequence), nil
+	default:
+		dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), db.g.Labels())
+		return traversal.ProductBFS(db.g, s, t, dfa), nil
+	}
+}
+
+// plusAlternation answers (l1|l2|...)+ — at least one edge — by stepping
+// through every allowed out-edge of s and finishing with the star query.
+func (db *DB) plusAlternation(s, t V, allowed labelset.Set) bool {
+	succ := db.g.Succ(s)
+	labs := db.g.SuccLabels(s)
+	for i, w := range succ {
+		if !allowed.Has(labs[i]) {
+			continue
+		}
+		if w == t || db.lcr.ReachLC(w, t, allowed) {
+			return true
+		}
+	}
+	return false
+}
+
+// RegisterConstraint builds a dedicated index for the fixed constraint
+// alpha; subsequent Query calls with an equivalent expression answer from
+// it by lookups regardless of the constraint's class. This is the §5 "one
+// indexing technique for general path constraints" direction, applied per
+// hot constraint.
+func (db *DB) RegisterConstraint(alpha string) error {
+	if !db.g.Labeled() {
+		return fmt.Errorf("reach: graph is unlabeled")
+	}
+	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
+	if err != nil {
+		return err
+	}
+	ix, err := BuildConstraint(db.g, alpha)
+	if err != nil {
+		return err
+	}
+	if db.registered == nil {
+		db.registered = make(map[string]*ConstraintIndex)
+	}
+	db.registered[ast.String()] = ix
+	return nil
+}
+
+// ReachPath returns a concrete shortest s-t path witnessing Qr(s, t), or
+// nil when t is unreachable. Indexes certify existence; the witness comes
+// from one BFS, as GDBMSs do when the user asks for the path itself.
+func (db *DB) ReachPath(s, t V) []V {
+	if !db.plain.Reach(s, t) {
+		return nil
+	}
+	return traversal.WitnessPath(db.g, s, t)
+}
+
+// QueryPath returns the traversed edges of a path satisfying Qr(s, t, α),
+// or nil when no such path exists. For s == t with a star constraint the
+// empty edge list is returned.
+func (db *DB) QueryPath(s, t V, alpha string) ([]GraphEdge, error) {
+	if !db.g.Labeled() {
+		return nil, fmt.Errorf("reach: graph is unlabeled")
+	}
+	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
+	if err != nil {
+		return nil, err
+	}
+	dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), db.g.Labels())
+	return traversal.ConstrainedWitness(db.g, s, t, dfa), nil
+}
+
+// QueryAllowed answers the alternation query with an explicit label set —
+// the LCR interface used by analytics loops that build masks directly.
+func (db *DB) QueryAllowed(s, t V, labels ...Label) (bool, error) {
+	if db.lcr == nil {
+		return false, fmt.Errorf("reach: no LCR index (graph unlabeled)")
+	}
+	if s == t {
+		return true, nil
+	}
+	return db.lcr.ReachLC(s, t, labelset.Of(labels...)), nil
+}
+
+// Stats returns the footprint of every built index keyed by its name.
+func (db *DB) Stats() map[string]Stats {
+	out := map[string]Stats{db.plain.Name(): db.plain.Stats()}
+	if db.lcr != nil {
+		out[db.lcr.Name()] = db.lcr.Stats()
+	}
+	if db.rlc != nil {
+		out[db.rlc.Name()] = db.rlc.Stats()
+	}
+	return out
+}

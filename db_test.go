@@ -1,0 +1,243 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/internal/labelset"
+)
+
+// labelSet adapts a raw mask for tests.
+func labelSet(mask uint64) labelset.Set { return labelset.Set(mask) }
+
+func fig1DB(t *testing.T) *DB {
+	t.Helper()
+	db, err := NewDB(Fig1Labeled(), DBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func vertex(t *testing.T, db *DB, name string) V {
+	t.Helper()
+	v, ok := db.Graph().VertexByName(name)
+	if !ok {
+		t.Fatalf("no vertex %q", name)
+	}
+	return v
+}
+
+func TestDBPaperExamples(t *testing.T) {
+	db := fig1DB(t)
+	a, g := vertex(t, db, "A"), vertex(t, db, "G")
+	l, b, m := vertex(t, db, "L"), vertex(t, db, "B"), vertex(t, db, "M")
+
+	// §2.1: Qr(A, G) = true.
+	if !db.Reach(a, g) {
+		t.Error("Qr(A,G) should be true")
+	}
+	// §2.2: Qr(A, G, (friendOf ∪ follows)*) = false.
+	if ok, err := db.Query(a, g, "(friendOf|follows)*"); err != nil || ok {
+		t.Errorf("Qr(A,G,(friendOf|follows)*) = %v, %v; want false", ok, err)
+	}
+	// §4.2: Qr(L, B, (worksFor·friendOf)*) = true.
+	if ok, err := db.Query(l, b, "(worksFor.friendOf)*"); err != nil || !ok {
+		t.Errorf("Qr(L,B,(worksFor.friendOf)*) = %v, %v; want true", ok, err)
+	}
+	// §4.1: L reaches M under worksFor alone.
+	if ok, err := db.Query(l, m, "worksFor*"); err != nil || !ok {
+		t.Errorf("Qr(L,M,worksFor*) = %v, %v; want true", ok, err)
+	}
+	// General constraint outside both fragments: product search.
+	if ok, err := db.Query(a, m, "follows.worksFor.worksFor"); err != nil || !ok {
+		t.Errorf("fixed-shape constraint = %v, %v; want true (A-L-C/K-M)", ok, err)
+	}
+	if ok, err := db.Query(a, m, "friendOf.worksFor"); err != nil || ok {
+		t.Errorf("impossible fixed shape = %v, %v; want false", ok, err)
+	}
+}
+
+func TestDBStarVsPlus(t *testing.T) {
+	db := fig1DB(t)
+	a := vertex(t, db, "A")
+	// Star on a self query is trivially true; plus needs a real cycle —
+	// Figure 1's reconstruction is acyclic, so plus must be false.
+	if ok, _ := db.Query(a, a, "(friendOf|follows|worksFor)*"); !ok {
+		t.Error("star self query should be true")
+	}
+	if ok, _ := db.Query(a, a, "(friendOf|follows|worksFor)+"); ok {
+		t.Error("plus self query should be false on a DAG")
+	}
+	// Plus between distinct reachable vertices behaves like star here.
+	d := vertex(t, db, "D")
+	if ok, _ := db.Query(a, d, "(friendOf)+"); !ok {
+		t.Error("Qr(A,D,friendOf+) should be true")
+	}
+}
+
+func TestDBConcatenationPlus(t *testing.T) {
+	db := fig1DB(t)
+	l, b := vertex(t, db, "L"), vertex(t, db, "B")
+	if ok, _ := db.Query(l, b, "(worksFor.friendOf)+"); !ok {
+		t.Error("plus concatenation should be true (two full repeats)")
+	}
+	if ok, _ := db.Query(l, l, "(worksFor.friendOf)+"); ok {
+		t.Error("plus self concatenation should be false on a DAG")
+	}
+}
+
+func TestDBQueryAllowed(t *testing.T) {
+	db := fig1DB(t)
+	l, m := vertex(t, db, "L"), vertex(t, db, "M")
+	if ok, err := db.QueryAllowed(l, m, 2); err != nil || !ok {
+		t.Errorf("QueryAllowed(L,M,worksFor) = %v, %v", ok, err)
+	}
+	if ok, _ := db.QueryAllowed(l, m, 0); ok {
+		t.Error("QueryAllowed(L,M,friendOf) should be false")
+	}
+}
+
+func TestDBErrors(t *testing.T) {
+	plain, err := NewDB(Fig1Plain(), DBConfig{Plain: KindPLL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Query(0, 1, "x*"); err == nil {
+		t.Error("constrained query on unlabeled graph should fail")
+	}
+	if _, err := plain.QueryAllowed(0, 1, 0); err == nil {
+		t.Error("QueryAllowed on unlabeled graph should fail")
+	}
+	labeled := fig1DB(t)
+	if _, err := labeled.Query(0, 1, "(unknownLabel)*"); err == nil {
+		t.Error("unknown label should fail")
+	}
+	if _, err := labeled.Query(0, 1, "((("); err == nil {
+		t.Error("syntax error should fail")
+	}
+	if _, err := NewDB(Fig1Plain(), DBConfig{Plain: "bogus"}); err == nil {
+		t.Error("bogus plain kind should fail")
+	}
+}
+
+func TestDBReachPath(t *testing.T) {
+	db := fig1DB(t)
+	a, g := vertex(t, db, "A"), vertex(t, db, "G")
+	p := db.ReachPath(a, g)
+	if p == nil || p[0] != a || p[len(p)-1] != g {
+		t.Fatalf("ReachPath(A,G) = %v", p)
+	}
+	// The shortest witness is the paper's (A, D, H, G).
+	if len(p) != 4 {
+		t.Errorf("expected the 4-vertex path A,D,H,G; got %d vertices", len(p))
+	}
+	if db.ReachPath(g, a) != nil {
+		t.Error("path for an unreachable pair")
+	}
+}
+
+func TestDBQueryPath(t *testing.T) {
+	db := fig1DB(t)
+	l, b := vertex(t, db, "L"), vertex(t, db, "B")
+	edges, err := db.QueryPath(l, b, "(worksFor.friendOf)*")
+	if err != nil || edges == nil {
+		t.Fatalf("QueryPath = %v, %v", edges, err)
+	}
+	names := []string{}
+	for _, e := range edges {
+		names = append(names, db.Graph().LabelName(e.Label))
+	}
+	// The witness spells (worksFor, friendOf) repeats — the paper's MR.
+	for i, n := range names {
+		want := "worksFor"
+		if i%2 == 1 {
+			want = "friendOf"
+		}
+		if n != want {
+			t.Fatalf("witness labels %v do not repeat the MR", names)
+		}
+	}
+	if _, err := db.QueryPath(l, b, "(((("); err == nil {
+		t.Error("syntax error should fail")
+	}
+	plain, _ := NewDB(Fig1Plain(), DBConfig{})
+	if _, err := plain.QueryPath(0, 1, "x*"); err == nil {
+		t.Error("unlabeled graph should fail")
+	}
+}
+
+func TestDBRegisterConstraint(t *testing.T) {
+	db := fig1DB(t)
+	a, m := vertex(t, db, "A"), vertex(t, db, "M")
+	alpha := "follows.(worksFor)+" // general class: normally product search
+	before, err := db.Query(a, m, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterConstraint(alpha); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Query(a, m, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after || !after {
+		t.Fatalf("registered-index answer diverged: %v vs %v", before, after)
+	}
+	// Equivalent spelling (same normalized AST) also routes to the index.
+	if got, _ := db.Query(a, m, "follows . (worksFor)+"); got != after {
+		t.Error("normalized routing failed")
+	}
+	// Exhaustive agreement between registered index and product search.
+	for s := V(0); int(s) < db.Graph().N(); s++ {
+		for tt := V(0); int(tt) < db.Graph().N(); tt++ {
+			viaIndex, _ := db.Query(s, tt, alpha)
+			fresh := fig1DB(t) // no registration: product search
+			viaSearch, _ := fresh.Query(s, tt, alpha)
+			if viaIndex != viaSearch {
+				t.Fatalf("(%d,%d): index %v, search %v", s, tt, viaIndex, viaSearch)
+			}
+		}
+	}
+	if err := db.RegisterConstraint("((("); err == nil {
+		t.Error("syntax error should fail")
+	}
+	plain, _ := NewDB(Fig1Plain(), DBConfig{})
+	if err := plain.RegisterConstraint("x*"); err == nil {
+		t.Error("unlabeled graph should fail")
+	}
+}
+
+func TestDBStats(t *testing.T) {
+	db := fig1DB(t)
+	st := db.Stats()
+	if len(st) != 3 {
+		t.Fatalf("stats entries = %d, want 3 (plain+LCR+RLC)", len(st))
+	}
+	for name, s := range st {
+		if s.Bytes < 0 {
+			t.Errorf("%s: negative bytes", name)
+		}
+	}
+}
+
+func TestDBAlternativePlainAndLCRKinds(t *testing.T) {
+	for _, cfg := range []DBConfig{
+		{Plain: KindGRAIL, LCR: LCRLandmark, Options: Options{K: 4}},
+		{Plain: KindTOL, LCR: LCRZouGTC},
+		{Plain: KindPathTree, LCR: LCRJinTree},
+	} {
+		db, err := NewDB(Fig1Labeled(), cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		a, _ := db.Graph().VertexByName("A")
+		g, _ := db.Graph().VertexByName("G")
+		if !db.Reach(a, g) {
+			t.Errorf("%+v: Qr(A,G) wrong", cfg)
+		}
+		if ok, _ := db.Query(a, g, "(friendOf|follows)*"); ok {
+			t.Errorf("%+v: LCR answer wrong", cfg)
+		}
+	}
+}

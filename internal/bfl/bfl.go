@@ -1,0 +1,145 @@
+// Package bfl implements BFL [41] (§3.3): approximate transitive closure
+// via Bloom-filter labels, "one of the state-of-the-art techniques for
+// plain reachability indexing".
+//
+// Every vertex v hashes to a position in an s-bit space. Lout(v) is a
+// Bloom filter over {hash(w) : w reachable from v}, computed in one
+// reverse-topological pass (Lout(v) = own bit ∪ children's filters); Lin
+// is the dual. The AP() contra-positive of §3.3 gives the definite
+// negative: if Lout(t) ⊄ Lout(s) then Out(t) ⊄ Out(s), so t is not
+// reachable from s — no false negatives by construction. A DFS interval
+// gives a definite positive for tree descendants. Undecided queries fall
+// back to the index-guided DFS, recursively pruned by the same filters.
+package bfl
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Options configures BFL.
+type Options struct {
+	// Bits is the Bloom filter width in bits (rounded up to a multiple of
+	// 64). The BFL paper uses a few hundred bits. Default 256.
+	Bits int
+	// Seed scrambles the vertex→bit hash.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Bits <= 0 {
+		o.Bits = 256
+	}
+	o.Bits = (o.Bits + 63) &^ 63
+}
+
+// Index is the BFL partial index over a DAG.
+type Index struct {
+	g     *graph.Digraph
+	words int
+	out   []uint64 // n * words, forward filters
+	in    []uint64 // n * words, backward filters
+	post  []uint32
+	min   []uint32
+	stats core.Stats
+}
+
+// New builds BFL over a DAG.
+func New(dag *graph.Digraph, opts Options) *Index {
+	opts.defaults()
+	start := time.Now()
+	n := dag.N()
+	words := opts.Bits / 64
+	ix := &Index{
+		g:     dag,
+		words: words,
+		out:   make([]uint64, n*words),
+		in:    make([]uint64, n*words),
+	}
+	po := order.DFSForest(dag, order.Sources(dag), nil)
+	ix.post, ix.min = po.Post, po.Min
+
+	topo, _ := order.Topological(dag)
+	seed := uint64(opts.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	bitOf := func(v graph.V) (int, uint64) {
+		x := (uint64(v) + 1) * seed
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 29
+		pos := x % uint64(words*64)
+		return int(pos / 64), 1 << (pos % 64)
+	}
+	// Forward filters in reverse topological order.
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		row := ix.out[int(v)*words : (int(v)+1)*words]
+		w, b := bitOf(v)
+		row[w] |= b
+		for _, u := range dag.Succ(v) {
+			src := ix.out[int(u)*words : (int(u)+1)*words]
+			for k := range row {
+				row[k] |= src[k]
+			}
+		}
+	}
+	// Backward filters in topological order.
+	for _, v := range topo {
+		row := ix.in[int(v)*words : (int(v)+1)*words]
+		w, b := bitOf(v)
+		row[w] |= b
+		for _, u := range dag.Pred(v) {
+			src := ix.in[int(u)*words : (int(u)+1)*words]
+			for k := range row {
+				row[k] |= src[k]
+			}
+		}
+	}
+	ix.stats = core.Stats{
+		Entries:   2 * n, // one filter pair per vertex
+		Bytes:     2*n*words*8 + 2*n*4,
+		BuildTime: time.Since(start),
+	}
+	return ix
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "BFL" }
+
+// TryReach implements core.Partial.
+func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
+	if s == t {
+		return true, true
+	}
+	// Definite positive: t inside s's DFS subtree interval.
+	if ix.min[s] <= ix.post[t] && ix.post[t] <= ix.post[s] {
+		return true, true
+	}
+	// Contra-positive filters: Lout(t) ⊆ Lout(s) and Lin(s) ⊆ Lin(t) are
+	// necessary for reachability.
+	so := ix.out[int(s)*ix.words : (int(s)+1)*ix.words]
+	to := ix.out[int(t)*ix.words : (int(t)+1)*ix.words]
+	for k := range so {
+		if to[k]&^so[k] != 0 {
+			return false, true
+		}
+	}
+	si := ix.in[int(s)*ix.words : (int(s)+1)*ix.words]
+	ti := ix.in[int(t)*ix.words : (int(t)+1)*ix.words]
+	for k := range si {
+		if si[k]&^ti[k] != 0 {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// Reach answers Qr(s, t) exactly via filter-guided DFS.
+func (ix *Index) Reach(s, t graph.V) bool {
+	return core.GuidedDFS(ix.g, s, t, ix.TryReach)
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }

@@ -1,0 +1,98 @@
+package bfl
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{Bits: 128, Seed: 1})
+	})
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{Bits: 64, Seed: 2})
+	})
+}
+
+func TestTinyFilterStillExact(t *testing.T) {
+	// A 64-bit filter on a 150-vertex graph is saturated with collisions;
+	// guided DFS must still give exact answers.
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{Bits: 64, Seed: 3})
+	})
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	// The §3.3 AP() contract: lookup-only answers never deny a real path.
+	g := gen.RandomDAG(gen.Config{N: 300, M: 900, Seed: 4})
+	ix := New(g, Options{Bits: 128, Seed: 5})
+	oracle := tc.NewClosure(g)
+	for s := graph.V(0); int(s) < g.N(); s += 2 {
+		for tt := graph.V(0); int(tt) < g.N(); tt += 3 {
+			if oracle.Reach(s, tt) {
+				if r, dec := ix.TryReach(s, tt); dec && !r {
+					t.Fatalf("false negative at (%d,%d)", s, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestFilterSubsetInvariant(t *testing.T) {
+	// The §3.3 AP() contract at the filter level: u → v implies
+	// Lout(v) ⊆ Lout(u) and Lin(u) ⊆ Lin(v), for every edge (hence,
+	// transitively, every reachable pair).
+	g := gen.RandomDAG(gen.Config{N: 250, M: 750, Seed: 9})
+	ix := New(g, Options{Bits: 192, Seed: 10})
+	w := ix.words
+	g.Edges(func(e graph.Edge) bool {
+		for j := 0; j < w; j++ {
+			if ix.out[int(e.To)*w+j]&^ix.out[int(e.From)*w+j] != 0 {
+				t.Fatalf("Lout(%d) ⊄ Lout(%d) across edge", e.To, e.From)
+			}
+			if ix.in[int(e.From)*w+j]&^ix.in[int(e.To)*w+j] != 0 {
+				t.Fatalf("Lin(%d) ⊄ Lin(%d) across edge", e.From, e.To)
+			}
+		}
+		return true
+	})
+}
+
+func TestWiderFiltersPruneMore(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 400, M: 1200, Seed: 6})
+	count := func(bits int) int {
+		ix := New(g, Options{Bits: bits, Seed: 7})
+		decided := 0
+		for s := graph.V(0); int(s) < g.N(); s += 4 {
+			for tt := graph.V(0); int(tt) < g.N(); tt += 4 {
+				if _, dec := ix.TryReach(s, tt); dec {
+					decided++
+				}
+			}
+		}
+		return decided
+	}
+	if small, big := count(64), count(1024); big < small {
+		t.Errorf("1024-bit filters decided %d < 64-bit %d", big, small)
+	}
+}
+
+func TestBitsRounding(t *testing.T) {
+	o := Options{Bits: 100}
+	o.defaults()
+	if o.Bits != 128 {
+		t.Errorf("Bits rounded to %d, want 128", o.Bits)
+	}
+	g := gen.RandomDAG(gen.Config{N: 20, M: 40, Seed: 1})
+	if New(g, Options{}).Name() != "BFL" {
+		t.Error("name")
+	}
+}

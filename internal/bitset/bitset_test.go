@@ -1,0 +1,241 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasic(t *testing.T) {
+	s := New(100)
+	if s.Count() != 0 {
+		t.Fatalf("new set not empty: %d", s.Count())
+	}
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(99)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !s.Test(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 98, 100, 1000} {
+		if s.Test(i) {
+			t.Errorf("bit %d should not be set", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Errorf("count = %d, want 4", s.Count())
+	}
+	s.Clear(63)
+	if s.Test(63) {
+		t.Error("bit 63 should be cleared")
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d, want 3", s.Count())
+	}
+}
+
+func TestSetGrow(t *testing.T) {
+	s := &Set{}
+	s.Set(1000)
+	if !s.Test(1000) {
+		t.Fatal("grown bit not set")
+	}
+	if s.Test(999) || s.Test(1001) {
+		t.Fatal("neighbouring bits set")
+	}
+	// Clearing beyond capacity must not panic.
+	s.Clear(100000)
+}
+
+func TestSetReset(t *testing.T) {
+	s := New(128)
+	for i := 0; i < 128; i += 3 {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("reset left %d bits", s.Count())
+	}
+}
+
+func TestSetOrSubset(t *testing.T) {
+	a := New(200)
+	b := New(100)
+	a.Set(5)
+	b.Set(5)
+	b.Set(99)
+	if a.Contains(b) {
+		t.Error("a should not contain b")
+	}
+	a.Or(b)
+	if !a.Contains(b) {
+		t.Error("after Or, a must contain b")
+	}
+	if !a.Test(99) || !a.Test(5) {
+		t.Error("union missing bits")
+	}
+	// Or with a larger set must grow.
+	c := New(10)
+	big := New(10)
+	big.Set(500)
+	c.Or(big)
+	if !c.Test(500) {
+		t.Error("Or did not grow receiver")
+	}
+}
+
+func TestSetIntersects(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(10)
+	b.Set(20)
+	if a.Intersects(b) {
+		t.Error("disjoint sets intersect")
+	}
+	b.Set(10)
+	if !a.Intersects(b) {
+		t.Error("overlapping sets do not intersect")
+	}
+}
+
+func TestSetForEach(t *testing.T) {
+	s := New(300)
+	want := []int{3, 64, 65, 128, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool { got = append(got, i); return true })
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	s.ForEach(func(int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	a := New(64)
+	a.Set(7)
+	b := a.Clone()
+	b.Set(8)
+	if a.Test(8) {
+		t.Error("clone aliases original")
+	}
+	if !b.Test(7) {
+		t.Error("clone missing original bit")
+	}
+}
+
+func TestSubsetProperty(t *testing.T) {
+	// Property: after a.Or(b), b is always a subset of a, and any element
+	// test on b implies the same on a.
+	f := func(xs, ys []uint16) bool {
+		a, b := New(1), New(1)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		a.Or(b)
+		if !a.Contains(b) {
+			return false
+		}
+		ok := true
+		b.ForEach(func(i int) bool {
+			if !a.Test(i) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsContrapositive(t *testing.T) {
+	// Property used by the approximate-TC indexes: if t ⊆ s then
+	// s.Contains(t); if not, AndNotEmpty must witness it.
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		s := New(256)
+		for i := 0; i < 40; i++ {
+			s.Set(rng.Intn(256))
+		}
+		sub := New(256)
+		s.ForEach(func(i int) bool {
+			if rng.Intn(2) == 0 {
+				sub.Set(i)
+			}
+			return true
+		})
+		if !s.Contains(sub) {
+			t.Fatal("subset not contained")
+		}
+		// Poison with one extra bit outside s.
+		for {
+			b := rng.Intn(256)
+			if !s.Test(b) {
+				sub.Set(b)
+				break
+			}
+		}
+		if s.Contains(sub) {
+			t.Fatal("superset claim with poisoned bit")
+		}
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(10, 130)
+	if m.Rows() != 10 || m.Cols() != 130 {
+		t.Fatal("bad shape")
+	}
+	m.Set(3, 0)
+	m.Set(3, 129)
+	m.Set(9, 64)
+	if !m.Test(3, 0) || !m.Test(3, 129) || !m.Test(9, 64) {
+		t.Error("set bits not found")
+	}
+	if m.Test(3, 1) || m.Test(4, 0) {
+		t.Error("unset bits found")
+	}
+	if m.RowCount(3) != 2 {
+		t.Errorf("RowCount = %d, want 2", m.RowCount(3))
+	}
+	if m.CountAll() != 3 {
+		t.Errorf("CountAll = %d, want 3", m.CountAll())
+	}
+	m.OrRow(9, 3)
+	if !m.Test(9, 0) || !m.Test(9, 129) || !m.Test(9, 64) {
+		t.Error("OrRow missing bits")
+	}
+	if m.Bytes() == 0 {
+		t.Error("Bytes should be positive")
+	}
+}
+
+func BenchmarkSetOr(b *testing.B) {
+	x, y := New(1<<16), New(1<<16)
+	for i := 0; i < 1<<16; i += 7 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tc"
+	"repro/internal/traversal"
+)
+
+func TestGuidedDFSNoFilter(t *testing.T) {
+	// With an always-undecided filter, GuidedDFS is plain DFS.
+	g := gen.ErdosRenyi(gen.Config{N: 60, M: 180, Seed: 1})
+	undecided := func(u, t graph.V) (bool, bool) { return false, false }
+	for s := graph.V(0); int(s) < g.N(); s += 2 {
+		for tt := graph.V(0); int(tt) < g.N(); tt += 3 {
+			if GuidedDFS(g, s, tt, undecided) != traversal.BFS(g, s, tt) {
+				t.Fatalf("unfiltered GuidedDFS wrong at (%d,%d)", s, tt)
+			}
+		}
+	}
+}
+
+func TestGuidedDFSWithOracleFilter(t *testing.T) {
+	// With a perfect filter, GuidedDFS must answer without error and the
+	// counting variant must expand nothing.
+	g := gen.RandomDAG(gen.Config{N: 80, M: 240, Seed: 2})
+	oracle := tc.NewClosure(g)
+	perfect := func(u, t graph.V) (bool, bool) { return oracle.Reach(u, t), true }
+	for s := graph.V(0); int(s) < g.N(); s += 3 {
+		for tt := graph.V(0); int(tt) < g.N(); tt += 3 {
+			got, expanded := CountingGuidedDFS(g, s, tt, perfect)
+			if got != oracle.Reach(s, tt) {
+				t.Fatalf("wrong at (%d,%d)", s, tt)
+			}
+			if expanded != 0 {
+				t.Fatalf("perfect filter expanded %d vertices", expanded)
+			}
+		}
+	}
+}
+
+func TestGuidedDFSSoundFilterStaysExact(t *testing.T) {
+	// A randomly-decided but SOUND filter (only answers when the oracle
+	// agrees) must never change results.
+	g := gen.ErdosRenyi(gen.Config{N: 50, M: 200, Seed: 3})
+	oracle := tc.NewClosure(g)
+	rng := rand.New(rand.NewSource(4))
+	flaky := func(u, t graph.V) (bool, bool) {
+		if rng.Intn(3) == 0 {
+			return oracle.Reach(u, t), true
+		}
+		return false, false
+	}
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if GuidedDFS(g, s, tt, flaky) != oracle.Reach(s, tt) {
+				t.Fatalf("flaky-but-sound filter broke (%d,%d)", s, tt)
+			}
+		}
+	}
+}
+
+type fakeIndex struct {
+	oracle *tc.Closure
+}
+
+func (f *fakeIndex) Name() string            { return "fake" }
+func (f *fakeIndex) Reach(s, t graph.V) bool { return f.oracle.Reach(s, t) }
+func (f *fakeIndex) Stats() Stats            { return Stats{Entries: 1, Bytes: 8} }
+
+func TestForGeneralCondensation(t *testing.T) {
+	g := gen.ErdosRenyi(gen.Config{N: 70, M: 280, Seed: 5})
+	built := 0
+	ix := ForGeneral(g, func(dag *graph.Digraph) Index {
+		built++
+		// The builder must receive an acyclic graph.
+		if dag.N() > g.N() {
+			t.Fatal("condensation grew")
+		}
+		return &fakeIndex{oracle: tc.NewClosure(dag)}
+	})
+	if built != 1 {
+		t.Fatalf("builder called %d times", built)
+	}
+	oracle := tc.NewClosure(g)
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if ix.Reach(s, tt) != oracle.Reach(s, tt) {
+				t.Fatalf("condensed reach wrong at (%d,%d)", s, tt)
+			}
+		}
+	}
+	if ix.Name() != "fake" {
+		t.Error("name not forwarded")
+	}
+	if ix.Stats().Bytes <= 8 {
+		t.Error("stats must include the component map")
+	}
+	// TryReach forwarding on a non-partial inner index: decided always.
+	p := ix.(Partial)
+	if r, dec := p.TryReach(0, 0); !r || !dec {
+		t.Error("same-vertex TryReach")
+	}
+}
+
+func TestDynGraph(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}})
+	d := NewDynGraph(g)
+	if d.N() != 4 || d.M() != 2 {
+		t.Fatalf("N=%d M=%d", d.N(), d.M())
+	}
+	if !d.HasEdge(0, 1) || d.HasEdge(1, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if !d.Insert(2, 3) || d.Insert(2, 3) {
+		t.Error("Insert semantics wrong")
+	}
+	if d.M() != 3 {
+		t.Errorf("M = %d", d.M())
+	}
+	if !d.Delete(0, 1) || d.Delete(0, 1) {
+		t.Error("Delete semantics wrong")
+	}
+	if d.HasEdge(0, 1) || d.M() != 2 {
+		t.Error("delete did not apply")
+	}
+	// Sorted adjacency after random churn.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		u, v := graph.V(rng.Intn(4)), graph.V(rng.Intn(4))
+		if u == v {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			d.Insert(u, v)
+		} else {
+			d.Delete(u, v)
+		}
+	}
+	for v := graph.V(0); v < 4; v++ {
+		s := d.Succ(v)
+		for i := 1; i < len(s); i++ {
+			if s[i-1] >= s[i] {
+				t.Fatalf("succ[%d] unsorted: %v", v, s)
+			}
+		}
+	}
+	// Reverse view.
+	d2 := NewDynGraph(g)
+	r := d2.Reverse()
+	if r.N() != 4 {
+		t.Error("reverse N")
+	}
+	if len(r.Succ(1)) != 1 || r.Succ(1)[0] != 0 {
+		t.Errorf("reverse adjacency wrong: %v", r.Succ(1))
+	}
+}
+
+func TestUnsupportedError(t *testing.T) {
+	err := error(&Unsupported{Op: "DeleteEdge", Index: "DBL"})
+	if err.Error() != "DBL: DeleteEdge is not supported" {
+		t.Errorf("message %q", err.Error())
+	}
+	var u *Unsupported
+	if !errors.As(err, &u) {
+		t.Error("errors.As failed")
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Adjacency is the minimal graph view the guided-traversal engine needs.
+// Satisfied by *graph.Digraph and by *DynGraph.
+type Adjacency interface {
+	N() int
+	Succ(v graph.V) []graph.V
+}
+
+// DynGraph is a mutable adjacency overlay used by the dynamic indexes
+// (DAGGER, TOL, DBL, DLCR): plain successor/predecessor slices seeded from
+// an immutable CSR graph, supporting edge insertion and deletion.
+type DynGraph struct {
+	succ, pred [][]graph.V
+	m          int
+}
+
+// NewDynGraph copies g's adjacency into a mutable form.
+func NewDynGraph(g *graph.Digraph) *DynGraph {
+	n := g.N()
+	d := &DynGraph{succ: make([][]graph.V, n), pred: make([][]graph.V, n), m: g.M()}
+	for v := 0; v < n; v++ {
+		d.succ[v] = append([]graph.V(nil), g.Succ(graph.V(v))...)
+		d.pred[v] = append([]graph.V(nil), g.Pred(graph.V(v))...)
+	}
+	return d
+}
+
+// N returns the vertex count.
+func (d *DynGraph) N() int { return len(d.succ) }
+
+// M returns the current edge count.
+func (d *DynGraph) M() int { return d.m }
+
+// Succ returns the successors of v (sorted).
+func (d *DynGraph) Succ(v graph.V) []graph.V { return d.succ[v] }
+
+// Pred returns the predecessors of v (sorted).
+func (d *DynGraph) Pred(v graph.V) []graph.V { return d.pred[v] }
+
+// HasEdge reports whether (u, v) is present.
+func (d *DynGraph) HasEdge(u, v graph.V) bool {
+	s := d.succ[u]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// Insert adds edge (u, v); reports whether it was new.
+func (d *DynGraph) Insert(u, v graph.V) bool {
+	if !d.insertInto(&d.succ[u], v) {
+		return false
+	}
+	d.insertInto(&d.pred[v], u)
+	d.m++
+	return true
+}
+
+// Delete removes edge (u, v); reports whether it was present.
+func (d *DynGraph) Delete(u, v graph.V) bool {
+	if !d.deleteFrom(&d.succ[u], v) {
+		return false
+	}
+	d.deleteFrom(&d.pred[v], u)
+	d.m--
+	return true
+}
+
+func (d *DynGraph) insertInto(list *[]graph.V, x graph.V) bool {
+	s := *list
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	*list = s
+	return true
+}
+
+func (d *DynGraph) deleteFrom(list *[]graph.V, x graph.V) bool {
+	s := *list
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i == len(s) || s[i] != x {
+		return false
+	}
+	*list = append(s[:i], s[i+1:]...)
+	return true
+}
+
+// Reverse returns an Adjacency view over predecessors.
+func (d *DynGraph) Reverse() Adjacency { return reverseDyn{d} }
+
+type reverseDyn struct{ d *DynGraph }
+
+func (r reverseDyn) N() int                   { return r.d.N() }
+func (r reverseDyn) Succ(v graph.V) []graph.V { return r.d.Pred(v) }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// GuidedDFS is the shared query engine of every partial index (§3.3, §5):
+// a depth-first traversal from s towards t over g where each visited vertex
+// v first consults the index via try:
+//
+//   - try(v, t) = (true, true): v definitely reaches t — a partial index
+//     without false positives can terminate the whole query (the §5
+//     "immediately terminate" rule).
+//   - try(v, t) = (false, true): v definitely cannot reach t — the subtree
+//     under v is pruned (the §5 "no false negatives" rule; this is the
+//     dominant case on real negative-heavy workloads).
+//   - try(v, t) = (_, false): undecided — expand v's successors.
+//
+// The traversal itself provides ground truth for anything the filter leaves
+// undecided, so the combination is exact.
+func GuidedDFS(g Adjacency, s, t graph.V, try func(u, t graph.V) (bool, bool)) bool {
+	if s == t {
+		return true
+	}
+	if r, ok := try(s, t); ok {
+		return r
+	}
+	visited := bitset.New(g.N())
+	visited.Set(int(s))
+	stack := []graph.V{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Succ(v) {
+			if w == t {
+				return true
+			}
+			if visited.Test(int(w)) {
+				continue
+			}
+			visited.Set(int(w))
+			if r, ok := try(w, t); ok {
+				if r {
+					return true
+				}
+				continue // pruned: w cannot reach t
+			}
+			stack = append(stack, w)
+		}
+	}
+	return false
+}
+
+// CountingGuidedDFS is GuidedDFS instrumented with the number of vertices
+// expanded; the E1/E4 experiments report it as "traversal work".
+func CountingGuidedDFS(g Adjacency, s, t graph.V, try func(u, t graph.V) (bool, bool)) (bool, int) {
+	expanded := 0
+	if s == t {
+		return true, 0
+	}
+	if r, ok := try(s, t); ok {
+		return r, 0
+	}
+	visited := bitset.New(g.N())
+	visited.Set(int(s))
+	stack := []graph.V{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		expanded++
+		for _, w := range g.Succ(v) {
+			if w == t {
+				return true, expanded
+			}
+			if visited.Test(int(w)) {
+				continue
+			}
+			visited.Set(int(w))
+			if r, ok := try(w, t); ok {
+				if r {
+					return true, expanded
+				}
+				continue
+			}
+			stack = append(stack, w)
+		}
+	}
+	return false, expanded
+}

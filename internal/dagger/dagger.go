@@ -1,0 +1,163 @@
+// Package dagger implements DAGGER [51] (§3.1): the dynamic extension of
+// GRAIL. Every vertex keeps an interval [low, high] per labeling that
+// over-approximates the union of its reachable set's intervals, so that a
+// containment miss remains a definite negative at all times:
+//
+//   - InsertEdge(u, v) merges v's interval into u's and propagates the
+//     widening to u's ancestors until no interval changes. Intervals only
+//     grow, so the no-false-negative invariant is preserved exactly.
+//   - DeleteEdge removes the edge from the adjacency; intervals are left
+//     intact. They may now over-approximate (more false positives, fewer
+//     prunes), which the guided DFS absorbs — the quality-vs-rebuild
+//     trade-off the DAGGER paper manages with periodic refreshes.
+//
+// Queries run the same interval-guided DFS as GRAIL, over the mutable
+// adjacency.
+package dagger
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Options configures DAGGER.
+type Options struct {
+	// K is the number of interval labelings. Default 2.
+	K int
+	// Seed drives the random spanning forests.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 2
+	}
+}
+
+// Index is the DAGGER dynamic partial index. The initial graph must be a
+// DAG; updates may be arbitrary (cycles introduced by inserts are handled
+// by the traversal, though they loosen the intervals).
+type Index struct {
+	g     *core.DynGraph
+	k     int
+	low   []uint32 // k*n
+	high  []uint32 // k*n
+	stats core.Stats
+}
+
+// New builds DAGGER over an initial DAG.
+func New(dag *graph.Digraph, opts Options) *Index {
+	opts.defaults()
+	start := time.Now()
+	n := dag.N()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ix := &Index{
+		g: core.NewDynGraph(dag), k: opts.K,
+		low:  make([]uint32, opts.K*n),
+		high: make([]uint32, opts.K*n),
+	}
+	topo, _ := order.Topological(dag)
+	for i := 0; i < opts.K; i++ {
+		roots := order.Random(n, rng)
+		po := order.DFSForest(dag, roots, rng)
+		low := ix.low[i*n : (i+1)*n]
+		high := ix.high[i*n : (i+1)*n]
+		copy(low, po.Post)
+		copy(high, po.Post)
+		for j := len(topo) - 1; j >= 0; j-- {
+			v := topo[j]
+			for _, w := range dag.Succ(v) {
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+				if high[w] > high[v] {
+					high[v] = high[w]
+				}
+			}
+		}
+	}
+	ix.stats = core.Stats{
+		Entries:   opts.K * n,
+		Bytes:     2 * opts.K * n * 4,
+		BuildTime: time.Since(start),
+	}
+	return ix
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "DAGGER" }
+
+// TryReach implements core.Partial.
+func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
+	if s == t {
+		return true, true
+	}
+	n := ix.g.N()
+	for i := 0; i < ix.k; i++ {
+		off := i * n
+		if ix.low[off+int(s)] > ix.low[off+int(t)] || ix.high[off+int(t)] > ix.high[off+int(s)] {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// Reach answers Qr(s, t) exactly via interval-guided DFS on the current
+// adjacency.
+func (ix *Index) Reach(s, t graph.V) bool {
+	return core.GuidedDFS(ix.g, s, t, ix.TryReach)
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }
+
+// InsertEdge adds (u, v) and widens intervals along u's ancestors.
+func (ix *Index) InsertEdge(u, v graph.V) error {
+	if !ix.g.Insert(u, v) {
+		return nil
+	}
+	n := ix.g.N()
+	// Propagate widened intervals backward to a fixpoint (handles cycles).
+	queue := []graph.V{u}
+	inQueue := map[graph.V]bool{u: true}
+	widen := func(x, from graph.V) bool {
+		changed := false
+		for i := 0; i < ix.k; i++ {
+			off := i * n
+			if ix.low[off+int(from)] < ix.low[off+int(x)] {
+				ix.low[off+int(x)] = ix.low[off+int(from)]
+				changed = true
+			}
+			if ix.high[off+int(from)] > ix.high[off+int(x)] {
+				ix.high[off+int(x)] = ix.high[off+int(from)]
+				changed = true
+			}
+		}
+		return changed
+	}
+	if !widen(u, v) {
+		return nil
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		delete(inQueue, x)
+		for _, p := range ix.g.Pred(x) {
+			if widen(p, x) && !inQueue[p] {
+				inQueue[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return nil
+}
+
+// DeleteEdge removes (u, v); intervals stay (see package doc).
+func (ix *Index) DeleteEdge(u, v graph.V) error {
+	ix.g.Delete(u, v)
+	return nil
+}

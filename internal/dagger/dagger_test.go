@@ -1,0 +1,106 @@
+package dagger
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 2, Seed: 1})
+	})
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 2, Seed: 2})
+	})
+}
+
+func TestDynamicScript(t *testing.T) {
+	indextest.CheckDynamic(t, func(g *graph.Digraph) core.Dynamic {
+		return New(g, Options{K: 2, Seed: 3})
+	}, true /* DAG-safe updates */, 60, 40)
+}
+
+func TestInsertPreservesNoFalseNegatives(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 80, M: 160, Seed: 4})
+	ix := New(g, Options{K: 2, Seed: 5})
+	script := gen.UpdateScript(g, 40, true, 6)
+	cur := graph.Mutate(g)
+	for _, op := range script {
+		if op.Insert {
+			cur.AddEdge(op.Edge.From, op.Edge.To)
+			if err := ix.InsertEdge(op.Edge.From, op.Edge.To); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			cur.RemoveEdge(op.Edge)
+			if err := ix.DeleteEdge(op.Edge.From, op.Edge.To); err != nil {
+				t.Fatal(err)
+			}
+		}
+		oracle := tc.NewClosure(cur.MustFreeze())
+		for s := graph.V(0); int(s) < g.N(); s += 3 {
+			for tt := graph.V(0); int(tt) < g.N(); tt += 3 {
+				if oracle.Reach(s, tt) {
+					if r, dec := ix.TryReach(s, tt); dec && !r {
+						t.Fatalf("false negative (%d,%d) after %+v", s, tt, op)
+					}
+				}
+			}
+		}
+		cur = graph.Mutate(cur.MustFreeze())
+	}
+}
+
+func TestIntervalsOnlyGrow(t *testing.T) {
+	// The DAGGER safety argument: inserts may only widen [low, high].
+	g := gen.RandomDAG(gen.Config{N: 60, M: 120, Seed: 8})
+	ix := New(g, Options{K: 2, Seed: 9})
+	script := gen.UpdateScript(g, 60, true, 10)
+	snapLow := append([]uint32(nil), ix.low...)
+	snapHigh := append([]uint32(nil), ix.high...)
+	for _, op := range script {
+		if op.Insert {
+			if err := ix.InsertEdge(op.Edge.From, op.Edge.To); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := ix.DeleteEdge(op.Edge.From, op.Edge.To); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range snapLow {
+			if ix.low[i] > snapLow[i] || ix.high[i] < snapHigh[i] {
+				t.Fatalf("interval shrank at offset %d after %+v", i, op)
+			}
+		}
+		copy(snapLow, ix.low)
+		copy(snapHigh, ix.high)
+	}
+}
+
+func TestCycleInsertion(t *testing.T) {
+	// Inserting an edge that closes a cycle must keep queries exact.
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 2}})
+	ix := New(g, Options{K: 2, Seed: 7})
+	if err := ix.InsertEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	for s := graph.V(0); s < 3; s++ {
+		for tt := graph.V(0); tt < 3; tt++ {
+			if !ix.Reach(s, tt) {
+				t.Fatalf("cycle member (%d,%d) unreachable", s, tt)
+			}
+		}
+	}
+	if ix.Name() != "DAGGER" {
+		t.Error("name")
+	}
+}

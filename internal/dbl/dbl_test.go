@@ -1,0 +1,89 @@
+package dbl
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckGeneralIndex(t, func(g *graph.Digraph) core.Index {
+		return New(g, Options{K: 16, Bits: 128, Seed: 1})
+	})
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 8, Bits: 64, Seed: 2})
+	})
+}
+
+func TestInsertOnlyScript(t *testing.T) {
+	// Start from a subset of edges, insert the rest one at a time,
+	// validating against a rebuilt oracle.
+	full := gen.ErdosRenyi(gen.Config{N: 50, M: 200, Seed: 3})
+	edges := full.EdgeList()
+	half := len(edges) / 2
+	b := graph.NewBuilder(full.N())
+	for _, e := range edges[:half] {
+		b.AddEdge(e.From, e.To)
+	}
+	start := b.MustFreeze()
+	ix := New(start, Options{K: 16, Bits: 128, Seed: 4})
+	cur := graph.Mutate(start)
+	for i, e := range edges[half:] {
+		cur.AddEdge(e.From, e.To)
+		if err := ix.InsertEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 != 0 {
+			continue
+		}
+		oracle := tc.NewClosure(cur.MustFreeze())
+		for s := graph.V(0); int(s) < full.N(); s += 2 {
+			for tt := graph.V(0); int(tt) < full.N(); tt += 2 {
+				if got, want := ix.Reach(s, tt), oracle.Reach(s, tt); got != want {
+					t.Fatalf("after insert %d: Reach(%d,%d) = %v, want %v", i, s, tt, got, want)
+				}
+			}
+		}
+		cur = graph.Mutate(cur.MustFreeze())
+	}
+}
+
+func TestDeleteUnsupported(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 10, M: 20, Seed: 5})
+	ix := New(g, Options{})
+	err := ix.DeleteEdge(0, 1)
+	var unsup *core.Unsupported
+	if !errors.As(err, &unsup) {
+		t.Fatalf("DeleteEdge error = %v, want core.Unsupported", err)
+	}
+	if unsup.Index != "DBL" {
+		t.Errorf("unsupported index name %q", unsup.Index)
+	}
+}
+
+func TestLandmarkPositive(t *testing.T) {
+	// A star through a high-degree hub: every leaf pair through the hub
+	// must be a definite positive via the DL label.
+	b := graph.NewBuilder(21)
+	for i := 1; i <= 10; i++ {
+		b.AddEdge(graph.V(i), 0)
+		b.AddEdge(0, graph.V(10+i))
+	}
+	g := b.MustFreeze()
+	ix := New(g, Options{K: 4, Bits: 64, Seed: 6})
+	r, dec := ix.TryReach(1, 11)
+	if !dec || !r {
+		t.Error("hub-mediated pair should be a definite positive")
+	}
+	if ix.Name() != "DBL" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	reach "repro"
+)
+
+func TestTable1RunsAndCoversAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf, 300, 1)
+	out := buf.String()
+	for _, k := range reach.Kinds() {
+		ix, err := reach.Build(k, reach.Fig1Plain(), reach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, ix.Name()) {
+			t.Errorf("Table 1 output missing %s", ix.Name())
+		}
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf, 100, 4, 1)
+	out := buf.String()
+	for _, want := range []string{"P2H+", "Landmark", "Zou-GTC", "DLCR", "Jin-Tree", "Chen-Decomp", "RLC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %s", want)
+		}
+	}
+}
+
+func TestFig1ClaimsHold(t *testing.T) {
+	var buf bytes.Buffer
+	// Fig1 panics on any claim mismatch.
+	Fig1(&buf)
+	if !strings.Contains(buf.String(), "worked examples") {
+		t.Error("missing header")
+	}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments smoke is not short")
+	}
+	sc := Scale{Factor: 1}
+	var buf bytes.Buffer
+	// Run each experiment at the smallest scale; they panic on any wrong
+	// query answer, so this doubles as an integration test.
+	E1(&buf, Scale{Factor: 0}, 1) // Factor<=0 clamps to 1
+	E2(&buf, sc, 1)
+	E3(&buf, sc, 1)
+	E4(&buf, sc, 1)
+	E5(&buf, sc, 1)
+	E6(&buf, sc, 1)
+	E7(&buf, sc, 1)
+	E8(&buf, sc, 1)
+	E9(&buf, sc, 1)
+	E10(&buf, sc, 1)
+	out := buf.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		if !strings.Contains(out, id+" —") {
+			t.Errorf("missing %s header", id)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("demo", "a", "bb")
+	tab.Row(1, "x")
+	tab.Row("longer", 3.14159)
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "3.14") {
+		t.Errorf("bad table output:\n%s", out)
+	}
+}

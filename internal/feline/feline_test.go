@@ -1,0 +1,53 @@
+package feline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestDominanceNecessary(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 200, M: 600, Seed: 1})
+	ix := New(g)
+	oracle := tc.NewClosure(g)
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if s != tt && oracle.Reach(s, tt) {
+				if ix.x[s] >= ix.x[tt] || ix.y[s] >= ix.y[tt] {
+					t.Fatalf("reachable pair (%d,%d) violates dominance", s, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestOrdersDiffer(t *testing.T) {
+	// The two coordinates must not be identical permutations, or the
+	// second adds nothing.
+	g := gen.RandomDAG(gen.Config{N: 300, M: 600, Seed: 2})
+	ix := New(g)
+	same := 0
+	for v := 0; v < g.N(); v++ {
+		if ix.x[v] == ix.y[v] {
+			same++
+		}
+	}
+	if same == g.N() {
+		t.Error("both coordinates are the same permutation")
+	}
+	if ix.Name() != "FELINE" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,150 @@
+// Package ferrari implements FERRARI [40] (§3.1): a partial tree-cover
+// index recording at most k intervals per vertex. Exact interval lists are
+// propagated in reverse topological order (as in the tree-cover index);
+// whenever a list exceeds the budget k, nearest intervals are merged into
+// approximate intervals that may cover unreachable post numbers.
+//
+// Query semantics per interval kind:
+//   - hit in an exact interval   → definite positive,
+//   - miss in every interval     → definite negative (no false negatives),
+//   - hit only in an approximate interval → undecided → guided DFS.
+package ferrari
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Options configures FERRARI.
+type Options struct {
+	// K is the per-vertex interval budget (the paper's "at most k").
+	// Default 4.
+	K int
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 4
+	}
+}
+
+// iv is an interval with an exactness flag.
+type iv struct {
+	lo, hi uint32
+	exact  bool
+}
+
+// Index is the FERRARI partial index over a DAG.
+type Index struct {
+	g     *graph.Digraph
+	post  []uint32
+	lists [][]iv
+	stats core.Stats
+}
+
+// New builds FERRARI over a DAG.
+func New(dag *graph.Digraph, opts Options) *Index {
+	opts.defaults()
+	start := time.Now()
+	n := dag.N()
+	po := order.DFSForest(dag, order.Sources(dag), nil)
+	lists := make([][]iv, n)
+	topo, _ := order.Topological(dag)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		list := []iv{{lo: po.Min[v], hi: po.Post[v], exact: true}}
+		for _, w := range dag.Succ(v) {
+			for _, x := range lists[w] {
+				list = insert(list, x)
+			}
+		}
+		lists[v] = coarsen(list, opts.K)
+	}
+	ix := &Index{g: dag, post: po.Post, lists: lists}
+	entries := 0
+	for _, l := range lists {
+		entries += len(l)
+	}
+	ix.stats = core.Stats{
+		Entries:   entries,
+		Bytes:     entries*9 + n*4,
+		BuildTime: time.Since(start),
+	}
+	return ix
+}
+
+// insert merges x into the sorted list. Overlapping or adjacent intervals
+// merge; the result is exact only when both inputs are.
+func insert(list []iv, x iv) []iv {
+	start := sort.Search(len(list), func(i int) bool { return list[i].hi+1 >= x.lo })
+	end := start
+	for end < len(list) && list[end].lo <= x.hi+1 {
+		if list[end].lo < x.lo {
+			x.lo = list[end].lo
+		}
+		if list[end].hi > x.hi {
+			x.hi = list[end].hi
+		}
+		x.exact = x.exact && list[end].exact
+		end++
+	}
+	if start == end {
+		list = append(list, iv{})
+		copy(list[start+1:], list[start:])
+		list[start] = x
+		return list
+	}
+	list[start] = x
+	return append(list[:start+1], list[end:]...)
+}
+
+// coarsen merges smallest-gap neighbours until at most k intervals remain;
+// any gap-bridging merge produces an approximate interval.
+func coarsen(list []iv, k int) []iv {
+	for len(list) > k {
+		best := 1
+		bestGap := list[1].lo - list[0].hi
+		for i := 2; i < len(list); i++ {
+			if g := list[i].lo - list[i-1].hi; g < bestGap {
+				bestGap = g
+				best = i
+			}
+		}
+		list[best-1].hi = list[best].hi
+		list[best-1].exact = false
+		list = append(list[:best], list[best+1:]...)
+	}
+	return list
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "FERRARI" }
+
+// TryReach implements core.Partial.
+func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
+	if s == t {
+		return true, true
+	}
+	pt := ix.post[t]
+	list := ix.lists[s]
+	i := sort.Search(len(list), func(i int) bool { return list[i].hi >= pt })
+	if i == len(list) || list[i].lo > pt {
+		return false, true // outside every interval: definite negative
+	}
+	if list[i].exact {
+		return true, true // inside an exact interval: definite positive
+	}
+	return false, false // inside an approximate interval: undecided
+}
+
+// Reach answers Qr(s, t) exactly.
+func (ix *Index) Reach(s, t graph.V) bool {
+	return core.GuidedDFS(ix.g, s, t, ix.TryReach)
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }

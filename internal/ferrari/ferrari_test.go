@@ -1,0 +1,66 @@
+package ferrari
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 3})
+	})
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 2})
+	})
+}
+
+func TestTightBudget(t *testing.T) {
+	// K=1 forces maximal approximation; exactness must survive via DFS.
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 1})
+	})
+}
+
+func TestBudgetRespected(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 300, M: 1500, Seed: 3})
+	for _, k := range []int{1, 2, 4, 8} {
+		ix := New(g, Options{K: k})
+		for v, list := range ix.lists {
+			if len(list) > k {
+				t.Fatalf("K=%d: vertex %d has %d intervals", k, v, len(list))
+			}
+		}
+	}
+}
+
+func TestLargeBudgetIsComplete(t *testing.T) {
+	// With an unbounded budget FERRARI degenerates to the exact tree cover:
+	// every lookup should be decided.
+	g := gen.RandomDAG(gen.Config{N: 100, M: 300, Seed: 4})
+	ix := New(g, Options{K: 1 << 20})
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if _, dec := ix.TryReach(s, tt); !dec {
+				t.Fatalf("unbounded FERRARI undecided at (%d,%d)", s, tt)
+			}
+		}
+	}
+}
+
+func TestStatsAndName(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 50, M: 100, Seed: 5})
+	ix := New(g, Options{})
+	if ix.Name() != "FERRARI" {
+		t.Error("name")
+	}
+	if ix.Stats().Entries <= 0 {
+		t.Error("entries")
+	}
+}

@@ -1,0 +1,182 @@
+// Package gen generates the synthetic graphs and query workloads that stand
+// in for the real-world datasets used across the surveyed papers (see
+// DESIGN.md, "Substitutions"). All generators are deterministic given a
+// seed. Graph families:
+//
+//   - RandomDAG: uniform random DAG with a given edge density (edges only go
+//     from lower to higher id under a hidden permutation) — the standard
+//     input of the plain-index literature.
+//   - ErdosRenyi: uniform random digraph (cyclic in general), exercising the
+//     SCC-condensation path.
+//   - ScaleFree: preferential-attachment digraph with heavy-tailed degrees,
+//     the regime where degree-ordered 2-hop labelings (DL/PLL/TOL) shine.
+//   - LayeredDAG: DAG organized in layers with edges between adjacent
+//     layers, the deep-and-narrow regime where interval indexes shine.
+//   - TreePlus: a random tree plus k extra non-tree edges, the regime the
+//     early tree-cover extensions (dual labeling, GRIPP, path-tree) target.
+//
+// Labeled counterparts assign labels from a Zipfian distribution, matching
+// the skewed label frequencies of real edge-labeled graphs.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Config bundles the common generator parameters.
+type Config struct {
+	N    int   // number of vertices
+	M    int   // number of edges (generators treat as a target)
+	Seed int64 // RNG seed
+}
+
+// RandomDAG generates a uniform random DAG: each edge goes from a lower to
+// a higher position in a hidden random permutation, so vertex ids carry no
+// topological information (indexes must not cheat on id order).
+func RandomDAG(cfg Config) *graph.Digraph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(cfg.N)
+	b := graph.NewBuilder(cfg.N)
+	for i := 0; i < cfg.M; i++ {
+		u := rng.Intn(cfg.N)
+		v := rng.Intn(cfg.N)
+		for u == v {
+			v = rng.Intn(cfg.N)
+		}
+		if perm[u] > perm[v] {
+			u, v = v, u
+		}
+		b.AddEdge(graph.V(u), graph.V(v))
+	}
+	return b.MustFreeze()
+}
+
+// ErdosRenyi generates a uniform random digraph with cfg.M edges (self
+// loops excluded, duplicates deduplicated by Freeze). Generally cyclic.
+func ErdosRenyi(cfg Config) *graph.Digraph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(cfg.N)
+	for i := 0; i < cfg.M; i++ {
+		u := rng.Intn(cfg.N)
+		v := rng.Intn(cfg.N)
+		for u == v {
+			v = rng.Intn(cfg.N)
+		}
+		b.AddEdge(graph.V(u), graph.V(v))
+	}
+	return b.MustFreeze()
+}
+
+// ScaleFree generates a preferential-attachment digraph: vertices arrive in
+// random order; each new vertex draws outDeg targets among earlier vertices
+// with probability proportional to their current degree + 1. Direction goes
+// from the newer to the older vertex under a hidden permutation, so the
+// result is a DAG with a heavy-tailed in-degree distribution.
+func ScaleFree(n, outDeg int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n) // perm[i] = actual vertex id of the i-th arrival
+	b := graph.NewBuilder(n)
+	// endpoints holds one entry per edge endpoint for degree-proportional
+	// sampling, plus every vertex once (the +1 smoothing).
+	endpoints := make([]int, 0, n*(outDeg+1))
+	endpoints = append(endpoints, 0)
+	for i := 1; i < n; i++ {
+		for d := 0; d < outDeg && d < i; d++ {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if t == i {
+				continue
+			}
+			b.AddEdge(graph.V(perm[i]), graph.V(perm[t]))
+			endpoints = append(endpoints, t)
+		}
+		endpoints = append(endpoints, i)
+	}
+	return b.MustFreeze()
+}
+
+// LayeredDAG generates a DAG with the given number of layers of equal
+// width; each vertex gets fanout edges to uniformly chosen vertices in the
+// next layer.
+func LayeredDAG(layers, width, fanout int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	n := layers * width
+	b := graph.NewBuilder(n)
+	id := func(layer, i int) graph.V { return graph.V(layer*width + i) }
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			for f := 0; f < fanout; f++ {
+				b.AddEdge(id(l, i), id(l+1, rng.Intn(width)))
+			}
+		}
+	}
+	return b.MustFreeze()
+}
+
+// TreePlus generates a random rooted tree over n vertices plus extra
+// additional forward edges (from a vertex to a non-ancestor handled by
+// random pair; cycles avoided by ordering on depth-first ids). This is the
+// sparse-non-tree-edge regime targeted by dual labeling and path-tree.
+func TreePlus(n, extra int, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		parent := rng.Intn(v)
+		b.AddEdge(graph.V(parent), graph.V(v))
+	}
+	// Extra edges from lower to higher id keep the graph acyclic (vertex v
+	// only has ancestors among 0..v-1 by construction).
+	for i := 0; i < extra; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		b.AddEdge(graph.V(u), graph.V(v))
+	}
+	return b.MustFreeze()
+}
+
+// Zipf assigns each edge of g a label in [0, labels) drawn from a Zipfian
+// distribution with exponent s (s=1 is the classic skew; s=0 degenerates to
+// uniform), returning a labeled copy.
+func Zipf(g *graph.Digraph, labels int, s float64, seed int64) *graph.Digraph {
+	rng := rand.New(rand.NewSource(seed))
+	// Precompute the cumulative distribution.
+	weights := make([]float64, labels)
+	total := 0.0
+	for i := range weights {
+		w := 1.0
+		if s > 0 {
+			w = 1.0 / math.Pow(float64(i+1), s)
+		}
+		weights[i] = w
+		total += w
+	}
+	cum := make([]float64, labels)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	draw := func() graph.Label {
+		x := rng.Float64()
+		for i, c := range cum {
+			if x <= c {
+				return graph.Label(i)
+			}
+		}
+		return graph.Label(labels - 1)
+	}
+	b := graph.NewLabeledBuilder(g.N())
+	b.ReserveLabels(labels)
+	g.Edges(func(e graph.Edge) bool {
+		b.AddLabeledEdge(e.From, e.To, draw())
+		return true
+	})
+	return b.MustFreeze()
+}
+
+// UniformLabels assigns uniform random labels; convenience for tests.
+func UniformLabels(g *graph.Digraph, labels int, seed int64) *graph.Digraph {
+	return Zipf(g, labels, 0, seed)
+}

@@ -1,0 +1,177 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/traversal"
+)
+
+func TestRandomDAGAcyclic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomDAG(Config{N: 500, M: 2500, Seed: seed})
+		if !order.IsDAG(g) {
+			t.Fatalf("seed %d: RandomDAG is cyclic", seed)
+		}
+		if g.N() != 500 {
+			t.Fatalf("N = %d", g.N())
+		}
+	}
+}
+
+func TestRandomDAGDeterministic(t *testing.T) {
+	a := RandomDAG(Config{N: 100, M: 300, Seed: 42})
+	b := RandomDAG(Config{N: 100, M: 300, Seed: 42})
+	if a.M() != b.M() {
+		t.Fatal("same seed, different graphs")
+	}
+	ea, eb := a.EdgeList(), b.EdgeList()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
+func TestScaleFreeDAGAndSkew(t *testing.T) {
+	g := ScaleFree(2000, 3, 7)
+	if !order.IsDAG(g) {
+		t.Fatal("ScaleFree is cyclic")
+	}
+	// Heavy tail: the max in-degree should far exceed the mean.
+	maxIn, sumIn := 0, 0
+	for v := 0; v < g.N(); v++ {
+		d := g.InDegree(graph.V(v))
+		sumIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(sumIn) / float64(g.N())
+	if float64(maxIn) < 8*mean {
+		t.Errorf("max in-degree %d not heavy-tailed vs mean %.2f", maxIn, mean)
+	}
+}
+
+func TestLayeredDAGStructure(t *testing.T) {
+	g := LayeredDAG(10, 20, 3, 1)
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !order.IsDAG(g) {
+		t.Fatal("layered graph cyclic")
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if int(e.To)/20 != int(e.From)/20+1 {
+			t.Fatalf("edge %d->%d crosses non-adjacent layers", e.From, e.To)
+		}
+		return true
+	})
+}
+
+func TestTreePlusAcyclic(t *testing.T) {
+	g := TreePlus(1000, 50, 3)
+	if !order.IsDAG(g) {
+		t.Fatal("TreePlus is cyclic")
+	}
+	// A tree over n vertices has n-1 edges; extras may dedup, so M is in
+	// (n-1, n-1+extra].
+	if g.M() < 999 || g.M() > 1049 {
+		t.Fatalf("M = %d out of range", g.M())
+	}
+	// Connectivity from root: every vertex reachable from 0.
+	if traversal.ReachableFrom(g, 0).Count() != g.N() {
+		t.Fatal("tree not rooted at 0")
+	}
+}
+
+func TestZipfLabels(t *testing.T) {
+	g := Zipf(RandomDAG(Config{N: 500, M: 3000, Seed: 1}), 8, 1.0, 2)
+	if !g.Labeled() || g.Labels() != 8 {
+		t.Fatalf("labels = %d", g.Labels())
+	}
+	counts := make([]int, 8)
+	g.Edges(func(e graph.Edge) bool { counts[e.Label]++; return true })
+	// Zipf skew: label 0 must dominate label 7.
+	if counts[0] < 3*counts[7] {
+		t.Errorf("no Zipf skew: counts %v", counts)
+	}
+}
+
+func TestUniformLabels(t *testing.T) {
+	g := UniformLabels(RandomDAG(Config{N: 400, M: 4000, Seed: 1}), 4, 9)
+	counts := make([]int, 4)
+	g.Edges(func(e graph.Edge) bool { counts[e.Label]++; return true })
+	for l, c := range counts {
+		if c < g.M()/8 {
+			t.Errorf("label %d count %d too small for uniform", l, c)
+		}
+	}
+}
+
+func TestQueriesGroundTruth(t *testing.T) {
+	g := RandomDAG(Config{N: 100, M: 300, Seed: 5})
+	qs := Queries(g, 200, 6)
+	for _, q := range qs {
+		if got := traversal.BFS(g, q.S, q.T); got != q.Want {
+			t.Fatalf("query (%d,%d) ground truth %v, BFS %v", q.S, q.T, q.Want, got)
+		}
+	}
+}
+
+func TestQueriesWithRatio(t *testing.T) {
+	g := RandomDAG(Config{N: 200, M: 800, Seed: 5})
+	qs := QueriesWithRatio(g, 300, 0.5, 7)
+	if len(qs) != 300 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	pos := 0
+	for _, q := range qs {
+		if got := traversal.BFS(g, q.S, q.T); got != q.Want {
+			t.Fatalf("wrong ground truth for (%d,%d)", q.S, q.T)
+		}
+		if q.Want {
+			pos++
+		}
+	}
+	if pos < 60 || pos > 240 {
+		t.Errorf("positive count %d far from requested ratio", pos)
+	}
+}
+
+func TestLCRQueriesGroundTruth(t *testing.T) {
+	g := Zipf(ErdosRenyi(Config{N: 80, M: 320, Seed: 2}), 6, 0.5, 3)
+	qs := LCRQueries(g, 100, 4)
+	for _, q := range qs {
+		if got := traversal.LabelConstrainedBFS(g, q.S, q.T, q.Allowed); got != q.Want {
+			t.Fatalf("LCR ground truth mismatch for (%d,%d,%b)", q.S, q.T, q.Allowed)
+		}
+		if q.Allowed == 0 {
+			t.Fatal("empty allowed mask generated")
+		}
+	}
+}
+
+func TestUpdateScriptDAGSafe(t *testing.T) {
+	g := RandomDAG(Config{N: 100, M: 400, Seed: 8})
+	ops := UpdateScript(g, 200, true, 9)
+	if len(ops) != 200 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	// Replay the script; graph must stay a DAG after every insert and all
+	// deletes must hit existing edges.
+	b := graph.Mutate(g)
+	for i, op := range ops {
+		if op.Insert {
+			b.AddEdge(op.Edge.From, op.Edge.To)
+		} else {
+			if !b.RemoveEdge(op.Edge) {
+				t.Fatalf("op %d deletes missing edge %v", i, op.Edge)
+			}
+		}
+	}
+	if !order.IsDAG(b.MustFreeze()) {
+		t.Fatal("script broke acyclicity")
+	}
+}

@@ -1,0 +1,195 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/traversal"
+)
+
+// Query is a plain reachability query with its ground-truth answer.
+type Query struct {
+	S, T graph.V
+	Want bool
+}
+
+// Queries generates cnt uniform random (s, t) pairs with ground truth
+// computed by BFS. The returned mix is whatever the graph's density
+// implies; use QueriesWithRatio to control the positive fraction.
+func Queries(g *graph.Digraph, cnt int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Query, cnt)
+	for i := range qs {
+		s := graph.V(rng.Intn(g.N()))
+		t := graph.V(rng.Intn(g.N()))
+		qs[i] = Query{S: s, T: t, Want: traversal.BFS(g, s, t)}
+	}
+	return qs
+}
+
+// QueriesWithRatio generates cnt queries of which a fraction posRatio are
+// positive (reachable) and the rest negative, by sampling reachable targets
+// from forward BFS sets and unreachable targets by rejection. This models
+// the §5 observation that real workloads are negative-heavy.
+func QueriesWithRatio(g *graph.Digraph, cnt int, posRatio float64, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Query, 0, cnt)
+	wantPos := int(float64(cnt) * posRatio)
+
+	for len(qs) < cnt {
+		s := graph.V(rng.Intn(g.N()))
+		reach := traversal.ReachableFrom(g, s)
+		var pos, neg []graph.V
+		reach.ForEach(func(i int) bool {
+			if graph.V(i) != s {
+				pos = append(pos, graph.V(i))
+			}
+			return true
+		})
+		// Sample a few negatives for this source.
+		for tries := 0; tries < 32 && len(neg) < 8; tries++ {
+			t := graph.V(rng.Intn(g.N()))
+			if !reach.Test(int(t)) {
+				neg = append(neg, t)
+			}
+		}
+		take := func(from []graph.V, want bool, upTo int) {
+			for i := 0; i < upTo && len(from) > 0 && len(qs) < cnt; i++ {
+				t := from[rng.Intn(len(from))]
+				qs = append(qs, Query{S: s, T: t, Want: want})
+			}
+		}
+		needPos := wantPos - countPos(qs)
+		if needPos > 0 && len(pos) > 0 {
+			take(pos, true, 4)
+		} else {
+			take(neg, false, 4)
+		}
+	}
+	rng.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+	return qs
+}
+
+func countPos(qs []Query) int {
+	c := 0
+	for _, q := range qs {
+		if q.Want {
+			c++
+		}
+	}
+	return c
+}
+
+// LCRQuery is an alternation-constrained query with ground truth: is there
+// an s-t path using only labels in Allowed (a bitmask)?
+type LCRQuery struct {
+	S, T    graph.V
+	Allowed uint64
+	Want    bool
+}
+
+// LCRQueries generates cnt label-constrained queries over a labeled graph,
+// drawing the allowed-set size uniformly in [1, labels]. Ground truth by
+// label-constrained BFS.
+func LCRQueries(g *graph.Digraph, cnt int, seed int64) []LCRQuery {
+	rng := rand.New(rand.NewSource(seed))
+	L := g.Labels()
+	qs := make([]LCRQuery, cnt)
+	for i := range qs {
+		s := graph.V(rng.Intn(g.N()))
+		t := graph.V(rng.Intn(g.N()))
+		k := 1 + rng.Intn(L)
+		var mask uint64
+		for bits := 0; bits < k; {
+			l := rng.Intn(L)
+			if mask&(1<<uint(l)) == 0 {
+				mask |= 1 << uint(l)
+				bits++
+			}
+		}
+		qs[i] = LCRQuery{S: s, T: t, Allowed: mask,
+			Want: traversal.LabelConstrainedBFS(g, s, t, mask)}
+	}
+	return qs
+}
+
+// UpdateOp is a scripted edge insertion or deletion for dynamic-index
+// experiments.
+type UpdateOp struct {
+	Insert bool
+	Edge   graph.Edge
+}
+
+// UpdateScript produces a randomized script of cnt updates against g:
+// deletions pick existing edges, insertions pick fresh non-edges. When
+// dagSafe is true, insertions are constrained to respect a fixed topological
+// order of g so the graph stays acyclic throughout (required by DAG-only
+// dynamic indexes).
+func UpdateScript(g *graph.Digraph, cnt int, dagSafe bool, seed int64) []UpdateOp {
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.EdgeList()
+	present := make(map[[2]graph.V]bool, len(edges))
+	for _, e := range edges {
+		present[[2]graph.V{e.From, e.To}] = true
+	}
+	var rank []uint32
+	if dagSafe {
+		rank = topoRank(g)
+	}
+	ops := make([]UpdateOp, 0, cnt)
+	for len(ops) < cnt {
+		if rng.Intn(2) == 0 && len(edges) > 0 {
+			i := rng.Intn(len(edges))
+			e := edges[i]
+			edges[i] = edges[len(edges)-1]
+			edges = edges[:len(edges)-1]
+			delete(present, [2]graph.V{e.From, e.To})
+			ops = append(ops, UpdateOp{Insert: false, Edge: e})
+		} else {
+			u := graph.V(rng.Intn(g.N()))
+			v := graph.V(rng.Intn(g.N()))
+			if u == v || present[[2]graph.V{u, v}] {
+				continue
+			}
+			if dagSafe && rank[u] > rank[v] {
+				u, v = v, u
+			}
+			e := graph.Edge{From: u, To: v}
+			present[[2]graph.V{u, v}] = true
+			edges = append(edges, e)
+			ops = append(ops, UpdateOp{Insert: true, Edge: e})
+		}
+	}
+	return ops
+}
+
+func topoRank(g *graph.Digraph) []uint32 {
+	n := g.N()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Succ(graph.V(v)) {
+			indeg[w]++
+		}
+	}
+	var queue []graph.V
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, graph.V(v))
+		}
+	}
+	rank := make([]uint32, n)
+	next := uint32(0)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		rank[v] = next
+		next++
+		for _, w := range g.Succ(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return rank
+}

@@ -1,0 +1,90 @@
+package grail
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 3, Seed: 1})
+	})
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 2, Seed: 7})
+	})
+}
+
+func TestKOne(t *testing.T) {
+	// Even a single labeling must stay exact through guided DFS.
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 1, Seed: 3})
+	})
+}
+
+func TestNoFalseNegativesOnLookup(t *testing.T) {
+	// If the oracle says reachable, TryReach must never answer "definitely
+	// not" — the defining property of GRAIL's labels.
+	g := gen.RandomDAG(gen.Config{N: 150, M: 450, Seed: 4})
+	ix := New(g, Options{K: 4, Seed: 5})
+	oracle := tc.NewClosure(g)
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if !oracle.Reach(s, tt) {
+				continue
+			}
+			if r, dec := ix.TryReach(s, tt); dec && !r {
+				t.Fatalf("false negative at (%d,%d)", s, tt)
+			}
+		}
+	}
+}
+
+func TestMoreLabelingsPruneMore(t *testing.T) {
+	// More random trees should decide at least as many negative queries
+	// (statistically; use one seed and assert non-strict improvement with
+	// slack).
+	g := gen.RandomDAG(gen.Config{N: 200, M: 500, Seed: 6})
+	count := func(k int) int {
+		ix := New(g, Options{K: k, Seed: 9})
+		decided := 0
+		for s := graph.V(0); int(s) < g.N(); s += 3 {
+			for tt := graph.V(0); int(tt) < g.N(); tt += 3 {
+				if _, dec := ix.TryReach(s, tt); dec {
+					decided++
+				}
+			}
+		}
+		return decided
+	}
+	if c1, c5 := count(1), count(5); c5 < c1 {
+		t.Errorf("k=5 decided %d < k=1 decided %d", c5, c1)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 100, M: 200, Seed: 1})
+	ix := New(g, Options{K: 3, Seed: 1})
+	st := ix.Stats()
+	if st.Entries != 300 {
+		t.Errorf("Entries = %d, want 3n = 300", st.Entries)
+	}
+	if ix.Name() != "GRAIL" {
+		t.Error("name")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 30, M: 60, Seed: 2})
+	ix := New(g, Options{})
+	if ix.k != 3 {
+		t.Errorf("default K = %d, want 3", ix.k)
+	}
+}

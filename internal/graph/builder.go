@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices and edges and produces an immutable Digraph.
+// It deduplicates parallel edges with identical labels and sorts adjacency,
+// which the CSR binary searches rely on.
+type Builder struct {
+	n         int
+	edges     []Edge
+	labeled   bool
+	numLabels int
+	labelIDs  map[string]Label
+	labelName []string
+	vertIDs   map[string]V
+	vertName  []string
+}
+
+// NewBuilder returns a Builder for a graph with n pre-declared vertices
+// (0..n-1). More vertices may be added implicitly by AddEdge or explicitly
+// by AddVertex.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// NewLabeledBuilder returns a Builder for an edge-labeled graph.
+func NewLabeledBuilder(n int) *Builder {
+	return &Builder{n: n, labeled: true}
+}
+
+// N returns the current number of vertices.
+func (b *Builder) N() int { return b.n }
+
+// AddVertex allocates and returns a fresh vertex id.
+func (b *Builder) AddVertex() V {
+	v := V(b.n)
+	b.n++
+	return v
+}
+
+// NamedVertex returns the vertex with the given name, allocating it on first
+// use. Mixing NamedVertex with AddVertex is allowed.
+func (b *Builder) NamedVertex(name string) V {
+	if b.vertIDs == nil {
+		b.vertIDs = make(map[string]V)
+	}
+	if v, ok := b.vertIDs[name]; ok {
+		return v
+	}
+	v := b.AddVertex()
+	b.vertIDs[name] = v
+	for len(b.vertName) <= int(v) {
+		b.vertName = append(b.vertName, "")
+	}
+	b.vertName[v] = name
+	return v
+}
+
+// LabelID returns the label id for the given name, allocating it on first
+// use. Panics if the label universe would exceed MaxLabels.
+func (b *Builder) LabelID(name string) Label {
+	if b.labelIDs == nil {
+		b.labelIDs = make(map[string]Label)
+	}
+	if l, ok := b.labelIDs[name]; ok {
+		return l
+	}
+	if b.numLabels >= MaxLabels {
+		panic(fmt.Sprintf("graph: label universe exceeds %d labels", MaxLabels))
+	}
+	l := Label(b.numLabels)
+	b.numLabels++
+	b.labelIDs[name] = l
+	b.labelName = append(b.labelName, name)
+	b.labeled = true
+	return l
+}
+
+// ReserveLabels declares the label universe to contain at least k labels,
+// even if some never occur on edges (e.g. after condensing a labeled graph
+// whose rare labels only appeared inside SCCs).
+func (b *Builder) ReserveLabels(k int) {
+	if k > b.numLabels {
+		b.numLabels = k
+	}
+	if k > 0 {
+		b.labeled = true
+	}
+}
+
+// AddEdge adds the directed edge (u, v). Vertices are allocated implicitly
+// if u or v exceed the current vertex count.
+func (b *Builder) AddEdge(u, v V) {
+	b.ensure(u)
+	b.ensure(v)
+	b.edges = append(b.edges, Edge{From: u, To: v})
+}
+
+// AddLabeledEdge adds the directed edge (u, v) with label l.
+func (b *Builder) AddLabeledEdge(u, v V, l Label) {
+	b.ensure(u)
+	b.ensure(v)
+	b.labeled = true
+	if int(l) >= b.numLabels {
+		b.numLabels = int(l) + 1
+	}
+	b.edges = append(b.edges, Edge{From: u, To: v, Label: l})
+}
+
+// AddNamedEdge adds an edge between named vertices with a named label.
+func (b *Builder) AddNamedEdge(from, label, to string) {
+	u, v := b.NamedVertex(from), b.NamedVertex(to)
+	b.AddLabeledEdge(u, v, b.LabelID(label))
+}
+
+func (b *Builder) ensure(v V) {
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+}
+
+// ErrTooManyLabels is returned by Freeze when a labeled graph declares more
+// than MaxLabels labels.
+var ErrTooManyLabels = errors.New("graph: label universe exceeds 64 labels")
+
+// Freeze sorts, deduplicates and lays out the accumulated edges as an
+// immutable CSR Digraph.
+func (b *Builder) Freeze() (*Digraph, error) {
+	if b.labeled && b.numLabels > MaxLabels {
+		return nil, ErrTooManyLabels
+	}
+	es := b.edges
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		if es[i].To != es[j].To {
+			return es[i].To < es[j].To
+		}
+		return es[i].Label < es[j].Label
+	})
+	// Deduplicate identical (from, to, label) triples.
+	dedup := es[:0]
+	for i, e := range es {
+		if i > 0 && e == es[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	es = dedup
+
+	g := &Digraph{n: b.n, m: len(es), numLabels: b.numLabels,
+		labelName: b.labelName, vertName: b.vertName}
+	g.succOff = make([]uint32, b.n+1)
+	g.predOff = make([]uint32, b.n+1)
+	g.succ = make([]V, len(es))
+	g.pred = make([]V, len(es))
+	if b.labeled {
+		g.succLab = make([]Label, len(es))
+		g.predLab = make([]Label, len(es))
+	}
+	for _, e := range es {
+		g.succOff[e.From+1]++
+		g.predOff[e.To+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.succOff[v+1] += g.succOff[v]
+		g.predOff[v+1] += g.predOff[v]
+	}
+	fill := make([]uint32, b.n)
+	for _, e := range es {
+		i := g.succOff[e.From] + fill[e.From]
+		fill[e.From]++
+		g.succ[i] = e.To
+		if b.labeled {
+			g.succLab[i] = e.Label
+		}
+	}
+	for i := range fill {
+		fill[i] = 0
+	}
+	// Edges are sorted by From, so filling pred in this order yields
+	// pred lists sorted by predecessor id.
+	for _, e := range es {
+		i := g.predOff[e.To] + fill[e.To]
+		fill[e.To]++
+		g.pred[i] = e.From
+		if b.labeled {
+			g.predLab[i] = e.Label
+		}
+	}
+	return g, nil
+}
+
+// MustFreeze is Freeze that panics on error; for tests and generators whose
+// inputs are valid by construction.
+func (b *Builder) MustFreeze() *Digraph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds an unlabeled digraph with n vertices from an edge list.
+func FromEdges(n int, edges [][2]V) *Digraph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustFreeze()
+}
+
+// Mutate returns a Builder pre-loaded with g's vertices and edges, for
+// producing a modified copy (used by dynamic-index tests to rebuild
+// oracles after updates).
+func Mutate(g *Digraph) *Builder {
+	b := NewBuilder(g.N())
+	b.labeled = g.Labeled()
+	b.numLabels = g.Labels()
+	b.labelName = g.labelName
+	b.vertName = g.vertName
+	if g.vertName != nil {
+		b.vertIDs = make(map[string]V)
+		for v, name := range g.vertName {
+			if name != "" {
+				b.vertIDs[name] = V(v)
+			}
+		}
+	}
+	if g.labelName != nil {
+		b.labelIDs = make(map[string]Label)
+		for l, name := range g.labelName {
+			if name != "" {
+				b.labelIDs[name] = Label(l)
+			}
+		}
+	}
+	b.edges = g.EdgeList()
+	return b
+}
+
+// RemoveEdge deletes one occurrence of the exact edge e from the builder.
+// It reports whether the edge was present.
+func (b *Builder) RemoveEdge(e Edge) bool {
+	for i := range b.edges {
+		if b.edges[i] == e {
+			b.edges[i] = b.edges[len(b.edges)-1]
+			b.edges = b.edges[:len(b.edges)-1]
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package graph
+
+// This file encodes the paper's Figure 1 running example: a 9-vertex plain
+// digraph (a) and its edge-labeled counterpart (b) over the label universe
+// {friendOf, follows, worksFor}. Every worked example in the tutorial text
+// is phrased on these two graphs, and the quickstart example plus the
+// TestFigure1* integration tests assert the published answers on them.
+//
+// The labeled edge set below is reconstructed from the textual claims of the
+// paper (the figure itself is a drawing) and satisfies every one of them:
+//
+//	Qr(A,G) = true via the s-t path (A, D, H, G)                        [§2.1]
+//	Qr(A,G,(friendOf ∪ follows)*) = false: every A→G path uses worksFor [§2.2]
+//	L→M via p1 = (L,worksFor,C,worksFor,M) and p2 = (L,follows,K,worksFor,M);
+//	  SPLS(L→M) = {worksFor}                                            [§4.1]
+//	SPLS(A→L) = {follows}; SPLS(A→M) = {follows, worksFor}              [§4.1]
+//	L→H via p3 = (L,worksFor,C,worksFor,H) and p4 = (L,worksFor,D,friendOf,H);
+//	  p3 is "shorter" (1 distinct label vs 2)                           [§4.1.2]
+//	the path (L,worksFor,D,friendOf,H,worksFor,G,friendOf,B) has
+//	  MR = (worksFor, friendOf), so Qr(L,B,(worksFor·friendOf)*) = true [§4.2]
+//
+// The reconstruction is acyclic (the published figure's precise arrow set
+// is not recoverable from the text; cyclic inputs are exercised by the
+// generated graphs instead). The plain graph (a) has the same vertex set;
+// its edge set is the labeled edge set with labels dropped.
+
+// Fig1Vertices lists the vertex names of Figure 1 in a stable order.
+var Fig1Vertices = []string{"A", "B", "C", "D", "G", "H", "K", "L", "M"}
+
+// fig1Edges is the labeled edge list of Figure 1(b).
+var fig1Edges = [][3]string{
+	// source, label, target
+	{"A", "friendOf", "D"},
+	{"A", "follows", "L"},
+	{"D", "friendOf", "H"},
+	{"H", "worksFor", "G"},
+	{"G", "friendOf", "B"},
+	{"L", "worksFor", "C"},
+	{"L", "worksFor", "D"},
+	{"L", "follows", "K"},
+	{"C", "worksFor", "M"},
+	{"C", "worksFor", "H"},
+	{"K", "worksFor", "M"},
+	{"M", "worksFor", "G"},
+}
+
+// Fig1Labeled builds the edge-labeled graph of Figure 1(b).
+func Fig1Labeled() *Digraph {
+	b := NewLabeledBuilder(0)
+	for _, name := range Fig1Vertices {
+		b.NamedVertex(name)
+	}
+	// Register labels in the paper's order.
+	b.LabelID("friendOf")
+	b.LabelID("follows")
+	b.LabelID("worksFor")
+	for _, e := range fig1Edges {
+		b.AddNamedEdge(e[0], e[1], e[2])
+	}
+	return b.MustFreeze()
+}
+
+// Fig1Plain builds the plain graph of Figure 1(a): the same topology with
+// labels dropped.
+func Fig1Plain() *Digraph {
+	b := NewBuilder(0)
+	ids := make(map[string]V)
+	for _, name := range Fig1Vertices {
+		ids[name] = b.NamedVertex(name)
+	}
+	for _, e := range fig1Edges {
+		b.AddEdge(ids[e[0]], ids[e[2]])
+	}
+	return b.MustFreeze()
+}

@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the edge-list parser: it must never
+// panic, and anything it accepts must round-trip through Write/Read into
+// a graph with identical shape.
+func FuzzRead(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("a knows b\nb knows c\n")
+	f.Add("# comment\n\n3 4 lbl\n")
+	f.Add("0 0\n")
+	f.Add("999999 2\n")
+	f.Add("x y z w\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparse of our own output: %v", err)
+		}
+		if g2.M() != g.M() || g2.Labels() != g.Labels() {
+			t.Fatalf("round trip changed shape: m %d->%d labels %d->%d",
+				g.M(), g2.M(), g.Labels(), g2.Labels())
+		}
+	})
+}

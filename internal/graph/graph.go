@@ -1,0 +1,190 @@
+// Package graph provides the directed-graph substrate shared by every
+// reachability index in this repository: an immutable CSR (compressed sparse
+// row) digraph with both forward and reverse adjacency, an optional edge
+// labeling for path-constrained reachability, a mutable builder, and a plain
+// text edge-list exchange format.
+//
+// Vertices are dense identifiers 0..N-1 of type V (uint32). Once Freeze is
+// called the graph never changes; dynamic indexes maintain their own overlay
+// structures on top.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// V is a vertex identifier. Vertices of a graph with N vertices are exactly
+// 0..N-1.
+type V = uint32
+
+// Label identifies an edge label within a graph's label universe. Label
+// universes are small (at most MaxLabels), matching the path-constrained
+// reachability literature where |L| is typically well under 64.
+type Label = uint16
+
+// MaxLabels is the largest supported label-universe size. Label sets are
+// stored as 64-bit masks throughout the LCR indexes.
+const MaxLabels = 64
+
+// Edge is a directed edge with an optional label (ignored for plain graphs).
+type Edge struct {
+	From, To V
+	Label    Label
+}
+
+// Digraph is an immutable directed graph in CSR form with both forward and
+// reverse adjacency. If labeled, Labels() reports the number of distinct
+// labels and per-edge labels parallel the forward adjacency arrays.
+type Digraph struct {
+	n int
+	m int
+
+	// Forward CSR: successors of v are succ[succOff[v]:succOff[v+1]].
+	succOff []uint32
+	succ    []V
+	// succLab[i] is the label of the edge whose head is succ[i]; nil when
+	// the graph is unlabeled.
+	succLab []Label
+
+	// Reverse CSR: predecessors of v are pred[predOff[v]:predOff[v+1]].
+	predOff []uint32
+	pred    []V
+	predLab []Label
+
+	numLabels int
+	labelName []string // optional human-readable names, index = Label
+	vertName  []string // optional human-readable names, index = V
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Digraph) M() int { return g.m }
+
+// Labeled reports whether the graph carries edge labels.
+func (g *Digraph) Labeled() bool { return g.succLab != nil }
+
+// Labels returns the size of the label universe (0 for unlabeled graphs).
+func (g *Digraph) Labels() int { return g.numLabels }
+
+// Succ returns the successors of v. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Digraph) Succ(v V) []V { return g.succ[g.succOff[v]:g.succOff[v+1]] }
+
+// Pred returns the predecessors of v. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Digraph) Pred(v V) []V { return g.pred[g.predOff[v]:g.predOff[v+1]] }
+
+// SuccLabels returns the labels parallel to Succ(v). Only valid for labeled
+// graphs.
+func (g *Digraph) SuccLabels(v V) []Label {
+	return g.succLab[g.succOff[v]:g.succOff[v+1]]
+}
+
+// PredLabels returns the labels parallel to Pred(v). Only valid for labeled
+// graphs.
+func (g *Digraph) PredLabels(v V) []Label {
+	return g.predLab[g.predOff[v]:g.predOff[v+1]]
+}
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Digraph) OutDegree(v V) int { return int(g.succOff[v+1] - g.succOff[v]) }
+
+// InDegree returns the number of incoming edges of v.
+func (g *Digraph) InDegree(v V) int { return int(g.predOff[v+1] - g.predOff[v]) }
+
+// Degree returns in-degree + out-degree of v, the ranking key used by
+// degree-ordered labelings (DL, PLL, P2H+, landmark selection).
+func (g *Digraph) Degree(v V) int { return g.OutDegree(v) + g.InDegree(v) }
+
+// HasEdge reports whether the edge (u, v) exists (any label). Runs in
+// O(log outdeg(u)) thanks to sorted adjacency.
+func (g *Digraph) HasEdge(u, v V) bool {
+	s := g.Succ(u)
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// HasLabeledEdge reports whether edge (u, v) with label l exists.
+func (g *Digraph) HasLabeledEdge(u, v V, l Label) bool {
+	s := g.Succ(u)
+	labs := g.SuccLabels(u)
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	for ; i < len(s) && s[i] == v; i++ {
+		if labs[i] == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges calls f for every edge in the graph (in vertex order). If f returns
+// false the iteration stops.
+func (g *Digraph) Edges(f func(e Edge) bool) {
+	for u := 0; u < g.n; u++ {
+		lo, hi := g.succOff[u], g.succOff[u+1]
+		for i := lo; i < hi; i++ {
+			e := Edge{From: V(u), To: g.succ[i]}
+			if g.succLab != nil {
+				e.Label = g.succLab[i]
+			}
+			if !f(e) {
+				return
+			}
+		}
+	}
+}
+
+// EdgeList returns all edges as a fresh slice.
+func (g *Digraph) EdgeList() []Edge {
+	es := make([]Edge, 0, g.m)
+	g.Edges(func(e Edge) bool { es = append(es, e); return true })
+	return es
+}
+
+// LabelName returns the human-readable name for label l, or a synthesized
+// "l<ID>" when none was registered.
+func (g *Digraph) LabelName(l Label) string {
+	if int(l) < len(g.labelName) && g.labelName[l] != "" {
+		return g.labelName[l]
+	}
+	return fmt.Sprintf("l%d", l)
+}
+
+// VertexName returns the human-readable name for vertex v, or a synthesized
+// "v<ID>" when none was registered.
+func (g *Digraph) VertexName(v V) string {
+	if int(v) < len(g.vertName) && g.vertName[v] != "" {
+		return g.vertName[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// VertexByName returns the vertex registered under the given name.
+func (g *Digraph) VertexByName(name string) (V, bool) {
+	for v, n := range g.vertName {
+		if n == name {
+			return V(v), true
+		}
+	}
+	return 0, false
+}
+
+// Bytes estimates the memory footprint of the CSR arrays in bytes.
+func (g *Digraph) Bytes() int {
+	b := (len(g.succOff) + len(g.predOff) + len(g.succ) + len(g.pred)) * 4
+	b += (len(g.succLab) + len(g.predLab)) * 2
+	return b
+}
+
+// Reverse returns a view-copy of g with every edge direction flipped.
+// Forward and reverse CSR arrays are swapped; storage is shared.
+func (g *Digraph) Reverse() *Digraph {
+	r := *g
+	r.succOff, r.predOff = g.predOff, g.succOff
+	r.succ, r.pred = g.pred, g.succ
+	r.succLab, r.predLab = g.predLab, g.succLab
+	return &r
+}

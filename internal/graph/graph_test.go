@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.MustFreeze()
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 3,3", g.N(), g.M())
+	}
+	if got := g.Succ(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Succ(0) = %v", got)
+	}
+	if got := g.Pred(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Pred(2) = %v", got)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(2) != 2 || g.Degree(1) != 2 {
+		t.Error("degree mismatch")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) || g.HasEdge(2, 2) {
+		t.Error("HasEdge mismatch")
+	}
+}
+
+func TestBuilderImplicitVertices(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(5, 9)
+	g := b.MustFreeze()
+	if g.N() != 10 {
+		t.Fatalf("N = %d, want 10", g.N())
+	}
+	if g.OutDegree(0) != 0 || g.OutDegree(5) != 1 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	g := b.MustFreeze()
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1 after dedup", g.M())
+	}
+	// Parallel edges with distinct labels are kept.
+	lb := NewLabeledBuilder(2)
+	lb.AddLabeledEdge(0, 1, 0)
+	lb.AddLabeledEdge(0, 1, 1)
+	lb.AddLabeledEdge(0, 1, 1)
+	lg := lb.MustFreeze()
+	if lg.M() != 2 {
+		t.Fatalf("labeled M = %d, want 2", lg.M())
+	}
+	if !lg.HasLabeledEdge(0, 1, 0) || !lg.HasLabeledEdge(0, 1, 1) || lg.HasLabeledEdge(0, 1, 2) {
+		t.Error("HasLabeledEdge mismatch")
+	}
+}
+
+func TestNamedVerticesAndLabels(t *testing.T) {
+	b := NewLabeledBuilder(0)
+	b.AddNamedEdge("x", "knows", "y")
+	b.AddNamedEdge("y", "knows", "x")
+	b.AddNamedEdge("x", "likes", "z")
+	g := b.MustFreeze()
+	if g.N() != 3 || g.M() != 3 || g.Labels() != 2 {
+		t.Fatalf("N=%d M=%d L=%d", g.N(), g.M(), g.Labels())
+	}
+	if g.VertexName(0) != "x" || g.LabelName(0) != "knows" {
+		t.Errorf("names: %q %q", g.VertexName(0), g.LabelName(0))
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := FromEdges(3, [][2]V{{0, 1}, {1, 2}})
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) || r.HasEdge(0, 1) {
+		t.Error("reverse edges wrong")
+	}
+	// Original unchanged.
+	if !g.HasEdge(0, 1) {
+		t.Error("original mutated")
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := FromEdges(4, [][2]V{{2, 3}, {0, 1}, {0, 2}})
+	var got [][2]V
+	g.Edges(func(e Edge) bool { got = append(got, [2]V{e.From, e.To}); return true })
+	want := [][2]V{{0, 1}, {0, 2}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	g.Edges(func(Edge) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	b := NewLabeledBuilder(0)
+	b.AddNamedEdge("a", "r", "b")
+	b.AddNamedEdge("b", "s", "c")
+	g := b.MustFreeze()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() || g2.Labels() != g.Labels() {
+		t.Fatalf("round trip mismatch: N=%d M=%d L=%d", g2.N(), g2.M(), g2.Labels())
+	}
+}
+
+func TestReadPlain(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n\n2 0\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 || g.Labeled() {
+		t.Fatalf("N=%d M=%d labeled=%v", g.N(), g.M(), g.Labeled())
+	}
+}
+
+func TestReadNamed(t *testing.T) {
+	in := "alice knows bob\nbob knows carol\n"
+	// Named vertices with labels.
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 || !g.Labeled() {
+		t.Fatalf("N=%d M=%d labeled=%v", g.N(), g.M(), g.Labeled())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "0 1 x y\n"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) should fail", in)
+		}
+	}
+}
+
+func TestMutateRemove(t *testing.T) {
+	g := FromEdges(3, [][2]V{{0, 1}, {1, 2}})
+	b := Mutate(g)
+	if !b.RemoveEdge(Edge{From: 0, To: 1}) {
+		t.Fatal("edge not found")
+	}
+	if b.RemoveEdge(Edge{From: 0, To: 1}) {
+		t.Fatal("edge removed twice")
+	}
+	b.AddEdge(2, 0)
+	g2 := b.MustFreeze()
+	if g2.HasEdge(0, 1) || !g2.HasEdge(2, 0) || !g2.HasEdge(1, 2) {
+		t.Error("mutation wrong")
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	p, l := Fig1Plain(), Fig1Labeled()
+	if p.N() != 9 || l.N() != 9 {
+		t.Fatalf("Fig1 must have 9 vertices, got %d/%d", p.N(), l.N())
+	}
+	if l.Labels() != 3 {
+		t.Fatalf("Fig1 labels = %d, want 3", l.Labels())
+	}
+	if p.M() != l.M() {
+		t.Fatalf("plain and labeled edge counts differ: %d vs %d", p.M(), l.M())
+	}
+	// Labels in the paper's order.
+	for i, want := range []string{"friendOf", "follows", "worksFor"} {
+		if l.LabelName(Label(i)) != want {
+			t.Errorf("label %d = %q, want %q", i, l.LabelName(Label(i)), want)
+		}
+	}
+}
+
+func TestFreezeSortedAdjacency(t *testing.T) {
+	// Property: Succ and Pred lists are always sorted, for any edge set.
+	f := func(raw [][2]uint8) bool {
+		b := NewBuilder(0)
+		for _, e := range raw {
+			b.AddEdge(V(e[0]), V(e[1]))
+		}
+		g := b.MustFreeze()
+		for v := V(0); int(v) < g.N(); v++ {
+			if !sort.SliceIsSorted(g.Succ(v), func(i, j int) bool { return g.Succ(v)[i] < g.Succ(v)[j] }) {
+				return false
+			}
+			if !sort.SliceIsSorted(g.Pred(v), func(i, j int) bool { return g.Pred(v)[i] < g.Pred(v)[j] }) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredMatchesSucc(t *testing.T) {
+	// Property: (u,v,l) appears in forward adjacency iff it appears in
+	// reverse adjacency.
+	f := func(raw [][2]uint8, labs []uint8) bool {
+		b := NewLabeledBuilder(0)
+		for i, e := range raw {
+			l := Label(0)
+			if i < len(labs) {
+				l = Label(labs[i] % 8)
+			}
+			b.AddLabeledEdge(V(e[0]), V(e[1]), l)
+		}
+		g := b.MustFreeze()
+		fwd := map[Edge]bool{}
+		g.Edges(func(e Edge) bool { fwd[e] = true; return true })
+		count := 0
+		for v := V(0); int(v) < g.N(); v++ {
+			ps := g.Pred(v)
+			ls := g.PredLabels(v)
+			for i, u := range ps {
+				count++
+				if !fwd[Edge{From: u, To: v, Label: ls[i]}] {
+					return false
+				}
+			}
+		}
+		return count == g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

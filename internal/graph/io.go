@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The exchange format is a line-oriented edge list:
+//
+//	# comment
+//	u v          (plain edge)
+//	u v label    (labeled edge; label is a name, ids are allocated in order)
+//
+// Vertex tokens that parse as unsigned integers are used as ids directly;
+// otherwise they are treated as names and assigned dense ids on first use.
+
+// Write serializes g in the edge-list exchange format.
+func Write(w io.Writer, g *Digraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vertices=%d edges=%d labels=%d\n", g.N(), g.M(), g.Labels())
+	var err error
+	g.Edges(func(e Edge) bool {
+		if g.Labeled() {
+			_, err = fmt.Fprintf(bw, "%d %d %s\n", e.From, e.To, g.LabelName(e.Label))
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.From, e.To)
+		}
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the edge-list exchange format.
+func Read(r io.Reader) (*Digraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	b := NewBuilder(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 && len(f) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 2 or 3 fields, got %d", lineNo, len(f))
+		}
+		u, err := parseVertex(b, f[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := parseVertex(b, f[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if len(f) == 3 {
+			b.AddLabeledEdge(u, v, b.LabelID(f[2]))
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Freeze()
+}
+
+func parseVertex(b *Builder, tok string) (V, error) {
+	if n, err := strconv.ParseUint(tok, 10, 32); err == nil {
+		return V(n), nil
+	}
+	if tok == "" {
+		return 0, fmt.Errorf("empty vertex token")
+	}
+	return b.NamedVertex(tok), nil
+}

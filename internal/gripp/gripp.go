@@ -1,0 +1,173 @@
+// Package gripp implements GRIPP [43] (§3.1): the GRaph Indexing based on
+// Pre- and Postorder numbering of Trißl and Leser. Unlike the other
+// tree-cover indexes it works on general graphs directly.
+//
+// The index is an instance tree built by one DFS: the first encounter of a
+// vertex creates its tree instance (with the full pre/post range of its
+// exploration); later encounters create non-tree instances — leaves that
+// mark "the traversal re-entered v here". Qr(s, t) is evaluated by the
+// reachability instance query RIQ: does any instance of t fall inside the
+// pre/post range of s's tree instance? If not, hop: every non-tree
+// instance inside the range names a vertex whose tree instance is explored
+// recursively (each vertex hopped at most once). Positive answers can stop
+// early; negative answers exhaust the hops, which is why GRIPP is a
+// partial index "without false positives" (§5).
+package gripp
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// instance is one occurrence of a vertex in the instance tree.
+type instance struct {
+	v         graph.V
+	pre, post uint32
+	tree      bool
+}
+
+// Index is the GRIPP partial index over a general digraph.
+type Index struct {
+	g *graph.Digraph
+	// inst sorted by pre number.
+	inst []instance
+	// treeOf[v] = index into inst of v's tree instance.
+	treeOf []int32
+	// instOf[v] = pre numbers of all instances of v, ascending.
+	instOf [][]uint32
+	stats  core.Stats
+}
+
+// New builds the GRIPP instance tree of g.
+func New(g *graph.Digraph) *Index {
+	start := time.Now()
+	n := g.N()
+	ix := &Index{g: g, treeOf: make([]int32, n), instOf: make([][]uint32, n)}
+	for i := range ix.treeOf {
+		ix.treeOf[i] = -1
+	}
+	var counter uint32
+	visited := make([]bool, n)
+
+	type frame struct {
+		v    graph.V
+		inst int32
+		ei   int
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		id := int32(len(ix.inst))
+		ix.inst = append(ix.inst, instance{v: graph.V(root), pre: counter, tree: true})
+		counter++
+		ix.treeOf[root] = id
+		stack = append(stack[:0], frame{v: graph.V(root), inst: id})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succ := ix.g.Succ(f.v)
+			if f.ei < len(succ) {
+				w := succ[f.ei]
+				f.ei++
+				if !visited[w] {
+					visited[w] = true
+					wid := int32(len(ix.inst))
+					ix.inst = append(ix.inst, instance{v: w, pre: counter, tree: true})
+					counter++
+					ix.treeOf[w] = wid
+					stack = append(stack, frame{v: w, inst: wid})
+				} else {
+					// Non-tree instance: a leaf [pre, pre].
+					ix.inst = append(ix.inst, instance{v: w, pre: counter, post: counter, tree: false})
+					counter++
+				}
+				continue
+			}
+			ix.inst[f.inst].post = counter
+			counter++
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// inst is already sorted by pre (DFS order). Build per-vertex lists.
+	for i := range ix.inst {
+		in := &ix.inst[i]
+		ix.instOf[in.v] = append(ix.instOf[in.v], in.pre)
+	}
+	ix.stats = core.Stats{
+		Entries:   len(ix.inst),
+		Bytes:     len(ix.inst)*13 + n*4,
+		BuildTime: time.Since(start),
+	}
+	return ix
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "GRIPP" }
+
+// anyInstanceIn reports whether v has an instance with pre in (lo, hi).
+func (ix *Index) anyInstanceIn(v graph.V, lo, hi uint32) bool {
+	pres := ix.instOf[v]
+	i := sort.Search(len(pres), func(i int) bool { return pres[i] > lo })
+	return i < len(pres) && pres[i] < hi
+}
+
+// TryReach implements core.Partial: a hit inside the tree-instance range of
+// s is a definite positive (no hop needed); misses are undecided.
+func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
+	if s == t {
+		return true, true
+	}
+	ti := ix.inst[ix.treeOf[s]]
+	if ix.anyInstanceIn(t, ti.pre, ti.post) {
+		return true, true
+	}
+	return false, false
+}
+
+// Reach answers Qr(s, t) by the hop traversal over the instance tree.
+func (ix *Index) Reach(s, t graph.V) bool {
+	if s == t {
+		return true
+	}
+	hopped := bitset.New(ix.g.N())
+	return ix.riq(s, t, hopped)
+}
+
+func (ix *Index) riq(s, t graph.V, hopped *bitset.Set) bool {
+	stack := []graph.V{s}
+	hopped.Set(int(s))
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ti := ix.inst[ix.treeOf[v]]
+		if ix.anyInstanceIn(t, ti.pre, ti.post) {
+			return true
+		}
+		// Hop: every non-tree instance inside the range re-enters a vertex
+		// whose own exploration lives elsewhere in the instance tree. Also
+		// hop the vertices whose tree instances are inside this range but
+		// were entered from outside (for robustness; cheap because each
+		// vertex hops once).
+		lo := sort.Search(len(ix.inst), func(i int) bool { return ix.inst[i].pre > ti.pre })
+		for i := lo; i < len(ix.inst) && ix.inst[i].pre < ti.post; i++ {
+			w := ix.inst[i].v
+			if !ix.inst[i].tree && !hopped.Test(int(w)) {
+				hopped.Set(int(w))
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }
+
+// Instances returns the instance-tree size (n tree + m-ish non-tree).
+func (ix *Index) Instances() int { return len(ix.inst) }

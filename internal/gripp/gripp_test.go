@@ -1,0 +1,62 @@
+package gripp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+)
+
+func TestConformanceOnDAGs(t *testing.T) {
+	// GRIPP accepts general graphs directly; run it raw on both suites.
+	indextest.CheckGeneralIndex(t, func(g *graph.Digraph) core.Index { return New(g) })
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestInstanceCount(t *testing.T) {
+	// Exactly one tree instance per vertex; every edge produces exactly
+	// one instance of its head (tree on first visit, non-tree leaf
+	// otherwise), except tree edges whose head instance IS the tree
+	// instance. So: tree instances = n, and n <= total <= n + m.
+	g := gen.RandomDAG(gen.Config{N: 200, M: 600, Seed: 1})
+	ix := New(g)
+	tree := 0
+	for _, in := range ix.inst {
+		if in.tree {
+			tree++
+		}
+	}
+	if tree != g.N() {
+		t.Errorf("tree instances = %d, want n = %d", tree, g.N())
+	}
+	nonTree := ix.Instances() - tree
+	// Non-tree instances = m - (tree edges); tree edges <= n-1.
+	if nonTree < g.M()-g.N() || nonTree > g.M() {
+		t.Errorf("non-tree instances = %d out of range [%d,%d]",
+			nonTree, g.M()-g.N(), g.M())
+	}
+}
+
+func TestCycleHandling(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 cycle plus tail 2 -> 3.
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	ix := New(g)
+	for s := graph.V(0); s < 3; s++ {
+		for tt := graph.V(0); tt < 4; tt++ {
+			if !ix.Reach(s, tt) {
+				t.Errorf("Reach(%d,%d) should be true in the cycle", s, tt)
+			}
+		}
+	}
+	if ix.Reach(3, 0) {
+		t.Error("tail cannot reach back")
+	}
+	if ix.Name() != "GRIPP" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,106 @@
+// Package interval provides the sorted interval lists at the heart of the
+// tree-cover index family (§3.1): per-vertex lists of [lo, hi] post-order
+// ranges, with insertion that merges touching ranges ("in case intervals
+// happen to be adjacent, they can be merged for efficient storage").
+package interval
+
+import "sort"
+
+// I is a closed interval [Lo, Hi] of post-order numbers.
+type I struct {
+	Lo, Hi uint32
+}
+
+// Contains reports whether x lies in the interval.
+func (iv I) Contains(x uint32) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// List is a sorted list of disjoint, non-touching intervals.
+// The zero value is an empty list.
+type List struct {
+	ivs []I
+}
+
+// Len returns the number of intervals.
+func (l *List) Len() int { return len(l.ivs) }
+
+// Intervals returns the intervals in ascending order; aliases storage.
+func (l *List) Intervals() []I { return l.ivs }
+
+// Contains reports whether x lies in some interval, by binary search.
+func (l *List) Contains(x uint32) bool {
+	i := sort.Search(len(l.ivs), func(i int) bool { return l.ivs[i].Hi >= x })
+	return i < len(l.ivs) && l.ivs[i].Lo <= x
+}
+
+// Add inserts [lo, hi], merging with any overlapping or adjacent intervals
+// (adjacent means hi+1 == next.Lo).
+func (l *List) Add(lo, hi uint32) {
+	// Find the first interval that could interact: Hi >= lo-1.
+	start := sort.Search(len(l.ivs), func(i int) bool {
+		return l.ivs[i].Hi+1 >= lo // safe: Hi+1 overflow impossible for post orders < 2^32-1
+	})
+	end := start
+	for end < len(l.ivs) && l.ivs[end].Lo <= hi+1 {
+		if l.ivs[end].Lo < lo {
+			lo = l.ivs[end].Lo
+		}
+		if l.ivs[end].Hi > hi {
+			hi = l.ivs[end].Hi
+		}
+		end++
+	}
+	if start == end {
+		// No interaction: insert at start.
+		l.ivs = append(l.ivs, I{})
+		copy(l.ivs[start+1:], l.ivs[start:])
+		l.ivs[start] = I{lo, hi}
+		return
+	}
+	l.ivs[start] = I{lo, hi}
+	l.ivs = append(l.ivs[:start+1], l.ivs[end:]...)
+}
+
+// AddList inserts every interval of other.
+func (l *List) AddList(other *List) {
+	for _, iv := range other.ivs {
+		l.Add(iv.Lo, iv.Hi)
+	}
+}
+
+// Clone returns a deep copy.
+func (l *List) Clone() *List {
+	ivs := make([]I, len(l.ivs))
+	copy(ivs, l.ivs)
+	return &List{ivs: ivs}
+}
+
+// CoarsenTo merges intervals (choosing smallest gaps first) until at most k
+// remain. Merging across a gap admits false positives — Ferrari's
+// "approximate intervals" — so the caller must track exactness separately.
+func (l *List) CoarsenTo(k int) {
+	if k < 1 {
+		k = 1
+	}
+	for len(l.ivs) > k {
+		// Find the smallest gap between neighbours.
+		best := 1
+		bestGap := l.ivs[1].Lo - l.ivs[0].Hi
+		for i := 2; i < len(l.ivs); i++ {
+			if g := l.ivs[i].Lo - l.ivs[i-1].Hi; g < bestGap {
+				bestGap = g
+				best = i
+			}
+		}
+		l.ivs[best-1].Hi = l.ivs[best].Hi
+		l.ivs = append(l.ivs[:best], l.ivs[best+1:]...)
+	}
+}
+
+// Covered returns the total number of integers covered by the list.
+func (l *List) Covered() int {
+	c := 0
+	for _, iv := range l.ivs {
+		c += int(iv.Hi-iv.Lo) + 1
+	}
+	return c
+}

@@ -1,0 +1,131 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddMergeAdjacent(t *testing.T) {
+	// The paper's example: [1,6] and [7,8] merge to [1,8].
+	var l List
+	l.Add(1, 6)
+	l.Add(7, 8)
+	if l.Len() != 1 {
+		t.Fatalf("len = %d, want 1 after adjacent merge", l.Len())
+	}
+	if iv := l.Intervals()[0]; iv.Lo != 1 || iv.Hi != 8 {
+		t.Fatalf("merged = %+v", iv)
+	}
+}
+
+func TestAddDisjoint(t *testing.T) {
+	var l List
+	l.Add(10, 12)
+	l.Add(0, 2)
+	l.Add(5, 6)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	ivs := l.Intervals()
+	if ivs[0].Lo != 0 || ivs[1].Lo != 5 || ivs[2].Lo != 10 {
+		t.Fatalf("not sorted: %+v", ivs)
+	}
+}
+
+func TestAddOverlapSpanning(t *testing.T) {
+	var l List
+	l.Add(0, 2)
+	l.Add(5, 7)
+	l.Add(10, 12)
+	l.Add(1, 11) // swallows everything
+	if l.Len() != 1 {
+		t.Fatalf("len = %d: %+v", l.Len(), l.Intervals())
+	}
+	if iv := l.Intervals()[0]; iv.Lo != 0 || iv.Hi != 12 {
+		t.Fatalf("merged = %+v", iv)
+	}
+}
+
+func TestContains(t *testing.T) {
+	var l List
+	l.Add(2, 4)
+	l.Add(8, 9)
+	for _, x := range []uint32{2, 3, 4, 8, 9} {
+		if !l.Contains(x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []uint32{0, 1, 5, 7, 10} {
+		if l.Contains(x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+}
+
+func TestAddListClone(t *testing.T) {
+	var a, b List
+	a.Add(0, 1)
+	b.Add(3, 4)
+	c := a.Clone()
+	c.AddList(&b)
+	if a.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("a=%d c=%d", a.Len(), c.Len())
+	}
+}
+
+func TestCoarsenTo(t *testing.T) {
+	var l List
+	l.Add(0, 1)
+	l.Add(10, 11)
+	l.Add(13, 14) // closest gap to [10,11]
+	l.Add(30, 31)
+	l.CoarsenTo(3)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	// The smallest gap (11→13) must have been bridged.
+	if !l.Contains(12) {
+		t.Error("coarsening should bridge the smallest gap")
+	}
+	l.CoarsenTo(1)
+	if l.Len() != 1 || !l.Contains(20) {
+		t.Error("CoarsenTo(1) must cover the whole span")
+	}
+}
+
+func TestCovered(t *testing.T) {
+	var l List
+	l.Add(0, 4)
+	l.Add(10, 10)
+	if l.Covered() != 6 {
+		t.Fatalf("Covered = %d, want 6", l.Covered())
+	}
+}
+
+func TestRandomizedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		var l List
+		naive := make(map[uint32]bool)
+		for op := 0; op < 40; op++ {
+			lo := uint32(rng.Intn(200))
+			hi := lo + uint32(rng.Intn(20))
+			l.Add(lo, hi)
+			for x := lo; x <= hi; x++ {
+				naive[x] = true
+			}
+		}
+		for x := uint32(0); x < 230; x++ {
+			if l.Contains(x) != naive[x] {
+				t.Fatalf("iter %d: Contains(%d) = %v, naive %v", iter, x, l.Contains(x), naive[x])
+			}
+		}
+		// Invariant: sorted, disjoint, non-touching.
+		ivs := l.Intervals()
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Lo <= ivs[i-1].Hi+1 {
+				t.Fatalf("intervals touch: %+v", ivs)
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package ip implements the IP label [46, 47] (§3.3): approximate
+// transitive closure via k-min-wise independent-permutation sketches.
+//
+// A random permutation π assigns every vertex a distinct value. Each
+// vertex stores the k smallest π-values of its reachable set (forward) and
+// of its reaching set (backward), both computed in one topological pass by
+// merging successor sketches. Two cuts follow:
+//
+//   - definite positive: π(t) appears in s's forward sketch — π is
+//     injective, so t really is reachable from s (likewise s in t's
+//     backward sketch);
+//   - definite negative (the §3.3 contra-positive): an element of t's
+//     sketch smaller than s's k-th minimum but absent from s's sketch
+//     witnesses Out(t) ⊄ Out(s).
+//
+// A topological-level filter adds a second cheap negative cut. Undecided
+// queries run the filter-guided DFS.
+package ip
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Options configures IP.
+type Options struct {
+	// K is the sketch size (the paper's k). Default 8.
+	K int
+	// Seed drives the random permutation.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 8
+	}
+}
+
+// Index is the IP partial index over a DAG.
+type Index struct {
+	g    *graph.Digraph
+	k    int
+	perm []uint32 // π(v)
+	// out[v*k : v*k+outLen[v]] ascending k-min sketch of the reachable set.
+	out    []uint32
+	outLen []uint8
+	in     []uint32
+	inLen  []uint8
+	level  []uint32 // forward topological level
+	rlevel []uint32 // backward topological level
+	stats  core.Stats
+}
+
+// New builds IP over a DAG.
+func New(dag *graph.Digraph, opts Options) *Index {
+	opts.defaults()
+	start := time.Now()
+	n := dag.N()
+	k := opts.K
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := make([]uint32, n)
+	for i, p := range rng.Perm(n) {
+		perm[i] = uint32(p)
+	}
+	ix := &Index{
+		g: dag, k: k, perm: perm,
+		out: make([]uint32, n*k), outLen: make([]uint8, n),
+		in: make([]uint32, n*k), inLen: make([]uint8, n),
+	}
+	topo, _ := order.Topological(dag)
+	// Forward sketches in reverse topological order.
+	buf := make([]uint32, 0, 4*k)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		buf = buf[:0]
+		buf = append(buf, perm[v])
+		for _, u := range dag.Succ(v) {
+			buf = append(buf, ix.out[int(u)*k:int(u)*k+int(ix.outLen[u])]...)
+		}
+		ix.outLen[v] = uint8(kMin(buf, ix.out[int(v)*k:int(v)*k+k]))
+	}
+	// Backward sketches in topological order.
+	for _, v := range topo {
+		buf = buf[:0]
+		buf = append(buf, perm[v])
+		for _, u := range dag.Pred(v) {
+			buf = append(buf, ix.in[int(u)*k:int(u)*k+int(ix.inLen[u])]...)
+		}
+		ix.inLen[v] = uint8(kMin(buf, ix.in[int(v)*k:int(v)*k+k]))
+	}
+	ix.level, _ = order.Levels(dag)
+	ix.rlevel, _ = order.Levels(dag.Reverse())
+	ix.stats = core.Stats{
+		Entries:   2 * n,
+		Bytes:     2*n*k*4 + 2*n + n*4 + 2*n*4,
+		BuildTime: time.Since(start),
+	}
+	return ix
+}
+
+// kMin writes the smallest min(k, distinct) values of buf into dst
+// (ascending, deduplicated) and returns how many were written.
+func kMin(buf []uint32, dst []uint32) int {
+	k := len(dst)
+	m := 0
+	for _, x := range buf {
+		// Insertion into the running ascending top-k.
+		if m == k && x >= dst[m-1] {
+			continue
+		}
+		pos := m
+		for pos > 0 && dst[pos-1] > x {
+			pos--
+		}
+		if pos > 0 && dst[pos-1] == x {
+			continue // duplicate
+		}
+		if m < k {
+			m++
+		}
+		copy(dst[pos+1:m], dst[pos:m-1])
+		dst[pos] = x
+	}
+	return m
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "IP" }
+
+// sketchContains reports whether ascending sketch s contains x.
+func sketchContains(s []uint32, x uint32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}
+
+// TryReach implements core.Partial.
+func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
+	if s == t {
+		return true, true
+	}
+	// Topological-level cuts.
+	if ix.level[s] >= ix.level[t] || ix.rlevel[t] >= ix.rlevel[s] {
+		return false, true
+	}
+	k := ix.k
+	so := ix.out[int(s)*k : int(s)*k+int(ix.outLen[s])]
+	to := ix.out[int(t)*k : int(t)*k+int(ix.outLen[t])]
+	// Definite positive: π(t) in s's forward sketch (π injective).
+	if sketchContains(so, ix.perm[t]) {
+		return true, true
+	}
+	// Negative cut: an element of t's sketch below s's horizon missing
+	// from s's sketch. When s's sketch holds fewer than k values it is the
+	// exact reachable set, so the horizon is infinite.
+	horizon := uint32(^uint32(0))
+	if int(ix.outLen[s]) == k {
+		horizon = so[len(so)-1]
+	}
+	for _, x := range to {
+		if x > horizon {
+			break
+		}
+		if !sketchContains(so, x) {
+			return false, true
+		}
+	}
+	// Dual direction.
+	si := ix.in[int(s)*k : int(s)*k+int(ix.inLen[s])]
+	ti := ix.in[int(t)*k : int(t)*k+int(ix.inLen[t])]
+	if sketchContains(ti, ix.perm[s]) {
+		return true, true
+	}
+	horizon = ^uint32(0)
+	if int(ix.inLen[t]) == k {
+		horizon = ti[len(ti)-1]
+	}
+	for _, x := range si {
+		if x > horizon {
+			break
+		}
+		if !sketchContains(ti, x) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// Reach answers Qr(s, t) exactly via filter-guided DFS.
+func (ix *Index) Reach(s, t graph.V) bool {
+	return core.GuidedDFS(ix.g, s, t, ix.TryReach)
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }

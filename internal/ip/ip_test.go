@@ -1,0 +1,132 @@
+package ip
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 4, Seed: 1})
+	})
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 2, Seed: 2})
+	})
+}
+
+func TestKOne(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 1, Seed: 3})
+	})
+}
+
+func TestKMin(t *testing.T) {
+	dst := make([]uint32, 3)
+	m := kMin([]uint32{9, 1, 5, 1, 3, 9, 2}, dst)
+	if m != 3 || dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("kMin = %v (m=%d)", dst[:m], m)
+	}
+	m = kMin([]uint32{7, 7}, dst)
+	if m != 1 || dst[0] != 7 {
+		t.Fatalf("dedup failed: %v (m=%d)", dst[:m], m)
+	}
+	m = kMin(nil, dst)
+	if m != 0 {
+		t.Fatalf("empty kMin m=%d", m)
+	}
+}
+
+func TestKMinRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(30)
+		buf := make([]uint32, n)
+		for i := range buf {
+			buf[i] = uint32(rng.Intn(15))
+		}
+		k := 1 + rng.Intn(6)
+		dst := make([]uint32, k)
+		m := kMin(buf, dst)
+		// Naive: sort unique, take first k.
+		uniq := map[uint32]bool{}
+		for _, x := range buf {
+			uniq[x] = true
+		}
+		var want []uint32
+		for x := range uniq {
+			want = append(want, x)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(want) > k {
+			want = want[:k]
+		}
+		if m != len(want) {
+			t.Fatalf("m=%d want %d (buf=%v k=%d)", m, len(want), buf, k)
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("dst=%v want %v", dst[:m], want)
+			}
+		}
+	}
+}
+
+func TestSketchesAreKMinOfReachSets(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 80, M: 240, Seed: 5})
+	ix := New(g, Options{K: 5, Seed: 6})
+	oracle := tc.NewClosure(g)
+	for v := graph.V(0); int(v) < g.N(); v++ {
+		// Collect π values of the true reachable set.
+		var vals []uint32
+		for w := graph.V(0); int(w) < g.N(); w++ {
+			if oracle.Reach(v, w) {
+				vals = append(vals, ix.perm[w])
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if len(vals) > ix.k {
+			vals = vals[:ix.k]
+		}
+		got := ix.out[int(v)*ix.k : int(v)*ix.k+int(ix.outLen[v])]
+		if len(got) != len(vals) {
+			t.Fatalf("v=%d sketch len %d want %d", v, len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("v=%d sketch %v want %v", v, got, vals)
+			}
+		}
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	g := gen.ScaleFree(300, 3, 7)
+	ix := New(g, Options{K: 6, Seed: 8})
+	oracle := tc.NewClosure(g)
+	for s := graph.V(0); int(s) < g.N(); s += 2 {
+		for tt := graph.V(0); int(tt) < g.N(); tt += 3 {
+			if oracle.Reach(s, tt) {
+				if r, dec := ix.TryReach(s, tt); dec && !r {
+					t.Fatalf("false negative at (%d,%d)", s, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 10, M: 15, Seed: 1})
+	if New(g, Options{}).Name() != "IP" {
+		t.Error("name")
+	}
+}

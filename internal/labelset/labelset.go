@@ -1,0 +1,186 @@
+// Package labelset provides the sufficient-path-label-set (SPLS) machinery
+// of the paper's §4.1: label sets as 64-bit masks, and antichain
+// collections of minimal label sets.
+//
+// The two foundations from Jin et al. [21] are encoded here:
+//
+//  1. If two s-t paths have label sets S1 ⊆ S2, then S2 is redundant — only
+//     minimal sets (SPLSs) need recording. A Collection maintains exactly
+//     that antichain under insertion.
+//  2. SPLSs compose transitively: the SPLSs of s-t paths through u are
+//     pairwise unions of s-u SPLSs and u-t SPLSs (Collection.Product).
+package labelset
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Set is a label set over a universe of at most 64 labels, as a bitmask.
+type Set uint64
+
+// Of builds a Set from individual labels.
+func Of(labels ...graph.Label) Set {
+	var s Set
+	for _, l := range labels {
+		s |= 1 << uint(l)
+	}
+	return s
+}
+
+// Has reports whether label l is in the set.
+func (s Set) Has(l graph.Label) bool { return s&(1<<uint(l)) != 0 }
+
+// With returns s ∪ {l}.
+func (s Set) With(l graph.Label) Set { return s | 1<<uint(l) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Size returns |s|, the number of distinct labels — the "distance" used by
+// the Dijkstra-like single-source GTC computation of Zou et al. (§4.1.2).
+func (s Set) Size() int { return bits.OnesCount64(uint64(s)) }
+
+// String formats the set with the graph's label names, e.g.
+// "{follows,worksFor}".
+func (s Set) String(g *graph.Digraph) string {
+	var names []string
+	for l := 0; l < 64; l++ {
+		if s.Has(graph.Label(l)) {
+			names = append(names, g.LabelName(graph.Label(l)))
+		}
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// Collection is an antichain of minimal label sets (SPLSs): no member is a
+// subset of another. The zero value is an empty collection. Collections are
+// small in practice (bounded by the width of the subset lattice actually
+// realized by paths), so linear scans beat fancier structures.
+type Collection struct {
+	sets []Set
+}
+
+// Len returns the number of minimal sets.
+func (c *Collection) Len() int { return len(c.sets) }
+
+// Sets returns the minimal sets; the slice aliases internal storage.
+func (c *Collection) Sets() []Set { return c.sets }
+
+// Add inserts s, dropping it if some existing member is a subset of s, and
+// evicting existing members that are proper supersets of s. Reports whether
+// s was actually inserted (i.e. s was not dominated).
+func (c *Collection) Add(s Set) bool {
+	if c.Dominates(s) {
+		return false
+	}
+	keep := c.sets[:0]
+	for _, t := range c.sets {
+		if !s.SubsetOf(t) {
+			keep = append(keep, t)
+		}
+	}
+	c.sets = append(keep, s)
+	return true
+}
+
+// Has reports whether s itself is currently a member of c. Worklist
+// algorithms use it to detect entries evicted by smaller sets after being
+// enqueued.
+func (c *Collection) Has(s Set) bool {
+	for _, t := range c.sets {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Dominates reports whether some member of c is a subset of s — i.e.
+// whether an s-labeled path is redundant given c.
+func (c *Collection) Dominates(s Set) bool {
+	for _, t := range c.sets {
+		if t.SubsetOf(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnySubsetOf reports whether some member of c is a subset of allowed —
+// the LCR query test "can s reach t using only labels in allowed".
+func (c *Collection) AnySubsetOf(allowed Set) bool {
+	for _, t := range c.sets {
+		if t.SubsetOf(allowed) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (c *Collection) Clone() *Collection {
+	s := make([]Set, len(c.sets))
+	copy(s, c.sets)
+	return &Collection{sets: s}
+}
+
+// Union inserts all members of other into c; reports whether c changed.
+func (c *Collection) Union(other *Collection) bool {
+	changed := false
+	for _, s := range other.sets {
+		if c.Add(s) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Product inserts into c all pairwise unions a ∪ b for a in left and b in
+// right — the SPLS transitivity rule. Reports whether c changed.
+func (c *Collection) Product(left, right *Collection) bool {
+	changed := false
+	for _, a := range left.sets {
+		for _, b := range right.sets {
+			if c.Add(a.Union(b)) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Equal reports whether two collections contain the same sets.
+func (c *Collection) Equal(other *Collection) bool {
+	if len(c.sets) != len(other.sets) {
+		return false
+	}
+	a := append([]Set(nil), c.sets...)
+	b := append([]Set(nil), other.sets...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAntichain verifies the antichain invariant; used by property tests.
+func (c *Collection) IsAntichain() bool {
+	for i, a := range c.sets {
+		for j, b := range c.sets {
+			if i != j && a.SubsetOf(b) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package labelset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestSetOps(t *testing.T) {
+	s := Of(0, 2)
+	if !s.Has(0) || s.Has(1) || !s.Has(2) {
+		t.Error("Of/Has wrong")
+	}
+	if s.Size() != 2 {
+		t.Errorf("Size = %d", s.Size())
+	}
+	s2 := s.With(1)
+	if !s2.Has(1) || s.Has(1) {
+		t.Error("With must not mutate receiver")
+	}
+	if !s.SubsetOf(s2) || s2.SubsetOf(s) {
+		t.Error("SubsetOf wrong")
+	}
+	if s.Union(Of(5)) != Of(0, 2, 5) {
+		t.Error("Union wrong")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	g := graph.Fig1Labeled()
+	s := Of(1, 2) // follows, worksFor
+	if got := s.String(g); got != "{follows,worksFor}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCollectionAddDominance(t *testing.T) {
+	var c Collection
+	if !c.Add(Of(0, 1)) {
+		t.Fatal("first add failed")
+	}
+	// Superset is redundant (foundation 1 of Jin et al.).
+	if c.Add(Of(0, 1, 2)) {
+		t.Fatal("superset accepted")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Subset evicts the superset.
+	if !c.Add(Of(0)) {
+		t.Fatal("subset rejected")
+	}
+	if c.Len() != 1 || c.Sets()[0] != Of(0) {
+		t.Fatalf("eviction failed: %v", c.Sets())
+	}
+	// Incomparable set coexists.
+	if !c.Add(Of(1, 2)) {
+		t.Fatal("incomparable rejected")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Equal set is dominated.
+	if c.Add(Of(1, 2)) {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestCollectionHas(t *testing.T) {
+	var c Collection
+	c.Add(Of(0, 1))
+	if !c.Has(Of(0, 1)) || c.Has(Of(0)) {
+		t.Error("Has wrong")
+	}
+	c.Add(Of(0)) // evicts {0,1}
+	if c.Has(Of(0, 1)) || !c.Has(Of(0)) {
+		t.Error("Has after eviction wrong")
+	}
+}
+
+func TestCollectionAnySubsetOf(t *testing.T) {
+	var c Collection
+	c.Add(Of(0, 2))
+	c.Add(Of(1))
+	if !c.AnySubsetOf(Of(1, 3)) {
+		t.Error("member {1} subset of {1,3}")
+	}
+	if !c.AnySubsetOf(Of(0, 2)) {
+		t.Error("member {0,2} subset of itself")
+	}
+	if c.AnySubsetOf(Of(0, 3)) {
+		t.Error("no member inside {0,3}")
+	}
+	if c.AnySubsetOf(0) {
+		t.Error("no member inside empty set")
+	}
+	var empty Collection
+	if empty.AnySubsetOf(Of(0, 1, 2)) {
+		t.Error("empty collection matches nothing")
+	}
+}
+
+func TestCollectionProductTransitivity(t *testing.T) {
+	// The paper's §4.1 example: SPLS(A→L) = {follows}, SPLS(L→M) =
+	// {worksFor} compose to SPLS(A→M) = {follows, worksFor}.
+	var aToL, lToM, aToM Collection
+	aToL.Add(Of(1))
+	lToM.Add(Of(2))
+	aToM.Product(&aToL, &lToM)
+	if aToM.Len() != 1 || aToM.Sets()[0] != Of(1, 2) {
+		t.Fatalf("product = %v, want [{1,2}]", aToM.Sets())
+	}
+}
+
+func TestCollectionUnionClone(t *testing.T) {
+	var a, b Collection
+	a.Add(Of(0))
+	b.Add(Of(1))
+	b.Add(Of(0, 1)) // dominated within b? {0,1} superset of {1} -> rejected
+	if b.Len() != 1 {
+		t.Fatalf("b.Len = %d", b.Len())
+	}
+	cl := a.Clone()
+	if !a.Union(&b) {
+		t.Fatal("union reported no change")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("a.Len = %d", a.Len())
+	}
+	if cl.Len() != 1 {
+		t.Fatal("clone mutated")
+	}
+	if a.Union(&b) {
+		t.Fatal("idempotent union reported change")
+	}
+}
+
+func TestCollectionEqual(t *testing.T) {
+	var a, b Collection
+	a.Add(Of(0))
+	a.Add(Of(1, 2))
+	b.Add(Of(1, 2))
+	b.Add(Of(0))
+	if !a.Equal(&b) {
+		t.Error("order must not matter")
+	}
+	b.Add(Of(3))
+	if a.Equal(&b) {
+		t.Error("different collections equal")
+	}
+}
+
+func TestAntichainInvariantProperty(t *testing.T) {
+	// Property: any sequence of Adds leaves an antichain that dominates
+	// every added set.
+	f := func(raw []uint16) bool {
+		var c Collection
+		for _, r := range raw {
+			c.Add(Set(r & 0xFF))
+		}
+		if !c.IsAntichain() {
+			return false
+		}
+		for _, r := range raw {
+			if !c.Dominates(Set(r & 0xFF)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProductAntichainProperty(t *testing.T) {
+	f := func(ls, rs []uint8) bool {
+		var l, r, p Collection
+		for _, x := range ls {
+			l.Add(Set(x))
+		}
+		for _, x := range rs {
+			r.Add(Set(x))
+		}
+		p.Product(&l, &r)
+		if !p.IsAntichain() {
+			return false
+		}
+		// Every pairwise union must be dominated by the product.
+		for _, a := range l.Sets() {
+			for _, b := range r.Sets() {
+				if !p.Dominates(a.Union(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

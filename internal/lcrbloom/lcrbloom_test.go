@@ -1,0 +1,90 @@
+package lcrbloom
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/labelset"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex {
+		return New(g, Options{Bits: 128, Seed: 1})
+	})
+}
+
+func TestTinyFiltersStillExact(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex {
+		return New(g, Options{Bits: 64, Seed: 2})
+	})
+}
+
+func TestNoFalseNegativesOnLookup(t *testing.T) {
+	// The defining property (§5): a decided lookup answer is never a
+	// denial of a real constrained path.
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 120, M: 480, Seed: 3}), 6, 0.7, 4)
+	ix := New(g, Options{Bits: 128, Seed: 5})
+	oracle := tc.NewGTC(g)
+	rng := rand.New(rand.NewSource(6))
+	for q := 0; q < 5000; q++ {
+		s := graph.V(rng.Intn(g.N()))
+		tt := graph.V(rng.Intn(g.N()))
+		mask := labelset.Set(rng.Int63n(1 << 6))
+		want := s == tt || oracle.ReachLC(s, tt, mask)
+		if !want {
+			continue
+		}
+		if r, dec := ix.TryReachLC(s, tt, mask); dec && !r {
+			t.Fatalf("false negative at (%d,%d,%b)", s, tt, mask)
+		}
+	}
+}
+
+func TestNegativeQueriesOftenDecided(t *testing.T) {
+	// On sparse label masks most negative queries should terminate on
+	// lookups alone — the point of the prototype.
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 300, M: 900, Seed: 7}), 8, 1.0, 8)
+	ix := New(g, Options{Bits: 256, Seed: 9})
+	oracle := tc.NewGTC(g)
+	rng := rand.New(rand.NewSource(10))
+	decided, negatives := 0, 0
+	for q := 0; q < 3000; q++ {
+		s := graph.V(rng.Intn(g.N()))
+		tt := graph.V(rng.Intn(g.N()))
+		if s == tt {
+			continue
+		}
+		mask := labelset.Of(graph.Label(rng.Intn(8)), graph.Label(rng.Intn(8)))
+		if oracle.ReachLC(s, tt, mask) {
+			continue
+		}
+		negatives++
+		if _, dec := ix.TryReachLC(s, tt, mask); dec {
+			decided++
+		}
+	}
+	if negatives == 0 {
+		t.Fatal("workload produced no negative queries")
+	}
+	if decided*2 < negatives {
+		t.Errorf("only %d/%d negative queries decided by lookups", decided, negatives)
+	}
+}
+
+func TestStatsAndName(t *testing.T) {
+	g := graph.Fig1Labeled()
+	ix := New(g, Options{})
+	if ix.Name() != "LCR-Bloom" {
+		t.Error("name")
+	}
+	st := ix.Stats()
+	// |L|+1 = 4 filter families.
+	if st.Entries != 2*g.N()*4 {
+		t.Errorf("entries = %d", st.Entries)
+	}
+}

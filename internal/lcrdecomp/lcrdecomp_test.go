@@ -1,0 +1,39 @@
+package lcrdecomp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/lcrtree"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex { return New(g) })
+}
+
+func TestLighterThanClosure(t *testing.T) {
+	// The decomposition index defers link chaining to query time; its
+	// footprint must undercut the precomputed link closure.
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 60, M: 240, Seed: 1}), 4, 0.7, 2)
+	d := New(g)
+	full := lcrtree.New(g)
+	if d.Stats().Bytes >= full.Stats().Bytes {
+		t.Errorf("decomp bytes %d >= closure bytes %d", d.Stats().Bytes, full.Stats().Bytes)
+	}
+	if d.Name() != "Chen-Decomp" {
+		t.Error("name")
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	b := graph.NewLabeledBuilder(4)
+	b.ReserveLabels(2)
+	g := b.MustFreeze()
+	ix := New(g)
+	if ix.ReachLC(0, 1, 3) || !ix.ReachLC(2, 2, 0) {
+		t.Error("edgeless reachability wrong")
+	}
+}

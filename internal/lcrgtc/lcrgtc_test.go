@@ -1,0 +1,117 @@
+package lcrgtc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/labelset"
+	"repro/internal/tc"
+	"repro/internal/traversal"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex { return New(g) })
+}
+
+func TestFig1DijkstraExample(t *testing.T) {
+	// §4.1.2: from L, path p3 (worksFor only) dominates p4 (worksFor +
+	// friendOf); the single-source GTC of L must store {worksFor} for H.
+	g := graph.Fig1Labeled()
+	ix := New(g)
+	id := func(name string) graph.V {
+		for v := 0; v < g.N(); v++ {
+			if g.VertexName(graph.V(v)) == name {
+				return graph.V(v)
+			}
+		}
+		t.Fatalf("no vertex %q", name)
+		return 0
+	}
+	worksFor := graph.Label(2)
+	lh := ix.SPLS(id("L"), id("H"))
+	if lh == nil || !lh.Has(labelset.Of(worksFor)) {
+		t.Fatalf("SPLS(L,H) = %+v, want to contain {worksFor}", lh)
+	}
+	// p4's label set must not appear (dominated).
+	if lh.Has(labelset.Of(worksFor, graph.Label(0))) {
+		t.Error("dominated set {worksFor,friendOf} was materialized")
+	}
+}
+
+func TestSPLSAntichains(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 40, M: 160, Seed: 1}), 5, 0.5, 2)
+	ix := New(g)
+	for s := 0; s < g.N(); s++ {
+		for tt := 0; tt < g.N(); tt++ {
+			if c := ix.SPLS(graph.V(s), graph.V(tt)); c != nil && !c.IsAntichain() {
+				t.Fatalf("SPLS(%d,%d) not an antichain", s, tt)
+			}
+		}
+	}
+}
+
+func TestDynamicUpdates(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 30, M: 90, Seed: 3}), 4, 0, 4)
+	ix := New(g)
+	rng := rand.New(rand.NewSource(5))
+	cur := graph.Mutate(g)
+	for op := 0; op < 10; op++ {
+		u := graph.V(rng.Intn(g.N()))
+		v := graph.V(rng.Intn(g.N()))
+		l := graph.Label(rng.Intn(g.Labels()))
+		if u == v {
+			continue
+		}
+		if op%2 == 0 {
+			cur.AddLabeledEdge(u, v, l)
+			if err := ix.InsertEdge(u, v, l); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			e := graph.Edge{From: u, To: v, Label: l}
+			removed := cur.RemoveEdge(e)
+			if err := ix.DeleteEdge(u, v, l); err != nil {
+				t.Fatal(err)
+			}
+			_ = removed
+		}
+		snapshot := cur.MustFreeze()
+		for q := 0; q < 60; q++ {
+			s := graph.V(rng.Intn(g.N()))
+			tt := graph.V(rng.Intn(g.N()))
+			mask := uint64(rng.Int63n(1 << uint(g.Labels())))
+			want := traversal.LabelConstrainedBFS(snapshot, s, tt, mask)
+			if got := ix.ReachLC(s, tt, labelset.Set(mask)); got != want {
+				t.Fatalf("op %d: ReachLC(%d,%d,%b) = %v, want %v", op, s, tt, mask, got, want)
+			}
+		}
+		cur = graph.Mutate(snapshot)
+	}
+}
+
+func TestEntriesMatchOracle(t *testing.T) {
+	g := gen.Zipf(gen.RandomDAG(gen.Config{N: 30, M: 90, Seed: 6}), 3, 0, 7)
+	ix := New(g)
+	oracle := tc.NewGTC(g)
+	for s := 0; s < g.N(); s++ {
+		for tt := 0; tt < g.N(); tt++ {
+			if s == tt {
+				continue
+			}
+			a, b := ix.SPLS(graph.V(s), graph.V(tt)), oracle.SPLS(graph.V(s), graph.V(tt))
+			if (a == nil) != (b == nil) {
+				t.Fatalf("(%d,%d): presence mismatch", s, tt)
+			}
+			if a != nil && !a.Equal(b) {
+				t.Fatalf("(%d,%d): %v vs %v", s, tt, a.Sets(), b.Sets())
+			}
+		}
+	}
+	if ix.Name() != "Zou-GTC" {
+		t.Error("name")
+	}
+}

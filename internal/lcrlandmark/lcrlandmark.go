@@ -1,0 +1,182 @@
+// Package lcrlandmark implements the landmark index of Valstar, Fletcher
+// and Yoshida [44] (§4.1.2): a partial index for alternation (LCR)
+// queries. The top-k vertices by degree become landmarks; each landmark
+// stores its single-source GTC (minimal SPLSs to every reachable vertex).
+//
+// Qr(s, t, A) runs a label-constrained BFS from s. When the traversal hits
+// a landmark v, the landmark's GTC is consulted: an SPLS(v → t) inside A
+// answers true immediately; otherwise everything reachable from v under A
+// is already covered by the landmark (its GTC is complete), so v is not
+// expanded — the paper's pruning rule. As §5 notes, this partial index has
+// no false positives, so a negative lookup cannot stop early; the BFS must
+// exhaust.
+package lcrlandmark
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/labelset"
+	"repro/internal/order"
+)
+
+// Options configures the landmark index.
+type Options struct {
+	// K is the number of landmark vertices. Default 16.
+	K int
+	// Parallel computes the per-landmark single-source GTCs concurrently
+	// (they are independent) — the §5 "parallel computation of indexes"
+	// direction applied to the one index where it is embarrassingly easy.
+	Parallel bool
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 16
+	}
+}
+
+// Index is the landmark partial LCR index.
+type Index struct {
+	g *graph.Digraph
+	// landmark[v] = index into gtc, or -1.
+	landmark []int32
+	// gtc[i] = single-source GTC of landmark i: spls[t] (nil if
+	// unreachable).
+	gtc   [][]*labelset.Collection
+	stats core.Stats
+}
+
+// New builds the landmark index over a labeled digraph.
+func New(g *graph.Digraph, opts Options) *Index {
+	opts.defaults()
+	start := time.Now()
+	n := g.N()
+	k := opts.K
+	if k > n {
+		k = n
+	}
+	ix := &Index{g: g, landmark: make([]int32, n)}
+	for i := range ix.landmark {
+		ix.landmark[i] = -1
+	}
+	lms := order.ByDegreeDesc(g)[:k]
+	ix.gtc = make([][]*labelset.Collection, k)
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		for i, lm := range lms {
+			ix.landmark[lm] = int32(i)
+			wg.Add(1)
+			go func(i int, lm graph.V) {
+				defer wg.Done()
+				ix.gtc[i] = singleSourceGTC(g, lm)
+			}(i, lm)
+		}
+		wg.Wait()
+	} else {
+		for i, lm := range lms {
+			ix.landmark[lm] = int32(i)
+			ix.gtc[i] = singleSourceGTC(g, lm)
+		}
+	}
+	entries := 0
+	for i := range ix.gtc {
+		for _, c := range ix.gtc[i] {
+			if c != nil {
+				entries += c.Len()
+			}
+		}
+	}
+	ix.stats = core.Stats{Entries: entries, Bytes: entries*8 + n*4, BuildTime: time.Since(start)}
+	return ix
+}
+
+// singleSourceGTC computes the minimal SPLSs from s to every vertex.
+func singleSourceGTC(g *graph.Digraph, s graph.V) []*labelset.Collection {
+	n := g.N()
+	at := make([]*labelset.Collection, n)
+	at[s] = &labelset.Collection{}
+	at[s].Add(0)
+	type item struct {
+		v   graph.V
+		set labelset.Set
+	}
+	queue := []item{{s, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if !at[it.v].Has(it.set) {
+			continue
+		}
+		succ := g.Succ(it.v)
+		labs := g.SuccLabels(it.v)
+		for i, w := range succ {
+			ns := it.set.With(labs[i])
+			if at[w] == nil {
+				at[w] = &labelset.Collection{}
+			}
+			if at[w].Add(ns) {
+				queue = append(queue, item{w, ns})
+			}
+		}
+	}
+	at[s] = nil // self handled by the query's s == t check
+	return at
+}
+
+// Name implements core.LCRIndex.
+func (ix *Index) Name() string { return "Landmark" }
+
+// ReachLC answers the alternation query by landmark-accelerated BFS.
+func (ix *Index) ReachLC(s, t graph.V, allowed labelset.Set) bool {
+	if s == t {
+		return true
+	}
+	visited := bitset.New(ix.g.N())
+	visited.Set(int(s))
+	queue := []graph.V{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if li := ix.landmark[v]; li >= 0 {
+			// Landmark hit: its GTC decides everything reachable from v.
+			if c := ix.gtc[li][t]; c != nil {
+				// The SPLS from s to v is within `allowed` by construction
+				// of the traversal; combine with the landmark's SPLSs.
+				for _, set := range c.Sets() {
+					if set.SubsetOf(allowed) {
+						return true
+					}
+				}
+			}
+			// The landmark's GTC is exhaustive: any allowed v→t path would
+			// have produced an SPLS inside `allowed`. Prune v entirely —
+			// and when v is the source itself, the whole query is decided.
+			if v == s {
+				return false
+			}
+			continue
+		}
+		succ := ix.g.Succ(v)
+		labs := ix.g.SuccLabels(v)
+		for i, w := range succ {
+			if !allowed.Has(labs[i]) {
+				continue
+			}
+			if w == t {
+				return true
+			}
+			if !visited.Test(int(w)) {
+				visited.Set(int(w))
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// Stats implements core.LCRIndex.
+func (ix *Index) Stats() core.Stats { return ix.stats }

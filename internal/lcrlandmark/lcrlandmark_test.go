@@ -1,0 +1,55 @@
+package lcrlandmark
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex {
+		return New(g, Options{K: 8})
+	})
+}
+
+func TestAllVerticesLandmarks(t *testing.T) {
+	// k >= n degenerates into the full GTC: still exact.
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex {
+		return New(g, Options{K: 1 << 20})
+	})
+}
+
+func TestSingleLandmark(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex {
+		return New(g, Options{K: 1})
+	})
+}
+
+func TestParallelBuildEquivalent(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 100, M: 400, Seed: 4}), 5, 0.6, 5)
+	seq := New(g, Options{K: 16})
+	par := New(g, Options{K: 16, Parallel: true})
+	if seq.Stats().Entries != par.Stats().Entries {
+		t.Fatalf("parallel build diverged: %d vs %d entries",
+			seq.Stats().Entries, par.Stats().Entries)
+	}
+	// And it stays exact.
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex {
+		return New(g, Options{K: 8, Parallel: true})
+	})
+}
+
+func TestMoreLandmarksBiggerIndex(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 80, M: 320, Seed: 1}), 4, 0.7, 2)
+	small := New(g, Options{K: 2})
+	big := New(g, Options{K: 32})
+	if big.Stats().Entries < small.Stats().Entries {
+		t.Errorf("k=32 entries %d < k=2 entries %d", big.Stats().Entries, small.Stats().Entries)
+	}
+	if small.Name() != "Landmark" {
+		t.Error("name")
+	}
+}

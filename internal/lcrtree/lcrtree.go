@@ -1,0 +1,213 @@
+// Package lcrtree implements the tree-based LCR index of Jin et al. [21]
+// (§4.1.1): a spanning-forest interval labeling enriched with SPLSs plus a
+// partial generalized transitive closure over the non-tree edges.
+//
+// Both published optimizations are used:
+//
+//  1. interval labeling finds tree successors/predecessors in O(1), and
+//  2. the SPLS of any downward tree path s → t is computed by
+//     *subtracting* per-label occurrence counts of the root→s path from
+//     the root→t path (each vertex stores the label histogram of its
+//     root path, so the tree-path label set needs no traversal).
+//
+// Any s-t path decomposes into downward tree runs joined by non-tree
+// edges, so the partial GTC is a closure over the non-tree edges ("links"):
+// D[i][j] holds the minimal label sets of paths that start with link i and
+// end with link j. Qr(s, t, A) then checks the pure tree case and, for
+// every link pair (i, j) with tail(i) in s's subtree and t in head(j)'s
+// subtree, whether treeSPLS(s→tail(i)) ∪ D[i][j] ∪ treeSPLS(head(j)→t) ⊆ A.
+package lcrtree
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/labelset"
+	"repro/internal/order"
+)
+
+// Index is the tree-based complete LCR index.
+type Index struct {
+	po *order.PostOrder
+	// rootSet[v] = label set of the tree path root→v (the occurrence
+	// histogram collapsed to a set plus counts for the subtraction trick).
+	counts [][]uint16 // counts[v][l]
+	labels int
+	// Links: non-tree labeled edges.
+	tails, heads []graph.V
+	linkLab      []graph.Label
+	// d[i*t+j] = minimal label sets of link-i..link-j paths (inclusive).
+	d     []*labelset.Collection
+	stats core.Stats
+}
+
+// New builds the index over a labeled digraph (the spanning forest ignores
+// labels; cycles simply yield more non-tree links).
+func New(g *graph.Digraph) *Index {
+	start := time.Now()
+	n := g.N()
+	L := g.Labels()
+	po := order.DFSForest(g, order.Sources(g), nil)
+	ix := &Index{po: po, labels: L, counts: make([][]uint16, n)}
+
+	// Tree edges: (Parent[v], v). Root-path histograms top-down. The edge
+	// label of the tree edge into v must be recovered: pick any edge
+	// (Parent[v], l, v); if several labels parallel the tree edge, the
+	// one with the smallest id is "the" tree edge and the rest are links.
+	treeLab := make([]graph.Label, n)
+	hasTree := make([]bool, n)
+	g.Edges(func(e graph.Edge) bool {
+		if po.Parent[e.To] == e.From && e.From != e.To && !hasTree[e.To] {
+			hasTree[e.To] = true
+			treeLab[e.To] = e.Label
+			return true
+		}
+		return true
+	})
+	g.Edges(func(e graph.Edge) bool {
+		if po.Parent[e.To] == e.From && hasTree[e.To] && treeLab[e.To] == e.Label {
+			// The designated tree edge (first with this label wins; a
+			// duplicate (from,to,label) cannot exist after dedup).
+			return true
+		}
+		ix.tails = append(ix.tails, e.From)
+		ix.heads = append(ix.heads, e.To)
+		ix.linkLab = append(ix.linkLab, e.Label)
+		return true
+	})
+
+	// Root-path label counts, top-down in order of increasing depth: use
+	// the post-order structure — children finish before parents, so walk
+	// vertices by repeatedly resolving parents memoized.
+	var fill func(v graph.V)
+	fill = func(v graph.V) {
+		if ix.counts[v] != nil {
+			return
+		}
+		p := po.Parent[v]
+		if p == v {
+			ix.counts[v] = make([]uint16, L)
+			return
+		}
+		fill(p)
+		row := make([]uint16, L)
+		copy(row, ix.counts[p])
+		if hasTree[v] {
+			row[treeLab[v]]++
+		}
+		ix.counts[v] = row
+	}
+	for v := 0; v < n; v++ {
+		fill(graph.V(v))
+	}
+
+	// Link closure D by worklist: base D[i][j] for the direct chains and
+	// D[i][i] = {label(i)}.
+	t := len(ix.tails)
+	ix.d = make([]*labelset.Collection, t*t)
+	type cell struct{ i, j int }
+	var work []cell
+	add := func(i, j int, s labelset.Set) {
+		c := ix.d[i*t+j]
+		if c == nil {
+			c = &labelset.Collection{}
+			ix.d[i*t+j] = c
+		}
+		if c.Add(s) {
+			work = append(work, cell{i, j})
+		}
+	}
+	for i := 0; i < t; i++ {
+		add(i, i, labelset.Of(ix.linkLab[i]))
+	}
+	// chain[i][j]: head(i) tree-reaches tail(j); its tree SPLS bridges.
+	bridge := make([]labelset.Set, t*t)
+	canChain := make([]bool, t*t)
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			if ix.po.Contains(ix.heads[i], ix.tails[j]) {
+				canChain[i*t+j] = true
+				bridge[i*t+j] = ix.treeSPLS(ix.heads[i], ix.tails[j])
+			}
+		}
+	}
+	for wi := 0; wi < len(work); wi++ {
+		c := work[wi]
+		// Extend on the right: ... end with link c.j, bridge to link k.
+		for _, s := range ix.d[c.i*t+c.j].Sets() {
+			for k := 0; k < t; k++ {
+				if canChain[c.j*t+k] {
+					add(c.i, k, s.Union(bridge[c.j*t+k]).With(ix.linkLab[k]))
+				}
+			}
+		}
+	}
+	entries := n
+	for _, c := range ix.d {
+		if c != nil {
+			entries += c.Len()
+		}
+	}
+	ix.stats = core.Stats{Entries: entries, Bytes: entries*8 + n*L*2, BuildTime: time.Since(start)}
+	return ix
+}
+
+// treeSPLS returns the label set of the downward tree path s → t
+// (requires t in subtree(s)) via the histogram subtraction.
+func (ix *Index) treeSPLS(s, t graph.V) labelset.Set {
+	var set labelset.Set
+	cs, ct := ix.counts[s], ix.counts[t]
+	for l := 0; l < ix.labels; l++ {
+		if ct[l] > cs[l] {
+			set = set.With(graph.Label(l))
+		}
+	}
+	return set
+}
+
+// Name implements core.LCRIndex.
+func (ix *Index) Name() string { return "Jin-Tree" }
+
+// ReachLC answers the alternation query.
+func (ix *Index) ReachLC(s, t graph.V, allowed labelset.Set) bool {
+	if s == t {
+		return true
+	}
+	if ix.po.Contains(s, t) && ix.treeSPLS(s, t).SubsetOf(allowed) {
+		return true
+	}
+	tn := len(ix.tails)
+	for i := 0; i < tn; i++ {
+		if !ix.po.Contains(s, ix.tails[i]) {
+			continue
+		}
+		pre := ix.treeSPLS(s, ix.tails[i])
+		if !pre.SubsetOf(allowed) {
+			continue
+		}
+		for j := 0; j < tn; j++ {
+			c := ix.d[i*tn+j]
+			if c == nil || !ix.po.Contains(ix.heads[j], t) {
+				continue
+			}
+			post := ix.treeSPLS(ix.heads[j], t)
+			if !post.SubsetOf(allowed) {
+				continue
+			}
+			for _, mid := range c.Sets() {
+				if pre.Union(mid).Union(post).SubsetOf(allowed) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Stats implements core.LCRIndex.
+func (ix *Index) Stats() core.Stats { return ix.stats }
+
+// Links reports the number of non-tree edges — the quadratic closure
+// parameter.
+func (ix *Index) Links() int { return len(ix.tails) }

@@ -1,0 +1,64 @@
+package lcrtree
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/labelset"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex { return New(g) })
+}
+
+func TestTreeSPLSDifferenceTrick(t *testing.T) {
+	// Chain root -> a -> b with labels l0, l1: SPLS(a,b) must be {l1}
+	// (subtracting the root->a histogram from root->b's).
+	b := graph.NewLabeledBuilder(3)
+	b.AddLabeledEdge(0, 1, 0)
+	b.AddLabeledEdge(1, 2, 1)
+	g := b.MustFreeze()
+	ix := New(g)
+	if got := ix.treeSPLS(1, 2); got != labelset.Of(1) {
+		t.Errorf("treeSPLS(1,2) = %b, want {1}", got)
+	}
+	if got := ix.treeSPLS(0, 2); got != labelset.Of(0, 1) {
+		t.Errorf("treeSPLS(0,2) = %b", got)
+	}
+	if got := ix.treeSPLS(0, 0); got != 0 {
+		t.Errorf("treeSPLS(0,0) = %b, want empty", got)
+	}
+}
+
+func TestPureTreeNoLinks(t *testing.T) {
+	g := gen.UniformLabels(gen.TreePlus(100, 0, 1), 4, 2)
+	ix := New(g)
+	if ix.Links() != 0 {
+		t.Errorf("pure tree has %d links", ix.Links())
+	}
+	if ix.Name() != "Jin-Tree" {
+		t.Error("name")
+	}
+}
+
+func TestParallelLabeledEdges(t *testing.T) {
+	// Two labels on the same (u, v): one becomes the tree edge, the other
+	// must become a link so both label sets remain available.
+	b := graph.NewLabeledBuilder(2)
+	b.AddLabeledEdge(0, 1, 0)
+	b.AddLabeledEdge(0, 1, 1)
+	g := b.MustFreeze()
+	ix := New(g)
+	if ix.Links() != 1 {
+		t.Fatalf("links = %d, want 1", ix.Links())
+	}
+	if !ix.ReachLC(0, 1, labelset.Of(0)) || !ix.ReachLC(0, 1, labelset.Of(1)) {
+		t.Error("both single-label paths must be found")
+	}
+	if ix.ReachLC(1, 0, labelset.Of(0, 1)) {
+		t.Error("false positive on reverse")
+	}
+}

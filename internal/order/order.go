@@ -1,0 +1,272 @@
+// Package order provides vertex orderings and numberings used by the index
+// families: Kahn topological sort and topological levels (TFL, Feline,
+// PReaCH, O'Reach), degree orders (DL, PLL, P2H+, landmark selection),
+// random orders (GRAIL's random spanning trees), and DFS pre/post interval
+// numberings (the tree-cover family, BFL, PReaCH).
+package order
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Topological returns a topological order of the DAG g (vertices before
+// their successors) and reports false if g has a cycle.
+func Topological(g *graph.Digraph) ([]graph.V, bool) {
+	n := g.N()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Succ(graph.V(v)) {
+			indeg[w]++
+		}
+	}
+	queue := make([]graph.V, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, graph.V(v))
+		}
+	}
+	out := make([]graph.V, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		for _, w := range g.Succ(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out, len(out) == n
+}
+
+// IsDAG reports whether g is acyclic.
+func IsDAG(g *graph.Digraph) bool {
+	_, ok := Topological(g)
+	return ok
+}
+
+// Rank inverts an order: Rank(o)[v] = position of v in o.
+func Rank(o []graph.V) []uint32 {
+	r := make([]uint32, len(o))
+	for i, v := range o {
+		r[v] = uint32(i)
+	}
+	return r
+}
+
+// Levels returns the topological level of each vertex of a DAG: sources are
+// level 0 and level(v) = 1 + max level over predecessors. The second return
+// is the number of levels. Used as a cheap negative filter: if
+// level(s) >= level(t) and s != t then t is unreachable from s... only when
+// levels are computed forward; callers use it in that direction.
+func Levels(g *graph.Digraph) ([]uint32, int) {
+	topo, _ := Topological(g)
+	lev := make([]uint32, g.N())
+	max := uint32(0)
+	for _, v := range topo {
+		for _, w := range g.Succ(v) {
+			if lev[v]+1 > lev[w] {
+				lev[w] = lev[v] + 1
+			}
+		}
+		if lev[v] > max {
+			max = lev[v]
+		}
+	}
+	return lev, int(max) + 1
+}
+
+// ByDegreeDesc returns the vertices sorted by total degree, highest first,
+// ties broken by vertex id. This is the total order used by DL/PLL/P2H+.
+func ByDegreeDesc(g *graph.Digraph) []graph.V {
+	vs := make([]graph.V, g.N())
+	for i := range vs {
+		vs[i] = graph.V(i)
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		di, dj := g.Degree(vs[i]), g.Degree(vs[j])
+		if di != dj {
+			return di > dj
+		}
+		return vs[i] < vs[j]
+	})
+	return vs
+}
+
+// ByDegreeProductDesc orders by in-degree x out-degree (descending), the
+// classic TOL/landmark ranking that prefers vertices lying on many paths.
+func ByDegreeProductDesc(g *graph.Digraph) []graph.V {
+	vs := make([]graph.V, g.N())
+	for i := range vs {
+		vs[i] = graph.V(i)
+	}
+	key := func(v graph.V) int { return (g.InDegree(v) + 1) * (g.OutDegree(v) + 1) }
+	sort.Slice(vs, func(i, j int) bool {
+		ki, kj := key(vs[i]), key(vs[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return vs[i] < vs[j]
+	})
+	return vs
+}
+
+// Random returns a uniformly random permutation of the vertices.
+func Random(n int, rng *rand.Rand) []graph.V {
+	vs := make([]graph.V, n)
+	for i := range vs {
+		vs[i] = graph.V(i)
+	}
+	rng.Shuffle(n, func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+	return vs
+}
+
+// PostOrder holds DFS interval numbering of a spanning forest: for each
+// vertex, Post[v] is its post-order number and Min[v] is the smallest
+// post-order number in its subtree, so the subtree of v is exactly the
+// vertices with post number in [Min[v], Post[v]]. Parent[v] is the spanning
+// forest parent (self for roots). This is the §3.1 interval labeling for
+// trees.
+type PostOrder struct {
+	Post   []uint32
+	Min    []uint32
+	Parent []graph.V
+}
+
+// Contains reports whether t lies in the subtree of s.
+func (p *PostOrder) Contains(s, t graph.V) bool {
+	return p.Min[s] <= p.Post[t] && p.Post[t] <= p.Post[s]
+}
+
+// DFSForest computes a spanning forest of the DAG g by depth-first search
+// and its post-order interval numbering. Roots are tried in the given
+// order; children are visited in the order their edges appear, optionally
+// shuffled by rng (GRAIL's randomized spanning trees). The traversal is
+// iterative.
+func DFSForest(g *graph.Digraph, roots []graph.V, rng *rand.Rand) *PostOrder {
+	n := g.N()
+	p := &PostOrder{
+		Post:   make([]uint32, n),
+		Min:    make([]uint32, n),
+		Parent: make([]graph.V, n),
+	}
+	visited := make([]bool, n)
+	var counter uint32
+
+	type frame struct {
+		v    graph.V
+		kids []graph.V
+		ki   int
+		min  uint32
+	}
+	var stack []frame
+
+	push := func(v graph.V, parent graph.V) {
+		visited[v] = true
+		p.Parent[v] = parent
+		kids := g.Succ(v)
+		if rng != nil && len(kids) > 1 {
+			shuffled := make([]graph.V, len(kids))
+			copy(shuffled, kids)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			kids = shuffled
+		}
+		stack = append(stack, frame{v: v, kids: kids, min: ^uint32(0)})
+	}
+
+	for _, root := range roots {
+		if visited[root] {
+			continue
+		}
+		push(root, root)
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ki < len(f.kids) {
+				w := f.kids[f.ki]
+				f.ki++
+				if !visited[w] {
+					push(w, f.v)
+				}
+				continue
+			}
+			// finish f.v
+			post := counter
+			counter++
+			min := f.min
+			if min == ^uint32(0) {
+				min = post
+			}
+			p.Post[f.v] = post
+			p.Min[f.v] = min
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				pf := &stack[len(stack)-1]
+				if min < pf.min {
+					pf.min = min
+				}
+			}
+		}
+	}
+	// Any vertex not reached from the given roots becomes its own root.
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			push(graph.V(v), graph.V(v))
+			for len(stack) > 0 {
+				f := &stack[len(stack)-1]
+				if f.ki < len(f.kids) {
+					w := f.kids[f.ki]
+					f.ki++
+					if !visited[w] {
+						push(w, f.v)
+					}
+					continue
+				}
+				post := counter
+				counter++
+				min := f.min
+				if min == ^uint32(0) {
+					min = post
+				}
+				p.Post[f.v] = post
+				p.Min[f.v] = min
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					pf := &stack[len(stack)-1]
+					if min < pf.min {
+						pf.min = min
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Sources returns the vertices of g with in-degree zero, in id order.
+// For a DAG these are the natural spanning-forest roots.
+func Sources(g *graph.Digraph) []graph.V {
+	var out []graph.V
+	for v := 0; v < g.N(); v++ {
+		if g.InDegree(graph.V(v)) == 0 {
+			out = append(out, graph.V(v))
+		}
+	}
+	return out
+}
+
+// Sinks returns the vertices of g with out-degree zero, in id order.
+func Sinks(g *graph.Digraph) []graph.V {
+	var out []graph.V
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(graph.V(v)) == 0 {
+			out = append(out, graph.V(v))
+		}
+	}
+	return out
+}

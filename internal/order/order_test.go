@@ -1,0 +1,183 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestTopologicalDAG(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 500, M: 2000, Seed: 1})
+	topo, ok := Topological(g)
+	if !ok {
+		t.Fatal("RandomDAG reported cyclic")
+	}
+	rank := Rank(topo)
+	g.Edges(func(e graph.Edge) bool {
+		if rank[e.From] >= rank[e.To] {
+			t.Fatalf("edge %d->%d violates topo order", e.From, e.To)
+		}
+		return true
+	})
+}
+
+func TestTopologicalCycle(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 2}, {2, 0}})
+	if _, ok := Topological(g); ok {
+		t.Fatal("cycle not detected")
+	}
+	if IsDAG(g) {
+		t.Fatal("IsDAG true on cycle")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	// 0 -> 1 -> 3, 0 -> 2 -> 3: levels 0,1,1,2.
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	lev, count := Levels(g)
+	want := []uint32{0, 1, 1, 2}
+	for v, w := range want {
+		if lev[v] != w {
+			t.Errorf("level(%d) = %d, want %d", v, lev[v], w)
+		}
+	}
+	if count != 3 {
+		t.Errorf("levels = %d, want 3", count)
+	}
+}
+
+func TestLevelsMonotoneOnEdges(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 300, M: 900, Seed: 5})
+	lev, _ := Levels(g)
+	g.Edges(func(e graph.Edge) bool {
+		if lev[e.From] >= lev[e.To] {
+			t.Fatalf("edge %d->%d: levels %d >= %d", e.From, e.To, lev[e.From], lev[e.To])
+		}
+		return true
+	})
+}
+
+func TestByDegreeDesc(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	vs := ByDegreeDesc(g)
+	if vs[0] != 0 {
+		t.Fatalf("highest degree vertex should be 0, got %d", vs[0])
+	}
+	// Verify it is a permutation.
+	seen := make(map[graph.V]bool)
+	for _, v := range vs {
+		if seen[v] {
+			t.Fatal("duplicate in order")
+		}
+		seen[v] = true
+	}
+	if len(seen) != g.N() {
+		t.Fatal("order is not a permutation")
+	}
+}
+
+func TestByDegreeProductDesc(t *testing.T) {
+	// Vertex 1 has in=1 out=2 -> product (1+1)*(2+1)=6, tops.
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {1, 3}})
+	vs := ByDegreeProductDesc(g)
+	if vs[0] != 1 {
+		t.Fatalf("top product vertex = %d, want 1", vs[0])
+	}
+}
+
+func TestRandomOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vs := Random(100, rng)
+	seen := make(map[graph.V]bool)
+	for _, v := range vs {
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("not a permutation")
+	}
+}
+
+func TestDFSForestIntervals(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 400, M: 1000, Seed: 2})
+	p := DFSForest(g, Sources(g), nil)
+	// Interval invariants: Min <= Post, all post numbers distinct, and the
+	// parent's interval contains the child's.
+	seen := make(map[uint32]bool)
+	for v := 0; v < g.N(); v++ {
+		if p.Min[v] > p.Post[v] {
+			t.Fatalf("vertex %d: Min %d > Post %d", v, p.Min[v], p.Post[v])
+		}
+		if seen[p.Post[v]] {
+			t.Fatalf("duplicate post number %d", p.Post[v])
+		}
+		seen[p.Post[v]] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		par := p.Parent[graph.V(v)]
+		if par == graph.V(v) {
+			continue
+		}
+		if !(p.Min[par] <= p.Min[v] && p.Post[v] <= p.Post[par]) {
+			t.Fatalf("child %d interval [%d,%d] not inside parent %d interval [%d,%d]",
+				v, p.Min[v], p.Post[v], par, p.Min[par], p.Post[par])
+		}
+	}
+}
+
+func TestDFSForestContainsMatchesTreePaths(t *testing.T) {
+	// On a pure tree, Contains(s, t) must equal "t in subtree of s".
+	b := graph.NewBuilder(7)
+	//        0
+	//      /   \
+	//     1     2
+	//    / \     \
+	//   3   4     5
+	//              \
+	//               6
+	for _, e := range [][2]graph.V{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {5, 6}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.MustFreeze()
+	p := DFSForest(g, []graph.V{0}, nil)
+	inSubtree := map[[2]graph.V]bool{
+		{0, 0}: true, {0, 1}: true, {0, 2}: true, {0, 3}: true, {0, 4}: true, {0, 5}: true, {0, 6}: true,
+		{1, 1}: true, {1, 3}: true, {1, 4}: true,
+		{2, 2}: true, {2, 5}: true, {2, 6}: true,
+		{5, 5}: true, {5, 6}: true,
+	}
+	for s := graph.V(0); s < 7; s++ {
+		for tt := graph.V(0); tt < 7; tt++ {
+			want := inSubtree[[2]graph.V{s, tt}] || s == tt
+			if got := p.Contains(s, tt); got != want {
+				t.Errorf("Contains(%d,%d) = %v, want %v", s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestDFSForestCoversAllVertices(t *testing.T) {
+	// Even with roots that reach nothing, every vertex must get numbered.
+	g := graph.FromEdges(5, [][2]graph.V{{3, 4}})
+	p := DFSForest(g, []graph.V{0}, nil)
+	seen := make(map[uint32]bool)
+	for v := 0; v < 5; v++ {
+		seen[p.Post[v]] = true
+	}
+	if len(seen) != 5 {
+		t.Fatal("post numbers not distinct over all vertices")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {3, 2}})
+	src := Sources(g)
+	if len(src) != 2 || src[0] != 0 || src[1] != 3 {
+		t.Errorf("Sources = %v", src)
+	}
+	snk := Sinks(g)
+	if len(snk) != 1 || snk[0] != 2 {
+		t.Errorf("Sinks = %v", snk)
+	}
+}

@@ -1,0 +1,142 @@
+// Package oreach implements O'Reach [18] (§3.2): a partial 2-hop index
+// built from k "supportive" vertices. Each supportive vertex v stores its
+// full forward and backward reachable sets as bitsets, giving both
+// positive observations (s reaches v and v reaches t) and negative ones
+// (v reaches s but not t; t reaches-backward v but not s). Two independent
+// topological rankings and topological levels supply further negative
+// observations. Undecided queries fall back to guided search, as in the
+// published system.
+package oreach
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/traversal"
+)
+
+// Options configures O'Reach.
+type Options struct {
+	// K is the number of supportive vertices. Default 16.
+	K int
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 16
+	}
+}
+
+// Index is the O'Reach partial index over a DAG.
+type Index struct {
+	g     *graph.Digraph
+	sup   []graph.V
+	fwd   []*bitset.Set // fwd[i] = vertices reachable from sup[i]
+	bwd   []*bitset.Set // bwd[i] = vertices reaching sup[i]
+	x, y  []uint32      // two topological rankings
+	lev   []uint32
+	stats core.Stats
+}
+
+// New builds O'Reach over a DAG.
+func New(dag *graph.Digraph, opts Options) *Index {
+	opts.defaults()
+	start := time.Now()
+	n := dag.N()
+	k := opts.K
+	if k > n {
+		k = n
+	}
+	ix := &Index{g: dag, x: make([]uint32, n)}
+
+	// Supportive vertices: the O'Reach heuristic favours vertices covering
+	// many (ancestor, descendant) pairs; in-degree × out-degree ranking is
+	// the standard proxy.
+	byCover := order.ByDegreeProductDesc(dag)
+	ix.sup = append([]graph.V(nil), byCover[:k]...)
+	sort.Slice(ix.sup, func(i, j int) bool { return ix.sup[i] < ix.sup[j] })
+	ix.fwd = make([]*bitset.Set, k)
+	ix.bwd = make([]*bitset.Set, k)
+	for i, v := range ix.sup {
+		ix.fwd[i] = traversal.ReachableFrom(dag, v)
+		ix.bwd[i] = traversal.Reaching(dag, v)
+	}
+	topo, _ := order.Topological(dag)
+	for i, v := range topo {
+		ix.x[v] = uint32(i)
+	}
+	// Second ranking: LIFO Kahn, like FELINE's de-correlated order.
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, w := range dag.Succ(graph.V(v)) {
+			indeg[w]++
+		}
+	}
+	ix.y = make([]uint32, n)
+	var stack []graph.V
+	for v := n - 1; v >= 0; v-- {
+		if indeg[v] == 0 {
+			stack = append(stack, graph.V(v))
+		}
+	}
+	next := uint32(0)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ix.y[v] = next
+		next++
+		for _, w := range dag.Succ(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				stack = append(stack, w)
+			}
+		}
+	}
+	ix.lev, _ = order.Levels(dag)
+	bytes := 3 * n * 4
+	for i := range ix.fwd {
+		bytes += ix.fwd[i].Bytes() + ix.bwd[i].Bytes()
+	}
+	ix.stats = core.Stats{Entries: 2 * k, Bytes: bytes, BuildTime: time.Since(start)}
+	return ix
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "O'Reach" }
+
+// TryReach implements core.Partial: the supportive-vertex observations.
+func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
+	if s == t {
+		return true, true
+	}
+	if ix.x[s] >= ix.x[t] || ix.y[s] >= ix.y[t] || ix.lev[s] >= ix.lev[t] {
+		return false, true
+	}
+	for i := range ix.sup {
+		// Positive: s → sup → t.
+		if ix.bwd[i].Test(int(s)) && ix.fwd[i].Test(int(t)) {
+			return true, true
+		}
+		// Negative: sup reaches s but not t ⇒ s cannot reach t.
+		if ix.fwd[i].Test(int(s)) && !ix.fwd[i].Test(int(t)) {
+			return false, true
+		}
+		// Negative: t reaches-backward sup but s does not.
+		if ix.bwd[i].Test(int(t)) && !ix.bwd[i].Test(int(s)) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// Reach answers Qr(s, t) exactly via observation-guided DFS.
+func (ix *Index) Reach(s, t graph.V) bool {
+	return core.GuidedDFS(ix.g, s, t, ix.TryReach)
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }

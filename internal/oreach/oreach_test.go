@@ -1,0 +1,53 @@
+package oreach
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 8})
+	})
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index {
+		return New(dag, Options{K: 4})
+	})
+}
+
+func TestKLargerThanN(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 10, M: 20, Seed: 1})
+	ix := New(g, Options{K: 100})
+	if len(ix.sup) != 10 {
+		t.Fatalf("supportive vertices = %d, want clamped to n", len(ix.sup))
+	}
+}
+
+func TestSupportiveVertexDecidesItsPairs(t *testing.T) {
+	// Queries whose endpoints straddle a supportive vertex are always
+	// decided by observations.
+	g := gen.LayeredDAG(8, 8, 2, 2)
+	ix := New(g, Options{K: 8})
+	decided := 0
+	total := 0
+	for s := graph.V(0); int(s) < g.N(); s += 2 {
+		for tt := graph.V(0); int(tt) < g.N(); tt += 2 {
+			total++
+			if _, dec := ix.TryReach(s, tt); dec {
+				decided++
+			}
+		}
+	}
+	if decided*2 < total {
+		t.Errorf("observations decided only %d/%d", decided, total)
+	}
+	if ix.Name() != "O'Reach" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,143 @@
+package p2h
+
+// This file implements DLCR [10] (§4.1.3): the dynamic extension of P2H+.
+// It lives in this package because it reuses the whole P2H+ label
+// machinery: DLCR "extends P2H+ to support graph updates".
+//
+//   - InsertEdge(u, l, v): every hub entry (h, S1) ∈ Lin(u) ∪ {(u, ∅)}
+//     resumes its forward label-set BFS from v with the set S1 ∪ {l}; the
+//     symmetric backward resumes run from u for Lout(v) ∪ {(v, ∅)}. This
+//     only traverses paths containing the updated edge — the paper's key
+//     property — and the rank-restricted pruning keeps the canonical-cover
+//     invariant. Entries made redundant by the insertion are evicted by
+//     the per-(vertex, hub) antichain maintenance (the paper's RIE
+//     removal).
+//   - DeleteEdge rebuilds the index. The published deletion algorithm
+//     reinstates previously-redundant entries (the RIE set) instead; that
+//     bookkeeping is out of scope here (see DESIGN.md), and the rebuild
+//     keeps the index exact for the E8 experiment.
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Dynamic is the DLCR dynamic LCR index.
+type Dynamic struct {
+	*Index
+	g *labeledDyn
+}
+
+// NewDynamic builds DLCR over a labeled digraph.
+func NewDynamic(g *graph.Digraph) *Dynamic {
+	ix := build(g, "DLCR")
+	return &Dynamic{Index: ix, g: newLabeledDyn(g)}
+}
+
+// InsertEdge adds the labeled edge (u, l, v) and repairs the labels.
+func (d *Dynamic) InsertEdge(u, v graph.V, l graph.Label) error {
+	start := time.Now()
+	if !d.g.insert(u, v, l) {
+		return nil
+	}
+	// Snapshot the relevant entries before repairs mutate the lists.
+	fwd := append([]Entry{{Rank: d.rank[u], Set: 0}}, d.in[u]...)
+	bwd := append([]Entry{{Rank: d.rank[v], Set: 0}}, d.out[v]...)
+	for _, e := range fwd {
+		d.labelBFSFrom(d.g, d.byRank[e.Rank], e.Rank, true, v, e.Set.With(l))
+	}
+	for _, e := range bwd {
+		d.labelBFSFrom(d.g, d.byRank[e.Rank], e.Rank, false, u, e.Set.With(l))
+	}
+	d.refreshStats()
+	d.stats.BuildTime += time.Since(start)
+	return nil
+}
+
+// DeleteEdge removes the labeled edge (u, l, v) and rebuilds (see file doc).
+func (d *Dynamic) DeleteEdge(u, v graph.V, l graph.Label) error {
+	if !d.g.remove(u, v, l) {
+		return nil
+	}
+	n := d.g.N()
+	d.in = make([][]Entry, n)
+	d.out = make([][]Entry, n)
+	start := time.Now()
+	for i, h := range d.byRank {
+		d.labelBFS(d.g, h, uint32(i), true)
+		d.labelBFS(d.g, h, uint32(i), false)
+	}
+	d.refreshStats()
+	d.stats.BuildTime += time.Since(start)
+	return nil
+}
+
+// labeledDyn is a mutable labeled adjacency satisfying graphLike.
+type labeledDyn struct {
+	succ, pred [][]arc
+}
+
+type arc struct {
+	to graph.V
+	l  graph.Label
+}
+
+func newLabeledDyn(g *graph.Digraph) *labeledDyn {
+	n := g.N()
+	d := &labeledDyn{succ: make([][]arc, n), pred: make([][]arc, n)}
+	g.Edges(func(e graph.Edge) bool {
+		d.succ[e.From] = append(d.succ[e.From], arc{e.To, e.Label})
+		d.pred[e.To] = append(d.pred[e.To], arc{e.From, e.Label})
+		return true
+	})
+	return d
+}
+
+func (d *labeledDyn) N() int { return len(d.succ) }
+
+func (d *labeledDyn) SuccL(v graph.V, f func(w graph.V, l graph.Label)) {
+	for _, a := range d.succ[v] {
+		f(a.to, a.l)
+	}
+}
+
+func (d *labeledDyn) PredL(v graph.V, f func(w graph.V, l graph.Label)) {
+	for _, a := range d.pred[v] {
+		f(a.to, a.l)
+	}
+}
+
+func (d *labeledDyn) insert(u, v graph.V, l graph.Label) bool {
+	for _, a := range d.succ[u] {
+		if a.to == v && a.l == l {
+			return false
+		}
+	}
+	d.succ[u] = append(d.succ[u], arc{v, l})
+	d.pred[v] = append(d.pred[v], arc{u, l})
+	return true
+}
+
+func (d *labeledDyn) remove(u, v graph.V, l graph.Label) bool {
+	if !removeArc(&d.succ[u], arc{v, l}) {
+		return false
+	}
+	removeArc(&d.pred[v], arc{u, l})
+	return true
+}
+
+func removeArc(list *[]arc, a arc) bool {
+	s := *list
+	for j := range s {
+		if s[j] == a {
+			s[j] = s[len(s)-1]
+			*list = s[:len(s)-1]
+			return true
+		}
+	}
+	return false
+}
+
+var _ core.DynamicLCR = (*Dynamic)(nil)

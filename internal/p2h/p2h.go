@@ -1,0 +1,313 @@
+// Package p2h implements P2H+ [33] (§4.1.3): a pruned 2-hop index for
+// alternation (LCR) queries. Every vertex carries Lin/Lout entries of the
+// form (hub, SPLS); Qr(s, t, A) holds iff some hub h has entries
+// (h, S1) ∈ Lout(s) and (h, S2) ∈ Lin(t) with S1 ∪ S2 ⊆ A (endpoint-hub
+// cases included).
+//
+// Construction performs forward and backward label-set BFSs from vertices
+// in degree order. Two pruning rules keep the index minimal and the
+// construction fast, mirroring the published algorithm:
+//
+//  1. rank pruning — the BFS never expands into higher-priority vertices
+//     (their own BFSs own those pairs), and
+//  2. redundancy pruning — a candidate entry (h, S) at u is skipped when
+//     hubs of strictly higher priority already certify an s-t connection
+//     with a label set ⊆ S (so the entry could never be the unique
+//     witness of a query).
+//
+// Per-vertex-per-hub entries form SPLS antichains, realizing the paper's
+// "the indexing algorithm can guarantee that the built index does not
+// contain any redundancy".
+package p2h
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/labelset"
+	"repro/internal/order"
+)
+
+// Entry is one hop-label entry: a hub (identified by rank) and an SPLS.
+type Entry struct {
+	Rank uint32
+	Set  labelset.Set
+}
+
+// Index is the P2H+ complete LCR index.
+type Index struct {
+	name   string
+	rank   []uint32
+	byRank []graph.V
+	// in[v], out[v]: entries sorted by rank (multiple entries per rank
+	// form an antichain of sets).
+	in, out [][]Entry
+	stats   core.Stats
+}
+
+// New builds P2H+ over a labeled general digraph.
+func New(g *graph.Digraph) *Index {
+	return build(g, "P2H+")
+}
+
+func build(g *graph.Digraph, name string) *Index {
+	start := time.Now()
+	n := g.N()
+	vs := order.ByDegreeDesc(g)
+	ix := &Index{
+		name: name, byRank: vs, rank: make([]uint32, n),
+		in: make([][]Entry, n), out: make([][]Entry, n),
+	}
+	for i, v := range vs {
+		ix.rank[v] = uint32(i)
+	}
+	ag := immutable{g}
+	for i, v := range vs {
+		ix.labelBFS(ag, v, uint32(i), true)
+		ix.labelBFS(ag, v, uint32(i), false)
+	}
+	ix.refreshStats()
+	ix.stats.BuildTime = time.Since(start)
+	return ix
+}
+
+func (ix *Index) refreshStats() {
+	entries := 0
+	for v := range ix.in {
+		entries += len(ix.in[v]) + len(ix.out[v])
+	}
+	ix.stats.Entries = entries
+	ix.stats.Bytes = entries*12 + len(ix.rank)*4
+}
+
+// labelBFS runs hub h's (rank r) label-set BFS in the given direction,
+// starting from h itself with the empty set. Exposed on the index so DLCR
+// can resume it from an inserted edge's endpoint.
+func (ix *Index) labelBFS(g graphLike, h graph.V, r uint32, forward bool) {
+	ix.labelBFSFrom(g, h, r, forward, h, 0)
+}
+
+// graphLike is the adjacency the BFS walks; satisfied by the immutable
+// wrapper and by DLCR's mutable overlay graph.
+type graphLike interface {
+	N() int
+	SuccL(v graph.V, f func(w graph.V, l graph.Label))
+	PredL(v graph.V, f func(w graph.V, l graph.Label))
+}
+
+// immutable adapts *graph.Digraph to graphLike.
+type immutable struct{ g *graph.Digraph }
+
+func (i immutable) N() int { return i.g.N() }
+
+func (i immutable) SuccL(v graph.V, f func(w graph.V, l graph.Label)) {
+	succ := i.g.Succ(v)
+	labs := i.g.SuccLabels(v)
+	for k, w := range succ {
+		f(w, labs[k])
+	}
+}
+
+func (i immutable) PredL(v graph.V, f func(w graph.V, l graph.Label)) {
+	pred := i.g.Pred(v)
+	labs := i.g.PredLabels(v)
+	for k, w := range pred {
+		f(w, labs[k])
+	}
+}
+
+// labelBFSFrom resumes hub h's label-set BFS from vertex `from` with the
+// initial label set `init` (the already-accumulated path labels between h
+// and from).
+func (ix *Index) labelBFSFrom(g graphLike, h graph.V, r uint32, forward bool, from graph.V, init labelset.Set) {
+	// Per-run antichain frontier at each vertex.
+	at := make(map[graph.V]*labelset.Collection)
+	type item struct {
+		v   graph.V
+		set labelset.Set
+	}
+	start := &labelset.Collection{}
+	start.Add(init)
+	at[from] = start
+	queue := []item{{from, init}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if !at[it.v].Has(it.set) {
+			continue // superseded within this run
+		}
+		if it.v != h {
+			if forward {
+				if ix.coveredBelow(h, it.v, it.set, r) {
+					continue
+				}
+				ix.addEntry(&ix.in[it.v], r, it.set)
+			} else {
+				if ix.coveredBelow(it.v, h, it.set, r) {
+					continue
+				}
+				ix.addEntry(&ix.out[it.v], r, it.set)
+			}
+		}
+		expand := func(w graph.V, l graph.Label) {
+			if ix.rank[w] <= r {
+				return
+			}
+			ns := it.set.With(l)
+			c := at[w]
+			if c == nil {
+				c = &labelset.Collection{}
+				at[w] = c
+			}
+			if c.Add(ns) {
+				queue = append(queue, item{w, ns})
+			}
+		}
+		if forward {
+			g.SuccL(it.v, expand)
+		} else {
+			g.PredL(it.v, expand)
+		}
+	}
+}
+
+// addEntry inserts (r, set) into a rank-sorted entry list, keeping the
+// per-rank antichain (drop if dominated; evict dominated).
+func (ix *Index) addEntry(list *[]Entry, r uint32, set labelset.Set) {
+	s := *list
+	lo := sort.Search(len(s), func(i int) bool { return s[i].Rank >= r })
+	hi := lo
+	for hi < len(s) && s[hi].Rank == r {
+		hi++
+	}
+	// Antichain within [lo, hi).
+	for i := lo; i < hi; i++ {
+		if s[i].Set.SubsetOf(set) {
+			return // dominated
+		}
+	}
+	// Rebuild into a fresh slice: filtering in place would alias the tail
+	// and corrupt it when the new entry lands on s[hi].
+	out := make([]Entry, 0, len(s)+1)
+	out = append(out, s[:lo]...)
+	for i := lo; i < hi; i++ {
+		if !set.SubsetOf(s[i].Set) {
+			out = append(out, s[i])
+		}
+	}
+	out = append(out, Entry{Rank: r, Set: set})
+	out = append(out, s[hi:]...)
+	*list = out
+}
+
+// coveredBelow reports whether hubs of rank < limit certify an s→t
+// connection with a combined label set ⊆ set.
+func (ix *Index) coveredBelow(s, t graph.V, set labelset.Set, limit uint32) bool {
+	if s == t {
+		return true
+	}
+	rs, rt := ix.rank[s], ix.rank[t]
+	// Endpoint hubs: t ∈ Lout(s) / s ∈ Lin(t) with a subset SPLS.
+	if rt < limit {
+		for _, e := range ix.out[s] {
+			if e.Rank == rt && e.Set.SubsetOf(set) {
+				return true
+			}
+			if e.Rank > rt {
+				break
+			}
+		}
+	}
+	if rs < limit {
+		for _, e := range ix.in[t] {
+			if e.Rank == rs && e.Set.SubsetOf(set) {
+				return true
+			}
+			if e.Rank > rs {
+				break
+			}
+		}
+	}
+	// Common hubs below the limit.
+	ls, lt := ix.out[s], ix.in[t]
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) && ls[i].Rank < limit && lt[j].Rank < limit {
+		switch {
+		case ls[i].Rank == lt[j].Rank:
+			r := ls[i].Rank
+			for a := i; a < len(ls) && ls[a].Rank == r; a++ {
+				for b := j; b < len(lt) && lt[b].Rank == r; b++ {
+					if ls[a].Set.Union(lt[b].Set).SubsetOf(set) {
+						return true
+					}
+				}
+			}
+			for i < len(ls) && ls[i].Rank == r {
+				i++
+			}
+			for j < len(lt) && lt[j].Rank == r {
+				j++
+			}
+		case ls[i].Rank < lt[j].Rank:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Name implements core.LCRIndex.
+func (ix *Index) Name() string { return ix.name }
+
+// ReachLC answers the alternation query by hub-label joins.
+func (ix *Index) ReachLC(s, t graph.V, allowed labelset.Set) bool {
+	if s == t {
+		return true
+	}
+	rs, rt := ix.rank[s], ix.rank[t]
+	for _, e := range ix.out[s] {
+		if e.Rank == rt && e.Set.SubsetOf(allowed) {
+			return true
+		}
+	}
+	for _, e := range ix.in[t] {
+		if e.Rank == rs && e.Set.SubsetOf(allowed) {
+			return true
+		}
+	}
+	ls, lt := ix.out[s], ix.in[t]
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		switch {
+		case ls[i].Rank == lt[j].Rank:
+			r := ls[i].Rank
+			for a := i; a < len(ls) && ls[a].Rank == r; a++ {
+				if !ls[a].Set.SubsetOf(allowed) {
+					continue
+				}
+				for b := j; b < len(lt) && lt[b].Rank == r; b++ {
+					if lt[b].Set.SubsetOf(allowed) {
+						return true
+					}
+				}
+			}
+			for i < len(ls) && ls[i].Rank == r {
+				i++
+			}
+			for j < len(lt) && lt[j].Rank == r {
+				j++
+			}
+		case ls[i].Rank < lt[j].Rank:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Stats implements core.LCRIndex.
+func (ix *Index) Stats() core.Stats { return ix.stats }

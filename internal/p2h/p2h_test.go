@@ -1,0 +1,130 @@
+package p2h
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/labelset"
+	"repro/internal/tc"
+	"repro/internal/traversal"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex { return New(g) })
+}
+
+func TestEntriesAreAntichains(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 60, M: 240, Seed: 1}), 5, 0.6, 2)
+	ix := New(g)
+	checkList := func(list []Entry, who string, v int) {
+		for i := range list {
+			for j := range list {
+				if i != j && list[i].Rank == list[j].Rank && list[i].Set.SubsetOf(list[j].Set) {
+					t.Fatalf("%s[%d]: redundant entry (rank %d): %b ⊆ %b",
+						who, v, list[i].Rank, list[i].Set, list[j].Set)
+				}
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		checkList(ix.in[v], "in", v)
+		checkList(ix.out[v], "out", v)
+	}
+}
+
+func TestIndexSmallerThanGTC(t *testing.T) {
+	g := gen.Zipf(gen.ScaleFree(200, 3, 3), 4, 0.8, 4)
+	ix := New(g)
+	oracle := tc.NewGTC(g)
+	if ix.Stats().Entries >= oracle.Entries() {
+		t.Errorf("P2H+ entries %d >= full GTC entries %d", ix.Stats().Entries, oracle.Entries())
+	}
+	if ix.Name() != "P2H+" {
+		t.Error("name")
+	}
+}
+
+func TestDLCRConformanceStatic(t *testing.T) {
+	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex { return NewDynamic(g) })
+}
+
+func TestDLCRInsertions(t *testing.T) {
+	full := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 40, M: 160, Seed: 5}), 4, 0, 6)
+	edges := full.EdgeList()
+	half := len(edges) / 2
+	b := graph.NewLabeledBuilder(full.N())
+	b.ReserveLabels(full.Labels())
+	for _, e := range edges[:half] {
+		b.AddLabeledEdge(e.From, e.To, e.Label)
+	}
+	start := b.MustFreeze()
+	ix := NewDynamic(start)
+	cur := graph.Mutate(start)
+	rng := rand.New(rand.NewSource(7))
+	for i, e := range edges[half:] {
+		cur.AddLabeledEdge(e.From, e.To, e.Label)
+		if err := ix.InsertEdge(e.From, e.To, e.Label); err != nil {
+			t.Fatal(err)
+		}
+		snapshot := cur.MustFreeze()
+		for q := 0; q < 40; q++ {
+			s := graph.V(rng.Intn(full.N()))
+			tt := graph.V(rng.Intn(full.N()))
+			mask := uint64(rng.Int63n(1 << uint(full.Labels())))
+			want := traversal.LabelConstrainedBFS(snapshot, s, tt, mask)
+			if got := ix.ReachLC(s, tt, labelset.Set(mask)); got != want {
+				t.Fatalf("after insert %d (%v): ReachLC(%d,%d,%b) = %v, want %v",
+					i, e, s, tt, mask, got, want)
+			}
+		}
+		cur = graph.Mutate(snapshot)
+	}
+}
+
+func TestDLCRDeletions(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 30, M: 120, Seed: 8}), 4, 0, 9)
+	ix := NewDynamic(g)
+	cur := graph.Mutate(g)
+	rng := rand.New(rand.NewSource(10))
+	edges := g.EdgeList()
+	for i := 0; i < 8; i++ {
+		e := edges[rng.Intn(len(edges))]
+		cur.RemoveEdge(e)
+		if err := ix.DeleteEdge(e.From, e.To, e.Label); err != nil {
+			t.Fatal(err)
+		}
+		snapshot := cur.MustFreeze()
+		for q := 0; q < 40; q++ {
+			s := graph.V(rng.Intn(g.N()))
+			tt := graph.V(rng.Intn(g.N()))
+			mask := uint64(rng.Int63n(1 << uint(g.Labels())))
+			want := traversal.LabelConstrainedBFS(snapshot, s, tt, mask)
+			if got := ix.ReachLC(s, tt, labelset.Set(mask)); got != want {
+				t.Fatalf("after delete %d (%v): ReachLC(%d,%d,%b) = %v, want %v",
+					i, e, s, tt, mask, got, want)
+			}
+		}
+		cur = graph.Mutate(snapshot)
+	}
+	if ix.Name() != "DLCR" {
+		t.Error("name")
+	}
+}
+
+func TestDLCRInsertDuplicateNoop(t *testing.T) {
+	g := graph.Fig1Labeled()
+	ix := NewDynamic(g)
+	before := ix.Stats().Entries
+	var e graph.Edge
+	g.Edges(func(x graph.Edge) bool { e = x; return false })
+	if err := ix.InsertEdge(e.From, e.To, e.Label); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().Entries != before {
+		t.Error("duplicate insert changed labels")
+	}
+}

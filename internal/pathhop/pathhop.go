@@ -1,0 +1,172 @@
+// Package pathhop implements a tree-hop index in the spirit of Path-Hop
+// [8] (§3.2): 2-hop labeling where the intermediate structures are
+// spanning-tree subtrees — "trees in the path-hop index" — so one hop
+// entry covers a whole subtree of targets.
+//
+// A spanning forest T of the DAG gives every vertex its subtree interval.
+// Hubs are processed in degree order with pruned forward/backward BFS as
+// in PLL, but the query joins through the tree: Qr(s, t) holds iff there
+// are hubs a ∈ Lout(s) ∪ {s} and b ∈ Lin(t) ∪ {t} with b in the subtree
+// of a (then s → a →tree→ b → t). Because a single Lout entry covers
+// every Lin entry inside its subtree, pruning can drop labels a plain
+// 2-hop must keep. (The published Path-Hop's exact label-selection rules
+// differ; see DESIGN.md.)
+package pathhop
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Index is the tree-hop complete index over a DAG.
+type Index struct {
+	po      *order.PostOrder
+	rank    []uint32
+	byRank  []graph.V
+	in, out [][]uint32 // hub ranks, ascending
+	stats   core.Stats
+}
+
+// New builds the tree-hop index over a DAG.
+func New(dag *graph.Digraph) *Index {
+	start := time.Now()
+	n := dag.N()
+	po := order.DFSForest(dag, order.Sources(dag), nil)
+	vs := order.ByDegreeDesc(dag)
+	ix := &Index{
+		po: po, byRank: vs, rank: make([]uint32, n),
+		in: make([][]uint32, n), out: make([][]uint32, n),
+	}
+	for i, v := range vs {
+		ix.rank[v] = uint32(i)
+	}
+	stamp := make([]uint32, n)
+	var queue []graph.V
+	for i, v := range vs {
+		r := uint32(i)
+		// Forward: add v to Lin(u) for u reachable from v, unless the
+		// tree-join already covers (v, u).
+		fs := uint32(2*i + 1)
+		queue = append(queue[:0], v)
+		stamp[v] = fs
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if u != v {
+				// A join certificate through strictly higher-priority hubs
+				// makes the whole branch redundant (canonical pruning); a
+				// bare subtree containment only makes the label redundant
+				// (the query's endpoint-join recovers it) but exploration
+				// must continue.
+				if ix.joinCoveredBelow(v, u, r) {
+					continue
+				}
+				if !ix.po.Contains(v, u) {
+					ix.in[u] = append(ix.in[u], r)
+				}
+			}
+			for _, w := range dag.Succ(u) {
+				if stamp[w] != fs && ix.rank[w] > r {
+					stamp[w] = fs
+					queue = append(queue, w)
+				}
+			}
+		}
+		bs := uint32(2*i + 2)
+		queue = append(queue[:0], v)
+		stamp[v] = bs
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if u != v {
+				if ix.joinCoveredBelow(u, v, r) {
+					continue
+				}
+				if !ix.po.Contains(u, v) {
+					ix.out[u] = append(ix.out[u], r)
+				}
+			}
+			for _, w := range dag.Pred(u) {
+				if stamp[w] != bs && ix.rank[w] > r {
+					stamp[w] = bs
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	entries := 0
+	for v := 0; v < n; v++ {
+		entries += len(ix.in[v]) + len(ix.out[v])
+	}
+	ix.stats = core.Stats{Entries: entries, Bytes: entries*4 + n*12, BuildTime: time.Since(start)}
+	return ix
+}
+
+// joinCoveredBelow reports whether hubs of rank strictly below limit
+// certify s → t through the tree join. Only such certificates may prune
+// BFS exploration.
+func (ix *Index) joinCoveredBelow(s, t graph.V, limit uint32) bool {
+	for _, ar := range ix.out[s] {
+		if ar >= limit {
+			break
+		}
+		a := ix.byRank[ar]
+		if ix.po.Contains(a, t) {
+			return true
+		}
+		for _, br := range ix.in[t] {
+			if br >= limit {
+				break
+			}
+			if ix.po.Contains(a, ix.byRank[br]) {
+				return true
+			}
+		}
+	}
+	for _, br := range ix.in[t] {
+		if br >= limit {
+			break
+		}
+		if ix.po.Contains(s, ix.byRank[br]) {
+			return true
+		}
+	}
+	return false
+}
+
+// treeCovered reports whether the labels + tree join certify s → t.
+func (ix *Index) treeCovered(s, t graph.V) bool {
+	if s == t || ix.po.Contains(s, t) {
+		return true
+	}
+	// Hubs a ∈ Lout(s) ∪ {s}, b ∈ Lin(t) ∪ {t}: b in subtree(a).
+	// |labels| is small; the quadratic join is the query cost model of the
+	// hop family.
+	for _, ar := range ix.out[s] {
+		a := ix.byRank[ar]
+		if ix.po.Contains(a, t) {
+			return true
+		}
+		for _, br := range ix.in[t] {
+			if ix.po.Contains(a, ix.byRank[br]) {
+				return true
+			}
+		}
+	}
+	for _, br := range ix.in[t] {
+		if ix.po.Contains(s, ix.byRank[br]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "Path-Hop" }
+
+// Reach reports whether t is reachable from s via the tree join.
+func (ix *Index) Reach(s, t graph.V) bool { return ix.treeCovered(s, t) }
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }

@@ -1,0 +1,41 @@
+package pathhop
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/pll"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestTreeJoinSavesLabels(t *testing.T) {
+	// On tree-like inputs, subtree hops should need no more entries than
+	// plain PLL (usually far fewer).
+	g := gen.TreePlus(400, 40, 4)
+	th := New(g)
+	p := pll.New(g, pll.Options{})
+	if th.Stats().Entries > p.Stats().Entries {
+		t.Errorf("tree-hop entries %d > PLL entries %d on tree-like input",
+			th.Stats().Entries, p.Stats().Entries)
+	}
+}
+
+func TestPureTreeNeedsNoLabels(t *testing.T) {
+	g := gen.TreePlus(200, 0, 5)
+	ix := New(g)
+	if ix.Stats().Entries != 0 {
+		t.Errorf("pure tree should need 0 hop entries, got %d", ix.Stats().Entries)
+	}
+	if !ix.Reach(0, 150) {
+		t.Error("root must reach all")
+	}
+	if ix.Name() != "Path-Hop" {
+		t.Error("name")
+	}
+}

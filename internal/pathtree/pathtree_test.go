@@ -1,0 +1,61 @@
+package pathtree
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestSingleChainOnLine(t *testing.T) {
+	n := 50
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.V(i), graph.V(i+1))
+	}
+	ix := New(b.MustFreeze())
+	if ix.Chains() != 1 {
+		t.Fatalf("line decomposed into %d chains, want 1", ix.Chains())
+	}
+	if ix.Stats().Entries != n {
+		t.Errorf("entries = %d, want n", ix.Stats().Entries)
+	}
+}
+
+func TestChainsBoundedByWidth(t *testing.T) {
+	// A layered DAG of width w decomposes into at least w chains but the
+	// greedy should stay within a small factor.
+	g := gen.LayeredDAG(20, 10, 2, 3)
+	ix := New(g)
+	if ix.Chains() < 10 {
+		t.Errorf("chains = %d, want >= width 10", ix.Chains())
+	}
+	if ix.Chains() > g.N()/2 {
+		t.Errorf("chains = %d: greedy degenerated", ix.Chains())
+	}
+	if ix.Name() != "Path-Tree" {
+		t.Error("name")
+	}
+}
+
+func TestAntichainsWorstCase(t *testing.T) {
+	// A graph with no edges is all 1-vertex chains: k = n, storage n*k.
+	g := graph.FromEdges(8, nil)
+	ix := New(g)
+	if ix.Chains() != 8 {
+		t.Fatalf("chains = %d", ix.Chains())
+	}
+	for s := graph.V(0); s < 8; s++ {
+		for tt := graph.V(0); tt < 8; tt++ {
+			if ix.Reach(s, tt) != (s == tt) {
+				t.Fatalf("Reach(%d,%d) wrong on edgeless graph", s, tt)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package pll
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tc"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(gen.Config{N: 120, M: 480, Seed: 1})
+	ix := New(g, Options{})
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || int(n) != buf.Len() {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != ix.Name() {
+		t.Errorf("name %q -> %q", ix.Name(), back.Name())
+	}
+	if back.Stats().Entries != ix.Stats().Entries {
+		t.Errorf("entries %d -> %d", ix.Stats().Entries, back.Stats().Entries)
+	}
+	oracle := tc.NewClosure(g)
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if back.Reach(s, tt) != oracle.Reach(s, tt) {
+				t.Fatalf("deserialized index wrong at (%d,%d)", s, tt)
+			}
+		}
+	}
+}
+
+func TestPersistErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := Read(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated stream.
+	g := gen.RandomDAG(gen.Config{N: 20, M: 40, Seed: 2})
+	ix := New(g, Options{})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}

@@ -1,0 +1,108 @@
+// Package preach implements PReaCH [31] (§3.4): pruned reachability
+// contracts over DFS numbering. Each vertex carries, in both directions:
+//
+//   - its DFS post number and subtree interval (definite positive when the
+//     target sits in the source's subtree),
+//   - the minimum post number over its full reachable set (definite
+//     negative when the target's post falls outside [rmin, post] — on a
+//     DAG every reachable vertex finishes before its ancestors),
+//   - its topological level (definite negative on level inversion).
+//
+// The published system adds contraction-hierarchy-style vertex pruning on
+// top of a bidirectional pruned BFS; this implementation keeps the
+// numbering contracts (which carry the pruning power) and runs the shared
+// guided DFS (see DESIGN.md).
+package preach
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Index is the PReaCH partial index over a DAG.
+type Index struct {
+	g *graph.Digraph
+	// Forward direction: fpost/ftmin are the DFS numbers, frmin the
+	// min-post over the reachable set.
+	fpost, ftmin, frmin []uint32
+	// Backward direction (numbers on the reversed DAG).
+	bpost, btmin, brmin []uint32
+	flev, blev          []uint32
+	stats               core.Stats
+}
+
+// New builds PReaCH over a DAG.
+func New(dag *graph.Digraph) *Index {
+	start := time.Now()
+	n := dag.N()
+	ix := &Index{g: dag}
+
+	build := func(g *graph.Digraph) (post, tmin, rmin []uint32) {
+		po := order.DFSForest(g, order.Sources(g), nil)
+		post, tmin = po.Post, po.Min
+		rmin = make([]uint32, n)
+		copy(rmin, post)
+		// rmin in reverse topological order of g.
+		tp, _ := order.Topological(g)
+		for i := len(tp) - 1; i >= 0; i-- {
+			v := tp[i]
+			for _, w := range g.Succ(v) {
+				if rmin[w] < rmin[v] {
+					rmin[v] = rmin[w]
+				}
+			}
+		}
+		return
+	}
+	ix.fpost, ix.ftmin, ix.frmin = build(dag)
+	rev := dag.Reverse()
+	ix.bpost, ix.btmin, ix.brmin = build(rev)
+	ix.flev, _ = order.Levels(dag)
+	ix.blev, _ = order.Levels(rev)
+	ix.stats = core.Stats{
+		Entries:   8 * n,
+		Bytes:     8 * n * 4,
+		BuildTime: time.Since(start),
+	}
+	return ix
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "PReaCH" }
+
+// TryReach implements core.Partial.
+func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
+	if s == t {
+		return true, true
+	}
+	// Positive contracts: subtree containment in either direction.
+	if ix.ftmin[s] <= ix.fpost[t] && ix.fpost[t] <= ix.fpost[s] {
+		return true, true
+	}
+	if ix.btmin[t] <= ix.bpost[s] && ix.bpost[s] <= ix.bpost[t] {
+		return true, true
+	}
+	// Negative contracts: post-order and reach-min bounds, both
+	// directions, plus topological levels.
+	if ix.fpost[t] >= ix.fpost[s] || ix.fpost[t] < ix.frmin[s] {
+		return false, true
+	}
+	if ix.bpost[s] >= ix.bpost[t] || ix.bpost[s] < ix.brmin[t] {
+		return false, true
+	}
+	if ix.flev[s] >= ix.flev[t] || ix.blev[t] >= ix.blev[s] {
+		return false, true
+	}
+	return false, false
+}
+
+// Reach answers Qr(s, t) exactly via contract-guided DFS.
+func (ix *Index) Reach(s, t graph.V) bool {
+	return core.GuidedDFS(ix.g, s, t, ix.TryReach)
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }

@@ -1,0 +1,61 @@
+package preach
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestContractsOnLine(t *testing.T) {
+	// On a line every query should be decided by the contracts alone.
+	n := 60
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.V(i), graph.V(i+1))
+	}
+	ix := New(b.MustFreeze())
+	for s := graph.V(0); int(s) < n; s++ {
+		for tt := graph.V(0); int(tt) < n; tt++ {
+			r, dec := ix.TryReach(s, tt)
+			if !dec {
+				t.Fatalf("line query (%d,%d) undecided", s, tt)
+			}
+			if r != (s <= tt) {
+				t.Fatalf("line query (%d,%d) = %v", s, tt, r)
+			}
+		}
+	}
+}
+
+func TestReachMinBound(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 150, M: 450, Seed: 3})
+	ix := New(g)
+	oracle := tc.NewClosure(g)
+	// frmin must lower-bound the posts of the reachable set exactly.
+	for v := graph.V(0); int(v) < g.N(); v++ {
+		min := ix.fpost[v]
+		for w := graph.V(0); int(w) < g.N(); w++ {
+			if oracle.Reach(v, w) && ix.fpost[w] < min {
+				min = ix.fpost[w]
+			}
+		}
+		if ix.frmin[v] != min {
+			t.Fatalf("frmin[%d] = %d, want %d", v, ix.frmin[v], min)
+		}
+	}
+	if ix.Name() != "PReaCH" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,217 @@
+// Package reduction implements the graph-reduction techniques of §3.4
+// (SCARAB / ER / RCN family): transformations that shrink the input before
+// any reachability index is built, orthogonal to the indexing technique.
+//
+//   - Equivalence reduction (ER [54]): DAG vertices with identical in- and
+//     out-neighbourhoods have identical reachability rows/columns (and can
+//     never reach each other on a DAG), so they merge into one
+//     representative.
+//   - Chain compression: maximal interior runs (in-degree 1, out-degree 1)
+//     collapse onto their entry head; interior queries resolve by chain
+//     position plus the reduced graph.
+//   - Transitive edge removal: edges (u, v) with an alternative u→v path
+//     are redundant for reachability; exact, O(n·m), for small inputs and
+//     the E10 experiment.
+//
+// A Reduced value maps original-vertex queries onto the reduced graph, so
+// any core.Index built on Reduced.G answers queries on the original. All
+// reductions here assume DAG input (condense first — scc.Condense — which
+// is itself the most fundamental reduction of §3.1).
+package reduction
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Mode distinguishes how vertices sharing a representative relate.
+type Mode int
+
+// Reduction modes.
+const (
+	// ModeEquivalence: same representative = reachability-equivalent but
+	// mutually unreachable (distinct DAG vertices).
+	ModeEquivalence Mode = iota
+	// ModeChain: same representative = same collapsed chain; position
+	// decides.
+	ModeChain
+)
+
+// Reduced is a reduced graph plus the vertex mapping onto it.
+type Reduced struct {
+	// G is the reduced graph.
+	G *graph.Digraph
+	// Map[v] = reduced vertex standing for v (for chains: the entry head).
+	Map []graph.V
+	// End[v] = reduced vertex whose reachable set covers what v reaches
+	// beyond its own class (for chains: the exit head; otherwise Map[v]).
+	End []graph.V
+	// Pos[v] = position within a collapsed chain (0 for representatives).
+	Pos []uint32
+	// Run[v] identifies v's collapsed run (chains mode); a head and each
+	// of its interior runs get distinct ids, so position comparison only
+	// applies within one run.
+	Run  []uint32
+	Mode Mode
+}
+
+// Reach answers an original-graph query given an exact reachability
+// predicate on the reduced graph.
+func (r *Reduced) Reach(s, t graph.V, reduced func(a, b graph.V) bool) bool {
+	if s == t {
+		return true
+	}
+	if r.Mode == ModeChain {
+		if r.Run[s] == r.Run[t] {
+			return r.Pos[s] <= r.Pos[t]
+		}
+		return reduced(r.End[s], r.Map[t])
+	}
+	if r.Map[s] == r.Map[t] {
+		return false // equivalent DAG vertices never reach each other
+	}
+	return reduced(r.End[s], r.Map[t])
+}
+
+// Equivalence merges DAG vertices with identical in- and out-
+// neighbourhoods (the ER reduction).
+func Equivalence(g *graph.Digraph) *Reduced {
+	n := g.N()
+	type sig struct{ s, p string }
+	groups := make(map[sig]graph.V, n)
+	mapTo := make([]graph.V, n)
+	b := graph.NewBuilder(0)
+	for v := 0; v < n; v++ {
+		k := sig{key(g.Succ(graph.V(v))), key(g.Pred(graph.V(v)))}
+		if r, ok := groups[k]; ok {
+			mapTo[v] = r
+			continue
+		}
+		r := b.AddVertex()
+		groups[k] = r
+		mapTo[v] = r
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if mapTo[e.From] != mapTo[e.To] {
+			b.AddEdge(mapTo[e.From], mapTo[e.To])
+		}
+		return true
+	})
+	return &Reduced{
+		G: b.MustFreeze(), Map: mapTo, End: mapTo,
+		Pos: make([]uint32, n), Mode: ModeEquivalence,
+	}
+}
+
+func key(vs []graph.V) string {
+	buf := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		buf[4*i] = byte(v)
+		buf[4*i+1] = byte(v >> 8)
+		buf[4*i+2] = byte(v >> 16)
+		buf[4*i+3] = byte(v >> 24)
+	}
+	return string(buf)
+}
+
+// Chains collapses maximal interior runs (in-degree 1 and out-degree 1)
+// of a DAG onto their entry heads. An interior vertex is reached only
+// through its chain's entry, and reaches only its chain suffix plus
+// whatever the exit head reaches.
+func Chains(g *graph.Digraph) *Reduced {
+	n := g.N()
+	mapTo := make([]graph.V, n)
+	end := make([]graph.V, n)
+	pos := make([]uint32, n)
+	run := make([]uint32, n)
+	interior := make([]bool, n)
+	for v := 0; v < n; v++ {
+		interior[v] = g.InDegree(graph.V(v)) == 1 && g.OutDegree(graph.V(v)) == 1
+	}
+	b := graph.NewBuilder(0)
+	newID := make([]graph.V, n)
+	var nextRun uint32
+	for v := 0; v < n; v++ {
+		if !interior[v] {
+			newID[v] = b.AddVertex()
+			mapTo[v] = newID[v]
+			end[v] = newID[v]
+			run[v] = nextRun
+			nextRun++
+		}
+	}
+	// Walk each head's outgoing interior runs.
+	for v := 0; v < n; v++ {
+		if interior[v] {
+			continue
+		}
+		for _, w := range g.Succ(graph.V(v)) {
+			if !interior[w] {
+				b.AddEdge(newID[v], newID[w])
+				continue
+			}
+			// Interior run starting at w, entered from head v.
+			runID := nextRun
+			nextRun++
+			p := uint32(1)
+			cur := w
+			for interior[cur] {
+				mapTo[cur] = newID[v]
+				pos[cur] = p
+				run[cur] = runID
+				p++
+				cur = g.Succ(cur)[0]
+			}
+			// cur is the exit head; interiors of this run reach beyond
+			// their suffix exactly through it.
+			prev := w
+			for interior[prev] {
+				end[prev] = newID[cur]
+				prev = g.Succ(prev)[0]
+			}
+			b.AddEdge(newID[v], newID[cur])
+		}
+	}
+	return &Reduced{G: b.MustFreeze(), Map: mapTo, End: end, Pos: pos, Run: run, Mode: ModeChain}
+}
+
+// TransitiveReduce removes every edge (u, v) of a DAG for which v stays
+// reachable from u without it. Non-DAG inputs are returned unchanged.
+func TransitiveReduce(g *graph.Digraph) *graph.Digraph {
+	if !order.IsDAG(g) {
+		return g
+	}
+	keep := graph.NewBuilder(g.N())
+	visited := bitset.New(g.N())
+	g.Edges(func(e graph.Edge) bool {
+		if !reachableAvoiding(g, e.From, e.To, e, visited) {
+			keep.AddEdge(e.From, e.To)
+		}
+		return true
+	})
+	return keep.MustFreeze()
+}
+
+func reachableAvoiding(g *graph.Digraph, s, t graph.V, skip graph.Edge, visited *bitset.Set) bool {
+	visited.Reset()
+	visited.Set(int(s))
+	stack := []graph.V{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Succ(v) {
+			if v == skip.From && w == skip.To {
+				continue
+			}
+			if w == t {
+				return true
+			}
+			if !visited.Test(int(w)) {
+				visited.Set(int(w))
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package reduction
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tc"
+)
+
+// checkReduced validates a Reduced against the original's closure over all
+// pairs, using the reduced graph's own closure as the predicate.
+func checkReduced(t *testing.T, name string, g *graph.Digraph, r *Reduced) {
+	t.Helper()
+	orig := tc.NewClosure(g)
+	red := tc.NewClosure(r.G)
+	pred := func(a, b graph.V) bool { return red.Reach(a, b) }
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if got, want := r.Reach(s, tt, pred), orig.Reach(s, tt); got != want {
+				t.Fatalf("%s: Reach(%d,%d) = %v, want %v (maps %d->%d)",
+					name, s, tt, got, want, r.Map[s], r.Map[tt])
+			}
+		}
+	}
+}
+
+func dagSuite() map[string]*graph.Digraph {
+	return map[string]*graph.Digraph{
+		"dag":      gen.RandomDAG(gen.Config{N: 100, M: 250, Seed: 1}),
+		"chainy":   gen.LayeredDAG(30, 2, 1, 2),
+		"treeplus": gen.TreePlus(120, 20, 3),
+		"fig1":     graph.Fig1Plain(),
+		"line":     line(30),
+		"edgeless": graph.FromEdges(10, nil),
+	}
+}
+
+func line(n int) *graph.Digraph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.V(i), graph.V(i+1))
+	}
+	return b.MustFreeze()
+}
+
+func TestEquivalencePreservesReachability(t *testing.T) {
+	for name, g := range dagSuite() {
+		checkReduced(t, name, g, Equivalence(g))
+	}
+}
+
+func TestEquivalenceMerges(t *testing.T) {
+	// Two parallel "diamond" mids with identical neighbourhoods collapse.
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	r := Equivalence(g)
+	if r.G.N() != 3 {
+		t.Fatalf("reduced N = %d, want 3", r.G.N())
+	}
+	if r.Map[1] != r.Map[2] {
+		t.Error("equivalent mids not merged")
+	}
+}
+
+func TestChainsPreserveReachability(t *testing.T) {
+	for name, g := range dagSuite() {
+		checkReduced(t, name, g, Chains(g))
+	}
+}
+
+func TestChainsCompressLine(t *testing.T) {
+	g := line(50)
+	r := Chains(g)
+	// Head 0, interior 1..48, head 49 (in-degree-1/out-degree-1 interiors).
+	if r.G.N() != 2 {
+		t.Fatalf("line reduced to %d vertices, want 2", r.G.N())
+	}
+}
+
+func TestChainsParallelRunsFromOneHead(t *testing.T) {
+	// Head 0 starts two disjoint interior runs; positions must not mix.
+	//   0 -> 1 -> 2 -> 5 (sink)
+	//   0 -> 3 -> 4 -> 6 (sink)
+	g := graph.FromEdges(7, [][2]graph.V{{0, 1}, {1, 2}, {2, 5}, {0, 3}, {3, 4}, {4, 6}})
+	checkReduced(t, "parallel-runs", g, Chains(g))
+	r := Chains(g)
+	if r.Run[1] == r.Run[3] {
+		t.Error("parallel runs share an id")
+	}
+}
+
+func TestTransitiveReduce(t *testing.T) {
+	// Triangle DAG: 0->1->2 plus shortcut 0->2; shortcut must go.
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}})
+	tr := TransitiveReduce(g)
+	if tr.M() != 2 {
+		t.Fatalf("reduced M = %d, want 2", tr.M())
+	}
+	orig := tc.NewClosure(g)
+	red := tc.NewClosure(tr)
+	for s := graph.V(0); s < 3; s++ {
+		for tt := graph.V(0); tt < 3; tt++ {
+			if orig.Reach(s, tt) != red.Reach(s, tt) {
+				t.Fatal("reduction changed reachability")
+			}
+		}
+	}
+}
+
+func TestTransitiveReducePreservesClosure(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 80, M: 400, Seed: 4})
+	tr := TransitiveReduce(g)
+	if tr.M() >= g.M() {
+		t.Errorf("no edges removed: %d >= %d", tr.M(), g.M())
+	}
+	orig := tc.NewClosure(g)
+	red := tc.NewClosure(tr)
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if orig.Reach(s, tt) != red.Reach(s, tt) {
+				t.Fatalf("closure changed at (%d,%d)", s, tt)
+			}
+		}
+	}
+}
+
+func TestTransitiveReduceCyclicNoop(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 0}})
+	if TransitiveReduce(g) != g {
+		t.Error("cyclic input should be returned unchanged")
+	}
+}

@@ -1,0 +1,219 @@
+package regexpath
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NFA is a Thompson-construction nondeterministic finite automaton over
+// edge labels. State 0 is the start state.
+type NFA struct {
+	// trans[s] lists (label, target) transitions of state s.
+	trans [][]nfaEdge
+	// eps[s] lists ε-successors of state s.
+	eps    [][]int
+	start  int
+	accept int
+}
+
+type nfaEdge struct {
+	label graph.Label
+	to    int
+}
+
+// CompileNFA builds an NFA from the AST via Thompson's construction.
+func CompileNFA(ast *Node) *NFA {
+	n := &NFA{}
+	s, a := n.build(ast)
+	n.start, n.accept = s, a
+	return n
+}
+
+func (n *NFA) newState() int {
+	n.trans = append(n.trans, nil)
+	n.eps = append(n.eps, nil)
+	return len(n.trans) - 1
+}
+
+func (n *NFA) addEps(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+// build returns (start, accept) of the fragment for node.
+func (n *NFA) build(node *Node) (int, int) {
+	switch node.Op {
+	case OpLabel:
+		s, a := n.newState(), n.newState()
+		n.trans[s] = append(n.trans[s], nfaEdge{label: node.Label, to: a})
+		return s, a
+	case OpConcat:
+		s, a := n.build(node.Kids[0])
+		for _, k := range node.Kids[1:] {
+			ks, ka := n.build(k)
+			n.addEps(a, ks)
+			a = ka
+		}
+		return s, a
+	case OpAltern:
+		s, a := n.newState(), n.newState()
+		for _, k := range node.Kids {
+			ks, ka := n.build(k)
+			n.addEps(s, ks)
+			n.addEps(ka, a)
+		}
+		return s, a
+	case OpStar:
+		s, a := n.newState(), n.newState()
+		ks, ka := n.build(node.Kids[0])
+		n.addEps(s, ks)
+		n.addEps(s, a)
+		n.addEps(ka, ks)
+		n.addEps(ka, a)
+		return s, a
+	case OpPlus:
+		s, a := n.newState(), n.newState()
+		ks, ka := n.build(node.Kids[0])
+		n.addEps(s, ks)
+		n.addEps(ka, ks)
+		n.addEps(ka, a)
+		return s, a
+	}
+	panic("regexpath: unknown AST op")
+}
+
+// DFA is a deterministic automaton over edge labels produced by subset
+// construction. It satisfies traversal.DFAIface.
+type DFA struct {
+	// next[s*numLabels + l] = target state, or -1.
+	next      []int32
+	accepting []bool
+	numLabels int
+}
+
+// CompileDFA parses nothing: it determinizes an NFA for a label universe of
+// the given size.
+func CompileDFA(nfa *NFA, numLabels int) *DFA {
+	type key string
+	closure := func(states []int) []int {
+		seen := make(map[int]bool)
+		var stack []int
+		for _, s := range states {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range nfa.eps[s] {
+				if !seen[t] {
+					seen[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+		out := make([]int, 0, len(seen))
+		for s := range seen {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		return out
+	}
+	keyOf := func(states []int) key {
+		b := make([]byte, 0, len(states)*3)
+		for _, s := range states {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return key(b)
+	}
+
+	d := &DFA{numLabels: numLabels}
+	ids := make(map[key]int32)
+	var subsets [][]int
+
+	add := func(states []int) int32 {
+		k := keyOf(states)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := int32(len(subsets))
+		ids[k] = id
+		subsets = append(subsets, states)
+		for l := 0; l < numLabels; l++ {
+			d.next = append(d.next, -1)
+		}
+		acc := false
+		for _, s := range states {
+			if s == nfa.accept {
+				acc = true
+				break
+			}
+		}
+		d.accepting = append(d.accepting, acc)
+		return id
+	}
+
+	start := closure([]int{nfa.start})
+	add(start)
+	for work := 0; work < len(subsets); work++ {
+		states := subsets[work]
+		// Group moves by label.
+		moves := make(map[graph.Label][]int)
+		for _, s := range states {
+			for _, e := range nfa.trans[s] {
+				moves[e.label] = append(moves[e.label], e.to)
+			}
+		}
+		for l, targets := range moves {
+			if int(l) >= numLabels {
+				continue
+			}
+			id := add(closure(targets))
+			d.next[work*numLabels+int(l)] = id
+		}
+	}
+	return d
+}
+
+// Compile parses expr against the labels of g and returns its DFA.
+func Compile(expr string, g *graph.Digraph) (*DFA, error) {
+	ast, err := Parse(expr, GraphResolver(g))
+	if err != nil {
+		return nil, err
+	}
+	return CompileDFA(CompileNFA(ast), g.Labels()), nil
+}
+
+// Start returns the DFA start state.
+func (d *DFA) Start() int { return 0 }
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.accepting) }
+
+// Step returns the successor of state on label l, or -1 if undefined.
+func (d *DFA) Step(state int, l graph.Label) int {
+	if int(l) >= d.numLabels {
+		return -1
+	}
+	return int(d.next[state*d.numLabels+int(l)])
+}
+
+// Accepting reports whether state accepts.
+func (d *DFA) Accepting(state int) bool { return d.accepting[state] }
+
+// MatchesEmpty reports whether the empty word is in the language (s == t
+// queries are then trivially true).
+func (d *DFA) MatchesEmpty() bool { return d.accepting[0] }
+
+// Accepts reports whether the word (sequence of labels) is in the language;
+// used by tests.
+func (d *DFA) Accepts(word []graph.Label) bool {
+	s := 0
+	for _, l := range word {
+		s = d.Step(s, l)
+		if s < 0 {
+			return false
+		}
+	}
+	return d.Accepting(s)
+}

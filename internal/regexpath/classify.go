@@ -1,0 +1,110 @@
+package regexpath
+
+import (
+	"repro/internal/graph"
+	"repro/internal/labelset"
+)
+
+// Class identifies which §4 index family can answer a path constraint.
+type Class int
+
+// Constraint classes.
+const (
+	// ClassGeneral: outside both indexable fragments; requires
+	// product-automaton search.
+	ClassGeneral Class = iota
+	// ClassAlternation: α ≡ (l1 ∪ l2 ∪ ...)* or (...)+ — answerable by the
+	// LCR indexes of §4.1.
+	ClassAlternation
+	// ClassConcatenation: α ≡ (l1 · l2 · ...)* or (...)+ — answerable by the
+	// RLC index of §4.2.
+	ClassConcatenation
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassAlternation:
+		return "alternation"
+	case ClassConcatenation:
+		return "concatenation"
+	default:
+		return "general"
+	}
+}
+
+// Classification is the result of Classify.
+type Classification struct {
+	Class Class
+	// Allowed is the label set for ClassAlternation.
+	Allowed labelset.Set
+	// Sequence is the concatenated label sequence for ClassConcatenation.
+	Sequence []graph.Label
+	// PlusOnly is true when the Kleene operator was '+' rather than '*'
+	// (the empty path does not satisfy the constraint).
+	PlusOnly bool
+}
+
+// Classify decides whether the constraint falls into the alternation or
+// concatenation fragment of §4. It is syntactic with light normalization:
+// nested alternations of labels flatten, single labels under star count as
+// one-element alternations (equivalently one-element concatenations; the
+// alternation class is preferred as LCR indexes are the more general
+// family here).
+func Classify(ast *Node) Classification {
+	if ast.Op != OpStar && ast.Op != OpPlus {
+		// The fragments of §4 are exactly Kleene-closed expressions; a bare
+		// alternation or concatenation without * or + is general (a fixed
+		// 1-repetition pattern) — answered by the product search.
+		return Classification{Class: ClassGeneral}
+	}
+	body := ast.Kids[0]
+	plusOnly := ast.Op == OpPlus
+
+	if mask, ok := alternationOfLabels(body); ok {
+		return Classification{Class: ClassAlternation, Allowed: mask, PlusOnly: plusOnly}
+	}
+	if seq, ok := concatenationOfLabels(body); ok {
+		return Classification{Class: ClassConcatenation, Sequence: seq, PlusOnly: plusOnly}
+	}
+	return Classification{Class: ClassGeneral}
+}
+
+// alternationOfLabels reports whether n is a label or an alternation of
+// labels (arbitrarily nested alternations flatten).
+func alternationOfLabels(n *Node) (labelset.Set, bool) {
+	switch n.Op {
+	case OpLabel:
+		return labelset.Of(n.Label), true
+	case OpAltern:
+		var mask labelset.Set
+		for _, k := range n.Kids {
+			m, ok := alternationOfLabels(k)
+			if !ok {
+				return 0, false
+			}
+			mask = mask.Union(m)
+		}
+		return mask, true
+	}
+	return 0, false
+}
+
+// concatenationOfLabels reports whether n is a label or a concatenation of
+// labels (nested concatenations flatten).
+func concatenationOfLabels(n *Node) ([]graph.Label, bool) {
+	switch n.Op {
+	case OpLabel:
+		return []graph.Label{n.Label}, true
+	case OpConcat:
+		var seq []graph.Label
+		for _, k := range n.Kids {
+			s, ok := concatenationOfLabels(k)
+			if !ok {
+				return nil, false
+			}
+			seq = append(seq, s...)
+		}
+		return seq, true
+	}
+	return nil, false
+}

@@ -1,0 +1,42 @@
+package regexpath
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzParse throws arbitrary strings at the α parser: no panics, and any
+// accepted expression must compile to a DFA and survive a String()
+// round trip with an equivalent automaton on a few probe words.
+func FuzzParse(f *testing.F) {
+	f.Add("(a|b)*")
+	f.Add("a.b.c+")
+	f.Add("((a))")
+	f.Add("a**")
+	f.Add("|")
+	f.Add("a··b")
+	f.Add("(a∪b)+")
+	resolve := fixedResolver("a", "b", "c")
+	probes := [][]graph.Label{
+		{}, {0}, {1}, {2}, {0, 1}, {1, 0}, {0, 0, 0}, {2, 1, 0}, {0, 1, 2, 0},
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		ast, err := Parse(in, resolve)
+		if err != nil {
+			return
+		}
+		dfa := CompileDFA(CompileNFA(ast), 3)
+		re, err := Parse(ast.String(), resolve)
+		if err != nil {
+			t.Fatalf("String() %q of accepted input %q does not reparse: %v",
+				ast.String(), in, err)
+		}
+		dfa2 := CompileDFA(CompileNFA(re), 3)
+		for _, w := range probes {
+			if dfa.Accepts(w) != dfa2.Accepts(w) {
+				t.Fatalf("round trip of %q diverges on %v", in, w)
+			}
+		}
+	})
+}

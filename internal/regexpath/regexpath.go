@@ -1,0 +1,265 @@
+// Package regexpath implements the paper's §2.2 path-constraint language
+//
+//	α ::= l | α·α | α∪α | α+ | α*
+//
+// over a graph's edge-label universe: a recursive-descent parser producing
+// an AST, Thompson construction to an NFA, subset construction to a DFA,
+// and a classifier that recognizes the two indexable fragments of §4 —
+// alternation constraints (l1 ∪ l2 ∪ ...)* answered by LCR indexes and
+// concatenation constraints (l1 · l2 · ...)* answered by the RLC index.
+// Constraints outside both fragments are evaluated by product-automaton
+// search (traversal.ProductBFS), mirroring the paper's observation that no
+// index covers the full RPQ fragment.
+//
+// Concrete syntax accepted by Parse: label names (letters, digits, '_'),
+// '.' or juxtaposition-with-whitespace for concatenation, '|' or '∪' or
+// '+' ... no: '+' is the Kleene plus postfix; alternation is '|' or '∪';
+// grouping with parentheses; postfix '*' and '+'.
+package regexpath
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Op is an AST node kind.
+type Op int
+
+// AST node kinds.
+const (
+	OpLabel Op = iota // leaf: one edge label
+	OpConcat
+	OpAltern
+	OpStar
+	OpPlus
+)
+
+// Node is an AST node of a path-constraint expression.
+type Node struct {
+	Op    Op
+	Label graph.Label // for OpLabel
+	Name  string      // original label text, for error messages / printing
+	Kids  []*Node
+}
+
+// String renders the AST back to concrete syntax.
+func (n *Node) String() string {
+	switch n.Op {
+	case OpLabel:
+		return n.Name
+	case OpConcat:
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			parts[i] = k.parenString(OpConcat)
+		}
+		return strings.Join(parts, ".")
+	case OpAltern:
+		parts := make([]string, len(n.Kids))
+		for i, k := range n.Kids {
+			parts[i] = k.parenString(OpAltern)
+		}
+		return strings.Join(parts, "|")
+	case OpStar:
+		return n.Kids[0].parenString(OpStar) + "*"
+	case OpPlus:
+		return n.Kids[0].parenString(OpStar) + "+"
+	}
+	return "?"
+}
+
+func (n *Node) parenString(parent Op) string {
+	s := n.String()
+	need := false
+	switch parent {
+	case OpStar, OpPlus:
+		need = n.Op != OpLabel
+	case OpConcat:
+		need = n.Op == OpAltern
+	}
+	if need {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// LabelResolver maps label names to ids; satisfied by closures over
+// graph.Builder or a fixed table.
+type LabelResolver func(name string) (graph.Label, bool)
+
+// GraphResolver builds a LabelResolver from a labeled graph's registered
+// label names.
+func GraphResolver(g *graph.Digraph) LabelResolver {
+	byName := make(map[string]graph.Label, g.Labels())
+	for l := 0; l < g.Labels(); l++ {
+		byName[g.LabelName(graph.Label(l))] = graph.Label(l)
+	}
+	return func(name string) (graph.Label, bool) {
+		l, ok := byName[name]
+		return l, ok
+	}
+}
+
+type parser struct {
+	in      string
+	pos     int
+	resolve LabelResolver
+}
+
+// Parse parses a path-constraint expression, resolving label names through
+// resolve.
+func Parse(in string, resolve LabelResolver) (*Node, error) {
+	p := &parser{in: in, resolve: resolve}
+	n, err := p.parseAltern()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("regexpath: unexpected %q at offset %d", p.in[p.pos:], p.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+// parseAltern ::= concat ('|' concat)*
+func (p *parser) parseAltern() (*Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Node{first}
+	for {
+		c := p.peek()
+		if c != '|' && !p.peekRune('∪') {
+			break
+		}
+		p.consumeAltOp()
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &Node{Op: OpAltern, Kids: kids}, nil
+}
+
+func (p *parser) peekRune(r rune) bool {
+	p.skipSpace()
+	rest := p.in[p.pos:]
+	return strings.HasPrefix(rest, string(r))
+}
+
+func (p *parser) consumeAltOp() {
+	p.skipSpace()
+	if p.in[p.pos] == '|' {
+		p.pos++
+		return
+	}
+	p.pos += len("∪")
+}
+
+// parseConcat ::= unary (('.' | juxtaposition) unary)*
+func (p *parser) parseConcat() (*Node, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Node{first}
+	for {
+		c := p.peek()
+		if c == '.' || p.peekRune('·') {
+			if c == '.' {
+				p.pos++
+			} else {
+				p.pos += len("·")
+			}
+		} else if !isLabelStart(c) && c != '(' {
+			break
+		}
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &Node{Op: OpConcat, Kids: kids}, nil
+}
+
+// parseUnary ::= atom ('*' | '+')*
+func (p *parser) parseUnary() (*Node, error) {
+	n, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			n = &Node{Op: OpStar, Kids: []*Node{n}}
+		case '+':
+			p.pos++
+			n = &Node{Op: OpPlus, Kids: []*Node{n}}
+		default:
+			return n, nil
+		}
+	}
+}
+
+// parseAtom ::= label | '(' altern ')'
+func (p *parser) parseAtom() (*Node, error) {
+	c := p.peek()
+	if c == '(' {
+		p.pos++
+		n, err := p.parseAltern()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("regexpath: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return n, nil
+	}
+	if !isLabelStart(c) {
+		return nil, fmt.Errorf("regexpath: expected label or '(' at offset %d", p.pos)
+	}
+	start := p.pos
+	for p.pos < len(p.in) && isLabelChar(p.in[p.pos]) {
+		p.pos++
+	}
+	name := p.in[start:p.pos]
+	l, ok := p.resolve(name)
+	if !ok {
+		return nil, fmt.Errorf("regexpath: unknown label %q", name)
+	}
+	return &Node{Op: OpLabel, Label: l, Name: name}, nil
+}
+
+func isLabelStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isLabelChar(c byte) bool {
+	return isLabelStart(c) || (c >= '0' && c <= '9')
+}

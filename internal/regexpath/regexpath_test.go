@@ -1,0 +1,178 @@
+package regexpath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/labelset"
+)
+
+func fixedResolver(names ...string) LabelResolver {
+	m := make(map[string]graph.Label)
+	for i, n := range names {
+		m[n] = graph.Label(i)
+	}
+	return func(name string) (graph.Label, bool) {
+		l, ok := m[name]
+		return l, ok
+	}
+}
+
+var abc = fixedResolver("a", "b", "c")
+
+func mustParse(t *testing.T, expr string) *Node {
+	t.Helper()
+	n, err := Parse(expr, abc)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	return n
+}
+
+func TestParseShapes(t *testing.T) {
+	cases := map[string]string{
+		"a":       "a",
+		"a.b":     "a.b",
+		"a b":     "a.b",
+		"a|b":     "a|b",
+		"(a|b)*":  "(a|b)*",
+		"(a.b)+":  "(a.b)+",
+		"a.b|c":   "a.b|c",
+		"(a|b).c": "(a|b).c",
+		"a**":     "(a*)*",
+		"((a))":   "a",
+		"(a∪b)*":  "(a|b)*",
+		"(a·b)*":  "(a.b)*",
+	}
+	for in, want := range cases {
+		n := mustParse(t, in)
+		if got := n.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "(", "(a", "a)", "|a", "a|", "unknown", "a..b", "*", "a | | b"} {
+		if _, err := Parse(in, abc); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestDFAAccepts(t *testing.T) {
+	la, lb, lc := graph.Label(0), graph.Label(1), graph.Label(2)
+	cases := []struct {
+		expr string
+		yes  [][]graph.Label
+		no   [][]graph.Label
+	}{
+		{"a", [][]graph.Label{{la}}, [][]graph.Label{{}, {lb}, {la, la}}},
+		{"a.b", [][]graph.Label{{la, lb}}, [][]graph.Label{{la}, {lb, la}, {la, lb, la}}},
+		{"a|b", [][]graph.Label{{la}, {lb}}, [][]graph.Label{{lc}, {la, lb}}},
+		{"(a|b)*", [][]graph.Label{{}, {la}, {lb, la, lb}}, [][]graph.Label{{lc}, {la, lc}}},
+		{"(a.b)+", [][]graph.Label{{la, lb}, {la, lb, la, lb}}, [][]graph.Label{{}, {la}, {la, lb, la}}},
+		{"(a.b)*", [][]graph.Label{{}, {la, lb}}, [][]graph.Label{{lb, la}}},
+		{"a.(b|c)*", [][]graph.Label{{la}, {la, lb, lc}}, [][]graph.Label{{lb}}},
+		{"a+", [][]graph.Label{{la}, {la, la, la}}, [][]graph.Label{{}}},
+	}
+	for _, c := range cases {
+		ast := mustParse(t, c.expr)
+		dfa := CompileDFA(CompileNFA(ast), 3)
+		for _, w := range c.yes {
+			if !dfa.Accepts(w) {
+				t.Errorf("%q should accept %v", c.expr, w)
+			}
+		}
+		for _, w := range c.no {
+			if dfa.Accepts(w) {
+				t.Errorf("%q should reject %v", c.expr, w)
+			}
+		}
+	}
+}
+
+func TestDFAMatchesEmpty(t *testing.T) {
+	star := CompileDFA(CompileNFA(mustParse(t, "(a|b)*")), 3)
+	plus := CompileDFA(CompileNFA(mustParse(t, "(a|b)+")), 3)
+	if !star.MatchesEmpty() {
+		t.Error("star must match empty")
+	}
+	if plus.MatchesEmpty() {
+		t.Error("plus must not match empty")
+	}
+}
+
+func TestCompileAgainstGraph(t *testing.T) {
+	g := graph.Fig1Labeled()
+	dfa, err := Compile("(friendOf|follows)*", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dfa.Accepts([]graph.Label{0, 1, 0}) {
+		t.Error("friendOf follows friendOf should be accepted")
+	}
+	if dfa.Accepts([]graph.Label{2}) {
+		t.Error("worksFor should be rejected")
+	}
+	if _, err := Compile("(friendOf|nosuch)*", g); err == nil ||
+		!strings.Contains(err.Error(), "unknown label") {
+		t.Errorf("unknown label should fail, got %v", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		expr  string
+		class Class
+	}{
+		{"(a|b)*", ClassAlternation},
+		{"(a|b|c)+", ClassAlternation},
+		{"a*", ClassAlternation},
+		{"(a)*", ClassAlternation},
+		{"((a|b)|c)*", ClassAlternation},
+		{"(a.b)*", ClassConcatenation},
+		{"(a.b.c)+", ClassConcatenation},
+		{"(a.(b.c))*", ClassConcatenation},
+		{"a.b", ClassGeneral},
+		{"a|b", ClassGeneral},
+		{"(a.b|c)*", ClassGeneral},
+		{"(a*.b)*", ClassGeneral},
+		{"a.(b|c)*", ClassGeneral},
+	}
+	for _, c := range cases {
+		got := Classify(mustParse(t, c.expr))
+		if got.Class != c.class {
+			t.Errorf("Classify(%q) = %v, want %v", c.expr, got.Class, c.class)
+		}
+	}
+}
+
+func TestClassifyDetails(t *testing.T) {
+	cl := Classify(mustParse(t, "(a|c)*"))
+	if cl.Allowed != labelset.Of(0, 2) {
+		t.Errorf("Allowed = %b", cl.Allowed)
+	}
+	if cl.PlusOnly {
+		t.Error("star misreported as plus")
+	}
+	cl = Classify(mustParse(t, "(a.b)+"))
+	if len(cl.Sequence) != 2 || cl.Sequence[0] != 0 || cl.Sequence[1] != 1 {
+		t.Errorf("Sequence = %v", cl.Sequence)
+	}
+	if !cl.PlusOnly {
+		t.Error("plus misreported as star")
+	}
+}
+
+func TestGraphResolver(t *testing.T) {
+	g := graph.Fig1Labeled()
+	r := GraphResolver(g)
+	if l, ok := r("worksFor"); !ok || l != 2 {
+		t.Errorf("worksFor -> %d,%v", l, ok)
+	}
+	if _, ok := r("bogus"); ok {
+		t.Error("bogus label resolved")
+	}
+}

@@ -1,0 +1,130 @@
+// Package rpqindex addresses the paper's §5 challenge that "the existing
+// solutions can only deal with a specific type of path constraint" and
+// that an index for "the entire fragment of regular path queries" would
+// be of great interest: it builds a reachability index for ANY fixed
+// path-constraint expression α of the §2.2 grammar.
+//
+// The construction generalizes the phase-product idea of the RLC index:
+// compile α to a DFA, form the product graph over (vertex, state) pairs
+// (an edge (u, l, v) induces (u,q) → (v, δ(q,l)) for every live state q),
+// and label the product with pruned 2-hop. Qr(s, t, α) then asks whether
+// (s, q0) reaches (t, qf) for some accepting qf — pure index lookups.
+//
+// The index answers one constraint (and, by construction, any query whose
+// DFA is the same automaton); a GDBMS would build one per hot constraint
+// in its query log, exactly the §5 "practical path constraints" scenario
+// motivated by the Wikidata query-log study [6].
+package rpqindex
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pll"
+	"repro/internal/regexpath"
+)
+
+// Index answers Qr(s, t, α) for one fixed α by product 2-hop lookups.
+type Index struct {
+	g         *graph.Digraph
+	alpha     string
+	dfa       *regexpath.DFA
+	states    int
+	accepting []graph.V // accepting DFA states
+	ix        *pll.Index
+	stats     core.Stats
+}
+
+// New compiles alpha against g's labels and builds the product labeling.
+func New(g *graph.Digraph, alpha string) (*Index, error) {
+	start := time.Now()
+	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(g))
+	if err != nil {
+		return nil, err
+	}
+	dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), g.Labels())
+	ns := dfa.NumStates()
+	b := graph.NewBuilder(g.N() * ns)
+	g.Edges(func(e graph.Edge) bool {
+		for q := 0; q < ns; q++ {
+			if nq := dfa.Step(q, e.Label); nq >= 0 {
+				b.AddEdge(e.From*graph.V(ns)+graph.V(q), e.To*graph.V(ns)+graph.V(nq))
+			}
+		}
+		return true
+	})
+	product := b.MustFreeze()
+	idx := &Index{
+		g:      g,
+		alpha:  alpha,
+		dfa:    dfa,
+		states: ns,
+		ix:     pll.New(product, pll.Options{Name: "RPQ-product"}),
+	}
+	for q := 0; q < ns; q++ {
+		if dfa.Accepting(q) {
+			idx.accepting = append(idx.accepting, graph.V(q))
+		}
+	}
+	st := idx.ix.Stats()
+	idx.stats = core.Stats{Entries: st.Entries, Bytes: st.Bytes, BuildTime: time.Since(start)}
+	return idx, nil
+}
+
+// Alpha returns the indexed constraint expression.
+func (ix *Index) Alpha() string { return ix.alpha }
+
+// Name implements the common naming convention.
+func (ix *Index) Name() string { return "RPQ[" + ix.alpha + "]" }
+
+// Reach reports whether some s-t path satisfies α. The s == t case is
+// true iff α accepts the empty word or some nontrivial cycle spells a
+// word of L(α).
+func (ix *Index) Reach(s, t graph.V) bool {
+	ns := graph.V(ix.states)
+	q0 := graph.V(ix.dfa.Start())
+	if s == t && ix.dfa.MatchesEmpty() {
+		return true
+	}
+	startNode := s*ns + q0
+	for _, qf := range ix.accepting {
+		target := t*ns + qf
+		if startNode == target {
+			// Same product node: 2-hop treats self pairs as trivially
+			// reachable, but the query needs a genuine cycle — take one
+			// concrete first step and ask the labels for the way back.
+			if ix.firstStepReach(s, target) {
+				return true
+			}
+			continue
+		}
+		if ix.ix.Reach(startNode, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstStepReach peels one edge off the start product node and checks
+// product reachability from the step target back to `target`.
+func (ix *Index) firstStepReach(s graph.V, target graph.V) bool {
+	ns := graph.V(ix.states)
+	q0 := ix.dfa.Start()
+	succ := ix.g.Succ(s)
+	labs := ix.g.SuccLabels(s)
+	for i, w := range succ {
+		nq := ix.dfa.Step(q0, labs[i])
+		if nq < 0 {
+			continue
+		}
+		node := w*ns + graph.V(nq)
+		if node == target || ix.ix.Reach(node, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats implements the common statistics convention.
+func (ix *Index) Stats() core.Stats { return ix.stats }

@@ -1,0 +1,112 @@
+package rpqindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/regexpath"
+	"repro/internal/traversal"
+)
+
+// checkAgainstProductBFS cross-validates the index over all pairs.
+func checkAgainstProductBFS(t *testing.T, g *graph.Digraph, alpha string) {
+	t.Helper()
+	ix, err := New(g, alpha)
+	if err != nil {
+		t.Fatalf("%q: %v", alpha, err)
+	}
+	dfa, err := regexpath.Compile(alpha, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			want := traversal.ProductBFS(g, s, tt, dfa)
+			if got := ix.Reach(s, tt); got != want {
+				t.Fatalf("%q: Reach(%d,%d) = %v, want %v", alpha, s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestFig1Constraints(t *testing.T) {
+	g := graph.Fig1Labeled()
+	for _, alpha := range []string{
+		"(friendOf|follows)*",
+		"(worksFor.friendOf)*",
+		"follows.worksFor.worksFor",
+		"(friendOf|follows)+",
+		"friendOf.(worksFor|friendOf)*",
+		"worksFor+",
+	} {
+		checkAgainstProductBFS(t, g, alpha)
+	}
+}
+
+func TestRandomGraphsMixedConstraints(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 40, M: 160, Seed: seed}), 3, 0.5, seed+1)
+		for _, alpha := range []string{
+			"(l0|l1)*", "(l0.l1)*", "l0.(l1|l2)*", "(l0.l1|l2)+", "l2*", "l0",
+		} {
+			checkAgainstProductBFS(t, g, alpha)
+		}
+	}
+}
+
+func TestCyclicSelfQueries(t *testing.T) {
+	// 2-cycle with labels a,b: (a.b)+ from 0 to 0 must be true; the
+	// product self-node subtlety.
+	b := graph.NewLabeledBuilder(2)
+	b.AddLabeledEdge(0, 1, 0)
+	b.AddLabeledEdge(1, 0, 1)
+	g := b.MustFreeze()
+	checkAgainstProductBFS(t, g, "(l0.l1)+")
+	checkAgainstProductBFS(t, g, "(l0.l1)*")
+	ix, _ := New(g, "(l0.l1)+")
+	if !ix.Reach(0, 0) {
+		t.Fatal("cycle self query must be true")
+	}
+	if ix.Reach(1, 1) {
+		t.Fatal("misaligned cycle self query must be false")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	g := graph.Fig1Labeled()
+	ix, err := New(g, "worksFor*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Alpha() != "worksFor*" || ix.Name() != "RPQ[worksFor*]" {
+		t.Error("metadata")
+	}
+	if ix.Stats().BuildTime <= 0 {
+		t.Error("build time")
+	}
+	if _, err := New(g, "nosuch*"); err == nil {
+		t.Error("unknown label must fail")
+	}
+}
+
+func TestQueryThroughput(t *testing.T) {
+	// The point of the index: answers are lookups, so a scan over all
+	// pairs must be fast and exact on a bigger graph.
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 300, M: 1200, Seed: 9}), 4, 0.7, 10)
+	alpha := "(l0|l3)*.l1"
+	ix, err := New(g, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfa, _ := regexpath.Compile(alpha, g)
+	rng := rand.New(rand.NewSource(11))
+	for q := 0; q < 2000; q++ {
+		s := graph.V(rng.Intn(g.N()))
+		tt := graph.V(rng.Intn(g.N()))
+		if got, want := ix.Reach(s, tt), traversal.ProductBFS(g, s, tt, dfa); got != want {
+			t.Fatalf("Reach(%d,%d) = %v, want %v", s, tt, got, want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package sspi implements the Tree+SSPI scheme of Chen, Gupta and Kurul
+// [9] (§3.1): spanning-tree interval labeling plus a surrogate &
+// surplus-predecessor index (the per-vertex list of non-tree in-edges),
+// answering queries by a backward climb that is pruned by the tree
+// intervals. It is a partial index: positive answers come from interval
+// lookups, negative answers require exhausting the predecessor closure.
+//
+// Query evaluation uses the suffix decomposition of any s-t path: the
+// maximal trailing run of tree edges descends from some vertex w with
+// t ∈ subtree(w); the edge entering w (if any) is a non-tree edge (u, w),
+// and s must reach u. So a backward search from t through tree parents and
+// non-tree predecessors, testing subtree(s) membership at every step, is
+// exact.
+package sspi
+
+import (
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Index is the Tree+SSPI partial index over a DAG.
+type Index struct {
+	g  *graph.Digraph
+	po *order.PostOrder
+	// surplus[v] = non-tree predecessors of v (the SSPI).
+	surplus [][]graph.V
+	stats   core.Stats
+}
+
+// New builds Tree+SSPI over a DAG.
+func New(dag *graph.Digraph) *Index {
+	start := time.Now()
+	n := dag.N()
+	po := order.DFSForest(dag, order.Sources(dag), nil)
+	ix := &Index{g: dag, po: po, surplus: make([][]graph.V, n)}
+	entries := n
+	dag.Edges(func(e graph.Edge) bool {
+		if po.Parent[e.To] != e.From {
+			ix.surplus[e.To] = append(ix.surplus[e.To], e.From)
+			entries++
+		}
+		return true
+	})
+	ix.stats = core.Stats{
+		Entries:   entries,
+		Bytes:     entries * 8,
+		BuildTime: time.Since(start),
+	}
+	return ix
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "Tree+SSPI" }
+
+// TryReach implements core.Partial: interval containment is a definite
+// positive; everything else is undecided (SSPI has no negative filter).
+func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
+	if s == t || ix.po.Contains(s, t) {
+		return true, true
+	}
+	return false, false
+}
+
+// Reach answers Qr(s, t) by the backward predecessor-closure climb.
+func (ix *Index) Reach(s, t graph.V) bool {
+	if s == t || ix.po.Contains(s, t) {
+		return true
+	}
+	visited := bitset.New(ix.g.N())
+	visited.Set(int(t))
+	stack := []graph.V{t}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Climb to the tree parent: s could be an ancestor owning x's
+		// trailing tree run (already covered by the initial Contains), but
+		// intermediate ancestors expose more surplus predecessors.
+		if p := ix.po.Parent[x]; p != x && !visited.Test(int(p)) {
+			visited.Set(int(p))
+			if ix.po.Contains(s, p) {
+				return true
+			}
+			stack = append(stack, p)
+		}
+		for _, u := range ix.surplus[x] {
+			if visited.Test(int(u)) {
+				continue
+			}
+			visited.Set(int(u))
+			if u == s || ix.po.Contains(s, u) {
+				return true
+			}
+			stack = append(stack, u)
+		}
+	}
+	return false
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }

@@ -1,0 +1,50 @@
+package sspi
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestPartialSoundness(t *testing.T) {
+	indextest.CheckPartialSoundness(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestSurplusListsOnlyNonTree(t *testing.T) {
+	g := gen.TreePlus(100, 0, 3)
+	ix := New(g)
+	for v := 0; v < g.N(); v++ {
+		if len(ix.surplus[v]) != 0 {
+			t.Fatalf("pure tree has surplus predecessors at %d", v)
+		}
+	}
+	if ix.Name() != "Tree+SSPI" {
+		t.Error("name")
+	}
+}
+
+func TestBackwardClimb(t *testing.T) {
+	// s's subtree does not contain t, but a non-tree edge from inside
+	// s's subtree reaches t's ancestor chain.
+	//   tree: 0->1, 0->2, 2->3; non-tree: 1->3 handled... craft:
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(2, 3) // 3 reached first as root? ids: roots 0 and 3.
+	g := b.MustFreeze()
+	ix := New(g)
+	if !ix.Reach(0, 4) {
+		t.Error("0 must reach 4 through the non-tree hop")
+	}
+	if ix.Reach(4, 0) || ix.Reach(3, 2) {
+		t.Error("false positive")
+	}
+}

@@ -1,0 +1,179 @@
+package tc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/labelset"
+	"repro/internal/traversal"
+)
+
+func TestClosureMatchesBFS(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := gen.ErdosRenyi(gen.Config{N: 70, M: 200, Seed: seed})
+		c := NewClosure(g)
+		for s := graph.V(0); int(s) < g.N(); s++ {
+			set := traversal.ReachableFrom(g, s)
+			for tt := graph.V(0); int(tt) < g.N(); tt++ {
+				if c.Reach(s, tt) != set.Test(int(tt)) {
+					t.Fatalf("seed %d: Reach(%d,%d) = %v, BFS = %v",
+						seed, s, tt, c.Reach(s, tt), set.Test(int(tt)))
+				}
+			}
+		}
+	}
+}
+
+func TestClosureReflexive(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 50, M: 100, Seed: 1})
+	c := NewClosure(g)
+	for v := graph.V(0); int(v) < g.N(); v++ {
+		if !c.Reach(v, v) {
+			t.Fatalf("Reach(%d,%d) false", v, v)
+		}
+	}
+}
+
+func TestClosureStats(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 2}})
+	c := NewClosure(g)
+	// Pairs: (0,0),(1,1),(2,2),(0,1),(1,2),(0,2) = 6.
+	if c.Pairs() != 6 {
+		t.Fatalf("Pairs = %d, want 6", c.Pairs())
+	}
+	if c.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}
+
+func TestGTCFig1WorkedExamples(t *testing.T) {
+	g := graph.Fig1Labeled()
+	id := func(name string) graph.V {
+		for v := 0; v < g.N(); v++ {
+			if g.VertexName(graph.V(v)) == name {
+				return graph.V(v)
+			}
+		}
+		t.Fatalf("no vertex %q", name)
+		return 0
+	}
+	gtc := NewGTC(g)
+	friendOf, follows, worksFor := graph.Label(0), graph.Label(1), graph.Label(2)
+
+	// §4.1: SPLS(L→M) = {worksFor} (p1 dominates p2).
+	lm := gtc.SPLS(id("L"), id("M"))
+	if lm == nil || lm.Len() != 1 || lm.Sets()[0] != labelset.Of(worksFor) {
+		t.Errorf("SPLS(L,M) = %+v, want exactly {worksFor}", lm)
+	}
+	// SPLS(A→L) = {follows}.
+	al := gtc.SPLS(id("A"), id("L"))
+	if al == nil || al.Len() != 1 || al.Sets()[0] != labelset.Of(follows) {
+		t.Errorf("SPLS(A,L) wrong: %+v", al)
+	}
+	// SPLS(A→M) = {follows, worksFor}.
+	am := gtc.SPLS(id("A"), id("M"))
+	if am == nil || am.Len() != 1 || am.Sets()[0] != labelset.Of(follows, worksFor) {
+		t.Errorf("SPLS(A,M) wrong: %+v", am)
+	}
+	// §2.2: Qr(A,G,(friendOf ∪ follows)*) = false.
+	if gtc.ReachLC(id("A"), id("G"), labelset.Of(friendOf, follows)) {
+		t.Error("Qr(A,G,(friendOf|follows)*) should be false")
+	}
+	// §4.1.2: L→H has minimal sets {worksFor} (p3); p4's {worksFor,friendOf}
+	// is dominated.
+	lh := gtc.SPLS(id("L"), id("H"))
+	if lh == nil || !lh.Dominates(labelset.Of(worksFor, friendOf)) {
+		t.Error("SPLS(L,H) must dominate p4's label set")
+	}
+	if !lh.Has(labelset.Of(worksFor)) {
+		t.Errorf("SPLS(L,H) must contain {worksFor} via p3: %+v", lh.Sets())
+	}
+}
+
+func TestGTCMatchesLCRBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for seed := int64(0); seed < 3; seed++ {
+		g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 50, M: 200, Seed: seed}), 5, 0.7, seed+100)
+		gtc := NewGTC(g)
+		for q := 0; q < 400; q++ {
+			s := graph.V(rng.Intn(g.N()))
+			tt := graph.V(rng.Intn(g.N()))
+			mask := uint64(rng.Intn(32))
+			want := traversal.LabelConstrainedBFS(g, s, tt, mask)
+			got := gtc.ReachLC(s, tt, labelset.Set(mask))
+			if s == tt {
+				// GTC stores the empty set for self-pairs; LCR-BFS treats
+				// s==t as trivially true.
+				got = true
+			}
+			if got != want {
+				t.Fatalf("seed %d: ReachLC(%d,%d,%b) = %v, want %v",
+					seed, s, tt, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestGTCAntichains(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 40, M: 160, Seed: 5}), 4, 0, 6)
+	gtc := NewGTC(g)
+	for s := 0; s < g.N(); s++ {
+		for tt := 0; tt < g.N(); tt++ {
+			if c := gtc.SPLS(graph.V(s), graph.V(tt)); c != nil && !c.IsAntichain() {
+				t.Fatalf("SPLS(%d,%d) not an antichain: %v", s, tt, c.Sets())
+			}
+		}
+	}
+	if gtc.Entries() == 0 {
+		t.Error("GTC has no entries")
+	}
+}
+
+func TestRLCReachFig1(t *testing.T) {
+	g := graph.Fig1Labeled()
+	id := func(name string) graph.V {
+		for v := 0; v < g.N(); v++ {
+			if g.VertexName(graph.V(v)) == name {
+				return graph.V(v)
+			}
+		}
+		t.Fatalf("no vertex %q", name)
+		return 0
+	}
+	worksFor, friendOf := graph.Label(2), graph.Label(0)
+	// §4.2: Qr(L,B,(worksFor·friendOf)*) = true.
+	if !RLCReach(g, id("L"), id("B"), []graph.Label{worksFor, friendOf}, true) {
+		t.Error("Qr(L,B,(worksFor.friendOf)*) should be true")
+	}
+	if !RLCReach(g, id("L"), id("B"), []graph.Label{worksFor, friendOf}, false) {
+		t.Error("plus variant should also be true (2 repeats)")
+	}
+	// A cannot start a worksFor-first path.
+	if RLCReach(g, id("A"), id("B"), []graph.Label{worksFor, friendOf}, false) {
+		t.Error("Qr(A,B,(worksFor.friendOf)+) should be false")
+	}
+	// Star makes s==t true, plus does not (no cycle spelled by (wf·fo)^k at A).
+	if !RLCReach(g, id("A"), id("A"), []graph.Label{worksFor, friendOf}, true) {
+		t.Error("star self query should be true")
+	}
+	if RLCReach(g, id("A"), id("A"), []graph.Label{worksFor, friendOf}, false) {
+		t.Error("plus self query should be false here")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 30, M: 90, Seed: 3}), 3, 0, 4)
+	o := NewOracle(g)
+	if o.Labeled == nil {
+		t.Fatal("labeled oracle missing")
+	}
+	if !o.Reach(0, 0) || !o.ReachLC(5, 5, 0) {
+		t.Error("self reachability should hold")
+	}
+	plainOnly := NewOracle(gen.RandomDAG(gen.Config{N: 20, M: 40, Seed: 1}))
+	if plainOnly.Labeled != nil {
+		t.Error("unlabeled graph should have no GTC")
+	}
+}

@@ -1,0 +1,191 @@
+// Package threehop implements the 3-hop index of Jin et al. [26] (§3.2):
+// 2-hop labeling where the intermediate structures are chains — "early
+// works replace the intermediate vertices in the reachability path with
+// graph structures, i.e., chains in the 3-hop index".
+//
+// The DAG is decomposed into vertex-disjoint chains (greedy along the
+// topological order; the published scheme computes a minimum chain cover
+// via min-flow, see DESIGN.md). Labels are (chain, position) pairs:
+// Lout(s) records, per selected chain, the smallest position s can reach;
+// Lin(t) the largest position that reaches t. Qr(s, t) holds iff some
+// chain c has an Lout(s) entry (c, p) and an Lin(t) entry (c, q) with
+// p ≤ q — a 3-hop path s → c[p] → c[q] → t. Labels are pruned 2-hop
+// style: chains are processed in order, and a candidate entry is skipped
+// when already-built labels cover the pair.
+package threehop
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+type entry struct {
+	chain uint32
+	pos   uint32
+}
+
+// Index is the 3-hop complete index over a DAG.
+type Index struct {
+	chain []uint32
+	pos   []uint32
+	out   [][]entry // ascending by chain
+	in    [][]entry
+	stats core.Stats
+}
+
+// New builds the 3-hop index over a DAG.
+func New(dag *graph.Digraph) *Index {
+	start := time.Now()
+	n := dag.N()
+	topo, _ := order.Topological(dag)
+	ix := &Index{
+		chain: make([]uint32, n), pos: make([]uint32, n),
+		out: make([][]entry, n), in: make([][]entry, n),
+	}
+	// Greedy chain decomposition along the topological order.
+	var chains [][]graph.V
+	assigned := make([]bool, n)
+	for _, v := range topo {
+		if assigned[v] {
+			continue
+		}
+		var ch []graph.V
+		cur := v
+		for {
+			assigned[cur] = true
+			ix.chain[cur] = uint32(len(chains))
+			ix.pos[cur] = uint32(len(ch))
+			ch = append(ch, cur)
+			found := false
+			for _, w := range dag.Succ(cur) {
+				if !assigned[w] {
+					cur = w
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+		}
+		chains = append(chains, ch)
+	}
+
+	// Process chains in order; within a chain, label backward-reachability
+	// from the smallest position first (a vertex reaching c[p] also
+	// reaches every later position, so smaller p dominates) and forward
+	// reachability from the largest position first.
+	stamp := make([]uint32, n)
+	var stampID uint32
+	for ci, ch := range chains {
+		c := uint32(ci)
+		// Lout entries: backward BFS from positions in increasing order.
+		stampID++
+		var queue []graph.V
+		for p := 0; p < len(ch); p++ {
+			target := ch[p]
+			if stamp[target] == stampID {
+				continue // reaches an earlier (smaller) position already
+			}
+			stamp[target] = stampID
+			queue = append(queue[:0], target)
+			for qi := 0; qi < len(queue); qi++ {
+				u := queue[qi]
+				// Skip the label when u sits on chain c itself at an
+				// earlier position — the chain edges already certify it.
+				if u != target && !(ix.chain[u] == c && ix.pos[u] <= uint32(p)) {
+					ix.out[u] = append(ix.out[u], entry{chain: c, pos: uint32(p)})
+				}
+				for _, w := range dag.Pred(u) {
+					if stamp[w] != stampID {
+						stamp[w] = stampID
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+		// Lin entries: forward BFS from positions in decreasing order.
+		stampID++
+		for p := len(ch) - 1; p >= 0; p-- {
+			src := ch[p]
+			if stamp[src] == stampID {
+				continue // reachable from a later (larger) position already
+			}
+			stamp[src] = stampID
+			queue = append(queue[:0], src)
+			for qi := 0; qi < len(queue); qi++ {
+				u := queue[qi]
+				if u != src && !(ix.chain[u] == c && ix.pos[u] >= uint32(p)) {
+					ix.in[u] = append(ix.in[u], entry{chain: c, pos: uint32(p)})
+				}
+				for _, w := range dag.Succ(u) {
+					if stamp[w] != stampID {
+						stamp[w] = stampID
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+	}
+	entries := 0
+	for v := 0; v < n; v++ {
+		entries += len(ix.out[v]) + len(ix.in[v])
+	}
+	ix.stats = core.Stats{Entries: entries, Bytes: entries*8 + n*8, BuildTime: time.Since(start)}
+	return ix
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "3-Hop" }
+
+// Reach reports whether t is reachable from s by the chain join.
+func (ix *Index) Reach(s, t graph.V) bool {
+	if s == t {
+		return true
+	}
+	// Virtual self entries: s is at (chain[s], pos[s]) and t likewise.
+	outS := ix.out[s]
+	inT := ix.in[t]
+	check := func(oc, op, icc, ip uint32) bool { return oc == icc && op <= ip }
+	if check(ix.chain[s], ix.pos[s], ix.chain[t], ix.pos[t]) {
+		return true
+	}
+	for _, oe := range outS {
+		if check(oe.chain, oe.pos, ix.chain[t], ix.pos[t]) {
+			return true
+		}
+	}
+	for _, ie := range inT {
+		if check(ix.chain[s], ix.pos[s], ie.chain, ie.pos) {
+			return true
+		}
+	}
+	for _, oe := range outS {
+		for _, ie := range inT {
+			if check(oe.chain, oe.pos, ie.chain, ie.pos) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }
+
+// Chains returns the number of chains in the decomposition.
+func (ix *Index) Chains() int {
+	max := uint32(0)
+	for _, c := range ix.chain {
+		if c > max {
+			max = c
+		}
+	}
+	if len(ix.chain) == 0 {
+		return 0
+	}
+	return int(max) + 1
+}

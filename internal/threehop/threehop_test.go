@@ -1,0 +1,64 @@
+package threehop
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestChainCompression(t *testing.T) {
+	// On a long line the whole index collapses to per-vertex chain
+	// positions with no labels at all.
+	n := 100
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.V(i), graph.V(i+1))
+	}
+	ix := New(b.MustFreeze())
+	if ix.Chains() != 1 {
+		t.Fatalf("chains = %d", ix.Chains())
+	}
+	if ix.Stats().Entries != 0 {
+		t.Errorf("line graph should need 0 hop entries, got %d", ix.Stats().Entries)
+	}
+}
+
+func TestCompressionBeatsTC(t *testing.T) {
+	// Chains pay off on deep, narrow DAGs (the regime the 3-hop paper
+	// targets); random DAGs with wide antichains favour other indexes.
+	g := gen.LayeredDAG(50, 4, 2, 2)
+	ix := New(g)
+	oracle := tc.NewClosure(g)
+	if ix.Stats().Entries >= oracle.Pairs() {
+		t.Errorf("3-hop entries %d >= TC pairs %d", ix.Stats().Entries, oracle.Pairs())
+	}
+	if ix.Name() != "3-Hop" {
+		t.Error("name")
+	}
+}
+
+func TestLabelsSound(t *testing.T) {
+	// Every out entry (c, p) of u must certify a real path u -> chain c
+	// position p; validated indirectly: Reach must never contradict BFS —
+	// covered by conformance — here check entry positions are minimal per
+	// chain (no two out entries on one chain).
+	g := gen.RandomDAG(gen.Config{N: 120, M: 360, Seed: 3})
+	ix := New(g)
+	for v := 0; v < g.N(); v++ {
+		seen := map[uint32]bool{}
+		for _, e := range ix.out[v] {
+			if seen[e.chain] {
+				t.Fatalf("vertex %d has duplicate out entries for chain %d", v, e.chain)
+			}
+			seen[e.chain] = true
+		}
+	}
+}

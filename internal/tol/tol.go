@@ -1,0 +1,249 @@
+// Package tol implements TOL [55] (§3.2): the total-order framework for
+// pruned 2-hop labeling, with support for dynamic graphs.
+//
+// Construction is the generic total-order pruned labeling (the same
+// algorithm instantiated by TFL/DL/PLL), default order in-degree ×
+// out-degree as in the TOL paper. Updates:
+//
+//   - InsertEdge runs the incremental label-repair of the total-order
+//     framework: every hub that reaches u resumes its forward pruned BFS
+//     through the new edge from v, and every hub reached from v resumes
+//     its backward BFS from u. This restores the canonical-cover invariant
+//     (the highest-priority vertex on any path between a pair labels both
+//     endpoints) without touching unaffected labels.
+//   - DeleteEdge rebuilds the labeling. The TOL paper repairs deletions
+//     incrementally by exploiting the total order; that machinery is out
+//     of scope here (see DESIGN.md), and a rebuild keeps the index exact
+//     while still exercising the delete path of the E8 experiment.
+package tol
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Index is the TOL dynamic 2-hop index over a general digraph.
+type Index struct {
+	g       *core.DynGraph
+	rank    []uint32
+	byRank  []graph.V // byRank[r] = vertex with rank r
+	in, out [][]uint32
+	stamp   []uint64
+	stampID uint64
+	stats   core.Stats
+}
+
+// New builds TOL over g using the in-degree × out-degree total order.
+func New(g *graph.Digraph) *Index {
+	start := time.Now()
+	n := g.N()
+	ix := &Index{g: core.NewDynGraph(g), stamp: make([]uint64, n)}
+	key := func(v graph.V) int { return (g.InDegree(v) + 1) * (g.OutDegree(v) + 1) }
+	vs := make([]graph.V, n)
+	for i := range vs {
+		vs[i] = graph.V(i)
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		ki, kj := key(vs[i]), key(vs[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return vs[i] < vs[j]
+	})
+	ix.byRank = vs
+	ix.rank = make([]uint32, n)
+	for i, v := range vs {
+		ix.rank[v] = uint32(i)
+	}
+	ix.rebuild()
+	ix.stats.BuildTime = time.Since(start)
+	return ix
+}
+
+// rebuild recomputes all labels by pruned BFS in rank order.
+func (ix *Index) rebuild() {
+	n := ix.g.N()
+	ix.in = make([][]uint32, n)
+	ix.out = make([][]uint32, n)
+	for r := 0; r < n; r++ {
+		v := ix.byRank[r]
+		ix.prunedBFS(v, uint32(r), v, true)
+		ix.prunedBFS(v, uint32(r), v, false)
+	}
+	ix.refreshStats()
+}
+
+func (ix *Index) refreshStats() {
+	entries := 0
+	for v := range ix.in {
+		entries += len(ix.in[v]) + len(ix.out[v])
+	}
+	ix.stats.Entries = entries
+	ix.stats.Bytes = entries*4 + len(ix.rank)*4
+}
+
+// prunedBFS extends hub h's label coverage starting at vertex from: in the
+// forward direction it adds h to Lin(w) of every newly covered w; backward
+// it adds h to Lout(w). Used both at build time (from == h) and for
+// incremental insert repair (from == the new edge endpoint).
+func (ix *Index) prunedBFS(h graph.V, r uint32, from graph.V, forward bool) {
+	ix.stampID++
+	id := ix.stampID
+	queue := []graph.V{from}
+	ix.stamp[from] = id
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		if u != h {
+			// Pruning is only sound on certificates from strictly
+			// higher-priority hubs (rank < r) — the canonical-cover
+			// induction of the total-order framework — or when h already
+			// labels u (an earlier run of h's BFS handled this frontier).
+			if forward {
+				if containsRank(ix.in[u], r) || ix.coveredBelow(h, u, r) {
+					continue
+				}
+				ix.in[u] = insertSorted(ix.in[u], r)
+			} else {
+				if containsRank(ix.out[u], r) || ix.coveredBelow(u, h, r) {
+					continue
+				}
+				ix.out[u] = insertSorted(ix.out[u], r)
+			}
+		}
+		var next []graph.V
+		if forward {
+			next = ix.g.Succ(u)
+		} else {
+			next = ix.g.Pred(u)
+		}
+		for _, w := range next {
+			if ix.stamp[w] != id && ix.rank[w] > r {
+				ix.stamp[w] = id
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+func insertSorted(s []uint32, x uint32) []uint32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+func containsRank(s []uint32, r uint32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= r })
+	return i < len(s) && s[i] == r
+}
+
+// coveredBelow reports whether labels certify s → t using only hubs of
+// rank strictly below limit (including the s/t-endpoint-as-hub cases).
+func (ix *Index) coveredBelow(s, t graph.V, limit uint32) bool {
+	if s == t {
+		return true
+	}
+	rs, rt := ix.rank[s], ix.rank[t]
+	if rt < limit && containsRank(ix.out[s], rt) {
+		return true
+	}
+	if rs < limit && containsRank(ix.in[t], rs) {
+		return true
+	}
+	ls, lt := ix.out[s], ix.in[t]
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) && ls[i] < limit && lt[j] < limit {
+		switch {
+		case ls[i] == lt[j]:
+			return true
+		case ls[i] < lt[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// covered reports whether current labels certify s → t (the three query
+// cases of §3.2).
+func (ix *Index) covered(s, t graph.V) bool {
+	if s == t {
+		return true
+	}
+	ls, lt := ix.out[s], ix.in[t]
+	rs, rt := ix.rank[s], ix.rank[t]
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		switch {
+		case ls[i] == lt[j]:
+			return true
+		case ls[i] < lt[j]:
+			if ls[i] == rt {
+				return true
+			}
+			i++
+		default:
+			if lt[j] == rs {
+				return true
+			}
+			j++
+		}
+	}
+	for ; i < len(ls); i++ {
+		if ls[i] == rt {
+			return true
+		}
+	}
+	for ; j < len(lt); j++ {
+		if lt[j] == rs {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "TOL" }
+
+// Reach answers Qr(s, t) from labels alone (complete index).
+func (ix *Index) Reach(s, t graph.V) bool { return ix.covered(s, t) }
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }
+
+// InsertEdge adds (u, v) and repairs labels incrementally.
+func (ix *Index) InsertEdge(u, v graph.V) error {
+	if !ix.g.Insert(u, v) {
+		return nil // already present
+	}
+	// Hubs that reach u extend forward through v; note u itself is a hub
+	// for its own pairs.
+	fwd := append([]uint32{ix.rank[u]}, ix.in[u]...)
+	for _, r := range fwd {
+		ix.prunedBFS(ix.byRank[r], r, v, true)
+	}
+	// Hubs reached from v extend backward through u.
+	bwd := append([]uint32{ix.rank[v]}, ix.out[v]...)
+	for _, r := range bwd {
+		ix.prunedBFS(ix.byRank[r], r, u, false)
+	}
+	ix.refreshStats()
+	return nil
+}
+
+// DeleteEdge removes (u, v) and rebuilds the labeling (see package doc).
+func (ix *Index) DeleteEdge(u, v graph.V) error {
+	if !ix.g.Delete(u, v) {
+		return nil
+	}
+	ix.rebuild()
+	return nil
+}

@@ -1,0 +1,92 @@
+package tol
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckGeneralIndex(t, func(g *graph.Digraph) core.Index { return New(g) })
+}
+
+func TestDynamicScript(t *testing.T) {
+	indextest.CheckDynamic(t, func(g *graph.Digraph) core.Dynamic { return New(g) },
+		false /* general graphs */, 60, 40)
+}
+
+func TestInsertIncremental(t *testing.T) {
+	// Insert edges one by one into an initially empty graph; the labels
+	// must track the oracle the whole way.
+	full := gen.ErdosRenyi(gen.Config{N: 40, M: 140, Seed: 20})
+	empty := graph.FromEdges(full.N(), nil)
+	ix := New(empty)
+	b := graph.NewBuilder(full.N())
+	full.Edges(func(e graph.Edge) bool {
+		if err := ix.InsertEdge(e.From, e.To); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		b.AddEdge(e.From, e.To)
+		return true
+	})
+	oracle := tc.NewClosure(b.MustFreeze())
+	for s := graph.V(0); int(s) < full.N(); s++ {
+		for tt := graph.V(0); int(tt) < full.N(); tt++ {
+			if got, want := ix.Reach(s, tt), oracle.Reach(s, tt); got != want {
+				t.Fatalf("after all inserts: Reach(%d,%d) = %v, want %v", s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestInsertExistingEdgeNoop(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 30, M: 80, Seed: 21})
+	ix := New(g)
+	before := ix.Stats().Entries
+	var e graph.Edge
+	g.Edges(func(x graph.Edge) bool { e = x; return false })
+	if err := ix.InsertEdge(e.From, e.To); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().Entries != before {
+		t.Error("re-inserting an existing edge changed the labels")
+	}
+}
+
+func TestDeleteMissingEdgeNoop(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}})
+	ix := New(g)
+	if err := ix.DeleteEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Reach(0, 1) {
+		t.Error("unrelated delete broke reachability")
+	}
+}
+
+func TestDeleteBreaksPath(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 2}})
+	ix := New(g)
+	if !ix.Reach(0, 2) {
+		t.Fatal("precondition")
+	}
+	if err := ix.DeleteEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Reach(0, 2) || ix.Reach(1, 2) {
+		t.Error("stale reachability after delete")
+	}
+	if !ix.Reach(0, 1) {
+		t.Error("surviving edge lost")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(graph.FromEdges(1, nil)).Name() != "TOL" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,227 @@
+// Package traversal implements the online query-processing baselines of the
+// paper's §2.3: breadth-first search, depth-first search, bidirectional BFS
+// for plain reachability, label-constrained BFS for alternation queries,
+// and product-automaton BFS for general regular path constraints. Every
+// index in this repository is benchmarked against these and the partial
+// indexes fall back to (pruned versions of) them.
+package traversal
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// BFS answers Qr(s, t) by forward breadth-first search.
+func BFS(g *graph.Digraph, s, t graph.V) bool {
+	if s == t {
+		return true
+	}
+	visited := bitset.New(g.N())
+	visited.Set(int(s))
+	queue := []graph.V{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Succ(v) {
+			if w == t {
+				return true
+			}
+			if !visited.Test(int(w)) {
+				visited.Set(int(w))
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// DFS answers Qr(s, t) by iterative forward depth-first search.
+func DFS(g *graph.Digraph, s, t graph.V) bool {
+	if s == t {
+		return true
+	}
+	visited := bitset.New(g.N())
+	visited.Set(int(s))
+	stack := []graph.V{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Succ(v) {
+			if w == t {
+				return true
+			}
+			if !visited.Test(int(w)) {
+				visited.Set(int(w))
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// BiBFS answers Qr(s, t) by bidirectional breadth-first search, expanding
+// the smaller frontier first (the paper's BiBFS baseline).
+func BiBFS(g *graph.Digraph, s, t graph.V) bool {
+	if s == t {
+		return true
+	}
+	n := g.N()
+	fvis, bvis := bitset.New(n), bitset.New(n)
+	fvis.Set(int(s))
+	bvis.Set(int(t))
+	ffront := []graph.V{s}
+	bfront := []graph.V{t}
+	for len(ffront) > 0 && len(bfront) > 0 {
+		if len(ffront) <= len(bfront) {
+			var next []graph.V
+			for _, v := range ffront {
+				for _, w := range g.Succ(v) {
+					if bvis.Test(int(w)) {
+						return true
+					}
+					if !fvis.Test(int(w)) {
+						fvis.Set(int(w))
+						next = append(next, w)
+					}
+				}
+			}
+			ffront = next
+		} else {
+			var next []graph.V
+			for _, v := range bfront {
+				for _, w := range g.Pred(v) {
+					if fvis.Test(int(w)) {
+						return true
+					}
+					if !bvis.Test(int(w)) {
+						bvis.Set(int(w))
+						next = append(next, w)
+					}
+				}
+			}
+			bfront = next
+		}
+	}
+	return false
+}
+
+// ReachableFrom returns the set of vertices reachable from s (including s).
+func ReachableFrom(g *graph.Digraph, s graph.V) *bitset.Set {
+	visited := bitset.New(g.N())
+	visited.Set(int(s))
+	stack := []graph.V{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Succ(v) {
+			if !visited.Test(int(w)) {
+				visited.Set(int(w))
+				stack = append(stack, w)
+			}
+		}
+	}
+	return visited
+}
+
+// Reaching returns the set of vertices that can reach t (including t).
+func Reaching(g *graph.Digraph, t graph.V) *bitset.Set {
+	visited := bitset.New(g.N())
+	visited.Set(int(t))
+	stack := []graph.V{t}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Pred(v) {
+			if !visited.Test(int(w)) {
+				visited.Set(int(w))
+				stack = append(stack, w)
+			}
+		}
+	}
+	return visited
+}
+
+// LabelConstrainedBFS answers the alternation (LCR) query Qr(s, t, A*) where
+// the allowed label set is given as a bitmask: the traversal may only use
+// edges whose label is in the mask. This is the online baseline for §4.1.
+func LabelConstrainedBFS(g *graph.Digraph, s, t graph.V, allowed uint64) bool {
+	if s == t {
+		return true
+	}
+	visited := bitset.New(g.N())
+	visited.Set(int(s))
+	queue := []graph.V{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		succ := g.Succ(v)
+		labs := g.SuccLabels(v)
+		for i, w := range succ {
+			if allowed&(1<<uint(labs[i])) == 0 {
+				continue
+			}
+			if w == t {
+				return true
+			}
+			if !visited.Test(int(w)) {
+				visited.Set(int(w))
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// DFAIface is the minimal deterministic-automaton interface the product
+// search needs; satisfied by regexpath.DFA without importing it here.
+type DFAIface interface {
+	Start() int
+	Step(state int, l graph.Label) int // -1 = dead
+	Accepting(state int) bool
+	NumStates() int
+}
+
+// ProductBFS answers the general path-constrained query Qr(s, t, α) by BFS
+// over the product of g and the DFA of α (the "guided graph traversal" of
+// §2.3). A query holds iff some s-t path spells a word of L(α).
+func ProductBFS(g *graph.Digraph, s, t graph.V, dfa DFAIface) bool {
+	start := dfa.Start()
+	if s == t && dfa.Accepting(start) {
+		return true
+	}
+	ns := dfa.NumStates()
+	visited := bitset.New(g.N() * ns)
+	id := func(v graph.V, q int) int { return int(v)*ns + q }
+	visited.Set(id(s, start))
+	type state struct {
+		v graph.V
+		q int
+	}
+	queue := []state{{s, start}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		succ := g.Succ(cur.v)
+		labs := g.SuccLabels(cur.v)
+		for i, w := range succ {
+			nq := dfa.Step(cur.q, labs[i])
+			if nq < 0 {
+				continue
+			}
+			if w == t && dfa.Accepting(nq) {
+				return true
+			}
+			if !visited.Test(id(w, nq)) {
+				visited.Set(id(w, nq))
+				queue = append(queue, state{w, nq})
+			}
+		}
+	}
+	return false
+}
+
+// CountVisitedBFS runs a full BFS from s and returns how many vertices were
+// visited; used by the benchmark harness to report traversal work.
+func CountVisitedBFS(g *graph.Digraph, s graph.V) int {
+	return ReachableFrom(g, s).Count()
+}

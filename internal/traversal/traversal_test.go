@@ -1,0 +1,173 @@
+package traversal_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/traversal"
+)
+
+func lineGraph(n int) *graph.Digraph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.V(i), graph.V(i+1))
+	}
+	return b.MustFreeze()
+}
+
+func TestBFSDFSBiBFSAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 10; iter++ {
+		g := gen.ErdosRenyi(gen.Config{N: 80, M: 200, Seed: int64(iter)})
+		for q := 0; q < 200; q++ {
+			s := graph.V(rng.Intn(g.N()))
+			tt := graph.V(rng.Intn(g.N()))
+			b, d, bi := traversal.BFS(g, s, tt), traversal.DFS(g, s, tt), traversal.BiBFS(g, s, tt)
+			if b != d || d != bi {
+				t.Fatalf("seed %d: disagreement on (%d,%d): BFS=%v DFS=%v BiBFS=%v",
+					iter, s, tt, b, d, bi)
+			}
+		}
+	}
+}
+
+func TestBFSLine(t *testing.T) {
+	g := lineGraph(100)
+	if !traversal.BFS(g, 0, 99) || traversal.BFS(g, 99, 0) {
+		t.Fatal("line reachability wrong")
+	}
+	if !traversal.BFS(g, 42, 42) {
+		t.Fatal("self reachability must be true")
+	}
+}
+
+func TestReachableFromReaching(t *testing.T) {
+	g := graph.FromEdges(5, [][2]graph.V{{0, 1}, {1, 2}, {3, 1}})
+	out := traversal.ReachableFrom(g, 0)
+	for _, v := range []int{0, 1, 2} {
+		if !out.Test(v) {
+			t.Errorf("traversal.ReachableFrom(0) missing %d", v)
+		}
+	}
+	if out.Test(3) || out.Test(4) {
+		t.Error("traversal.ReachableFrom(0) contains unreachable vertex")
+	}
+	in := traversal.Reaching(g, 2)
+	for _, v := range []int{0, 1, 2, 3} {
+		if !in.Test(v) {
+			t.Errorf("traversal.Reaching(2) missing %d", v)
+		}
+	}
+	if in.Test(4) {
+		t.Error("traversal.Reaching(2) contains non-ancestor")
+	}
+}
+
+func TestReachableMatchesBFS(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 120, M: 360, Seed: 4})
+	for s := graph.V(0); int(s) < g.N(); s += 7 {
+		set := traversal.ReachableFrom(g, s)
+		for tt := graph.V(0); int(tt) < g.N(); tt += 5 {
+			if set.Test(int(tt)) != traversal.BFS(g, s, tt) {
+				t.Fatalf("traversal.ReachableFrom(%d) disagrees with BFS at %d", s, tt)
+			}
+		}
+	}
+}
+
+func TestLabelConstrainedBFSFig1(t *testing.T) {
+	g := graph.Fig1Labeled()
+	id := func(name string) graph.V {
+		for v := 0; v < g.N(); v++ {
+			if g.VertexName(graph.V(v)) == name {
+				return graph.V(v)
+			}
+		}
+		t.Fatalf("vertex %q not found", name)
+		return 0
+	}
+	friendOf, follows, worksFor := uint64(1)<<0, uint64(1)<<1, uint64(1)<<2
+	// §2.2: Qr(A, G, (friendOf ∪ follows)*) = false.
+	if traversal.LabelConstrainedBFS(g, id("A"), id("G"), friendOf|follows) {
+		t.Error("Qr(A,G,(friendOf|follows)*) should be false")
+	}
+	// With worksFor allowed it becomes true.
+	if !traversal.LabelConstrainedBFS(g, id("A"), id("G"), friendOf|follows|worksFor) {
+		t.Error("Qr(A,G,all) should be true")
+	}
+	// L reaches M with worksFor alone (path p1).
+	if !traversal.LabelConstrainedBFS(g, id("L"), id("M"), worksFor) {
+		t.Error("Qr(L,M,worksFor*) should be true")
+	}
+	// A reaches L with follows alone.
+	if !traversal.LabelConstrainedBFS(g, id("A"), id("L"), follows) {
+		t.Error("Qr(A,L,follows*) should be true")
+	}
+	// A cannot reach M without follows (all A->M paths start follows(A,L)).
+	if traversal.LabelConstrainedBFS(g, id("A"), id("M"), friendOf|worksFor) {
+		t.Error("Qr(A,M,(friendOf|worksFor)*) should be false")
+	}
+}
+
+type cyclicDFA struct {
+	seq []graph.Label
+}
+
+func (d *cyclicDFA) Start() int     { return 0 }
+func (d *cyclicDFA) NumStates() int { return len(d.seq) }
+func (d *cyclicDFA) Accepting(q int) bool {
+	return q == 0
+}
+func (d *cyclicDFA) Step(q int, l graph.Label) int {
+	if d.seq[q] == l {
+		return (q + 1) % len(d.seq)
+	}
+	return -1
+}
+
+func TestProductBFSFig1(t *testing.T) {
+	g := graph.Fig1Labeled()
+	id := func(name string) graph.V {
+		for v := 0; v < g.N(); v++ {
+			if g.VertexName(graph.V(v)) == name {
+				return graph.V(v)
+			}
+		}
+		t.Fatalf("vertex %q not found", name)
+		return 0
+	}
+	worksFor := graph.Label(2)
+	friendOf := graph.Label(0)
+	// §4.2: Qr(L, B, (worksFor·friendOf)*) = true.
+	dfa := &cyclicDFA{seq: []graph.Label{worksFor, friendOf}}
+	if !traversal.ProductBFS(g, id("L"), id("B"), dfa) {
+		t.Error("Qr(L,B,(worksFor.friendOf)*) should be true")
+	}
+	// Qr(A, B, (worksFor·friendOf)*) — A's first edges are friendOf/follows,
+	// so no path starts with worksFor... except via L: A-follows-L is not
+	// worksFor, so false.
+	if traversal.ProductBFS(g, id("A"), id("B"), dfa) {
+		t.Error("Qr(A,B,(worksFor.friendOf)*) should be false")
+	}
+}
+
+func TestProductBFSEmptyWordSelfQuery(t *testing.T) {
+	g := graph.Fig1Labeled()
+	dfa := &cyclicDFA{seq: []graph.Label{0}}
+	// Accepting start state means s==t holds.
+	if !traversal.ProductBFS(g, 3, 3, dfa) {
+		t.Error("s==t with accepting start should be true")
+	}
+}
+
+func TestCountVisitedBFS(t *testing.T) {
+	g := lineGraph(10)
+	if got := traversal.CountVisitedBFS(g, 0); got != 10 {
+		t.Fatalf("CountVisitedBFS = %d, want 10", got)
+	}
+	if got := traversal.CountVisitedBFS(g, 9); got != 1 {
+		t.Fatalf("traversal.CountVisitedBFS(sink) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,110 @@
+package traversal
+
+import (
+	"repro/internal/graph"
+)
+
+// WitnessPath returns a concrete s-t path (as a vertex sequence including
+// both endpoints) when t is reachable from s, or nil otherwise. For s == t
+// it returns the single-vertex path. BFS parents give a shortest witness.
+func WitnessPath(g *graph.Digraph, s, t graph.V) []graph.V {
+	if s == t {
+		return []graph.V{s}
+	}
+	const none = ^graph.V(0)
+	parent := make([]graph.V, g.N())
+	for i := range parent {
+		parent[i] = none
+	}
+	parent[s] = s
+	queue := []graph.V{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Succ(v) {
+			if parent[w] != none {
+				continue
+			}
+			parent[w] = v
+			if w == t {
+				return unwind(parent, s, t)
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+func unwind(parent []graph.V, s, t graph.V) []graph.V {
+	var rev []graph.V
+	for v := t; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ConstrainedWitness returns an s-t path satisfying the path constraint
+// given as a DFA, as the sequence of traversed edges, or nil when no such
+// path exists. The empty edge sequence is returned for s == t when the
+// DFA accepts the empty word.
+func ConstrainedWitness(g *graph.Digraph, s, t graph.V, dfa DFAIface) []graph.Edge {
+	start := dfa.Start()
+	if s == t && dfa.Accepting(start) {
+		return []graph.Edge{}
+	}
+	type key struct {
+		v graph.V
+		q int
+	}
+	type from struct {
+		prev key
+		edge graph.Edge
+		ok   bool
+	}
+	parent := make(map[key]from, 64)
+	startKey := key{s, start}
+	parent[startKey] = from{}
+	queue := []key{startKey}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		succ := g.Succ(cur.v)
+		labs := g.SuccLabels(cur.v)
+		for i, w := range succ {
+			nq := dfa.Step(cur.q, labs[i])
+			if nq < 0 {
+				continue
+			}
+			nk := key{w, nq}
+			if _, seen := parent[nk]; seen {
+				continue
+			}
+			e := graph.Edge{From: cur.v, To: w, Label: labs[i]}
+			parent[nk] = from{prev: cur, edge: e, ok: true}
+			if w == t && dfa.Accepting(nq) {
+				// Unwind.
+				var rev []graph.Edge
+				for k := nk; ; {
+					f := parent[k]
+					if !f.ok {
+						break
+					}
+					rev = append(rev, f.edge)
+					k = f.prev
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, nk)
+		}
+	}
+	return nil
+}

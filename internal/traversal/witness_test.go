@@ -1,0 +1,130 @@
+package traversal_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/regexpath"
+	"repro/internal/traversal"
+)
+
+func TestWitnessPathValid(t *testing.T) {
+	g := gen.ErdosRenyi(gen.Config{N: 100, M: 300, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	found := 0
+	for q := 0; q < 500; q++ {
+		s := graph.V(rng.Intn(g.N()))
+		tt := graph.V(rng.Intn(g.N()))
+		p := traversal.WitnessPath(g, s, tt)
+		want := traversal.BFS(g, s, tt)
+		if (p != nil) != want {
+			t.Fatalf("witness presence mismatch at (%d,%d)", s, tt)
+		}
+		if p == nil {
+			continue
+		}
+		found++
+		if p[0] != s || p[len(p)-1] != tt {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("witness uses non-edge %d->%d", p[i-1], p[i])
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no positive witnesses exercised")
+	}
+}
+
+func TestWitnessPathSelf(t *testing.T) {
+	g := graph.Fig1Plain()
+	p := traversal.WitnessPath(g, 3, 3)
+	if len(p) != 1 || p[0] != 3 {
+		t.Fatalf("self witness = %v", p)
+	}
+}
+
+func TestConstrainedWitnessFig1(t *testing.T) {
+	g := graph.Fig1Labeled()
+	l, _ := g.VertexByName("L")
+	b, _ := g.VertexByName("B")
+	dfa, err := regexpath.Compile("(worksFor.friendOf)*", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := traversal.ConstrainedWitness(g, l, b, dfa)
+	if edges == nil {
+		t.Fatal("no witness for the paper's §4.2 example")
+	}
+	// The path must be contiguous, start at L, end at B, and spell a word
+	// of the language.
+	if edges[0].From != l || edges[len(edges)-1].To != b {
+		t.Fatalf("endpoints wrong: %v", edges)
+	}
+	var word []graph.Label
+	for i, e := range edges {
+		if i > 0 && edges[i-1].To != e.From {
+			t.Fatalf("path not contiguous: %v", edges)
+		}
+		if !g.HasLabeledEdge(e.From, e.To, e.Label) {
+			t.Fatalf("edge %v not in graph", e)
+		}
+		word = append(word, e.Label)
+	}
+	if !dfa.Accepts(word) {
+		t.Fatalf("witness word %v not in L(α)", word)
+	}
+	// The paper's MR: the witness spells (worksFor, friendOf) repeats.
+	if len(word)%2 != 0 || word[0] != 2 || word[1] != 0 {
+		t.Fatalf("unexpected word %v", word)
+	}
+}
+
+func TestConstrainedWitnessNegative(t *testing.T) {
+	g := graph.Fig1Labeled()
+	a, _ := g.VertexByName("A")
+	gg, _ := g.VertexByName("G")
+	dfa, _ := regexpath.Compile("(friendOf|follows)*", g)
+	if traversal.ConstrainedWitness(g, a, gg, dfa) != nil {
+		t.Fatal("witness for an impossible constraint")
+	}
+	// s == t with star: empty word accepted, empty edge list returned.
+	w := traversal.ConstrainedWitness(g, a, a, dfa)
+	if w == nil || len(w) != 0 {
+		t.Fatalf("self star witness = %v", w)
+	}
+	// s == t with plus: needs a cycle; Fig1 is a DAG.
+	plus, _ := regexpath.Compile("(friendOf|follows)+", g)
+	if traversal.ConstrainedWitness(g, a, a, plus) != nil {
+		t.Fatal("plus self witness on a DAG")
+	}
+}
+
+func TestConstrainedWitnessRandomized(t *testing.T) {
+	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 60, M: 240, Seed: 3}), 4, 0, 4)
+	dfa, err := regexpath.Compile("(l0|l2)*", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 400; q++ {
+		s := graph.V(rng.Intn(g.N()))
+		tt := graph.V(rng.Intn(g.N()))
+		want := traversal.ProductBFS(g, s, tt, dfa)
+		edges := traversal.ConstrainedWitness(g, s, tt, dfa)
+		if (edges != nil) != want {
+			t.Fatalf("witness presence mismatch at (%d,%d): %v vs %v", s, tt, edges != nil, want)
+		}
+		var word []graph.Label
+		for _, e := range edges {
+			word = append(word, e.Label)
+		}
+		if edges != nil && !dfa.Accepts(word) {
+			t.Fatalf("invalid witness word %v", word)
+		}
+	}
+}

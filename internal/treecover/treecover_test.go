@@ -1,0 +1,96 @@
+package treecover
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index { return New(dag) })
+}
+
+func TestConformanceFatSubtree(t *testing.T) {
+	indextest.CheckDAGIndex(t, func(dag *graph.Digraph) core.Index {
+		return NewWithHeuristic(dag, HeuristicFatSubtree)
+	})
+}
+
+func TestHeuristicChangesShape(t *testing.T) {
+	// The two heuristics must both be exact (checked above); on a graph
+	// with heavy shared substructure they should produce different index
+	// sizes — the §3.1 point that tree shape drives the interval count.
+	g := gen.ScaleFree(800, 3, 7)
+	dfs := New(g)
+	fat := NewWithHeuristic(g, HeuristicFatSubtree)
+	if dfs.Stats().Entries == 0 || fat.Stats().Entries == 0 {
+		t.Fatal("no entries")
+	}
+	if dfs.Stats().Entries == fat.Stats().Entries {
+		t.Log("heuristics produced identical sizes (possible but unusual)")
+	}
+}
+
+func TestFig1AG(t *testing.T) {
+	g := graph.Fig1Plain()
+	ix := New(g)
+	var a, gg graph.V
+	for v := 0; v < g.N(); v++ {
+		switch g.VertexName(graph.V(v)) {
+		case "A":
+			a = graph.V(v)
+		case "G":
+			gg = graph.V(v)
+		}
+	}
+	// §2.1: Qr(A, G) = true via (A, D, H, G).
+	if !ix.Reach(a, gg) {
+		t.Error("Qr(A,G) should be true")
+	}
+	if ix.Reach(gg, a) {
+		t.Error("Qr(G,A) should be false (DAG reconstruction)")
+	}
+}
+
+func TestIntervalMerging(t *testing.T) {
+	// A vertex whose two children have adjacent post intervals should hold
+	// a single merged interval (the paper's merging example).
+	//     0
+	//    / \
+	//   1   2
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}, {0, 2}})
+	ix := New(g)
+	if got := ix.Intervals(0); got != 1 {
+		t.Errorf("root intervals = %d, want 1 (children merge into the root range)", got)
+	}
+}
+
+func TestNonTreeEdgeInheritance(t *testing.T) {
+	// 0 -> 1 -> 3, 0 -> 2, 2 -> 3 : one of the edges into 3 is non-tree;
+	// its source must inherit 3's interval.
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 3}, {0, 2}, {2, 3}})
+	ix := New(g)
+	if !ix.Reach(2, 3) || !ix.Reach(1, 3) || !ix.Reach(0, 3) {
+		t.Error("all of 0,1,2 must reach 3")
+	}
+	if ix.Reach(1, 2) || ix.Reach(2, 1) {
+		t.Error("1 and 2 are incomparable")
+	}
+}
+
+func TestStatsGrowWithDensity(t *testing.T) {
+	sparse := New(gen.RandomDAG(gen.Config{N: 200, M: 250, Seed: 1}))
+	dense := New(gen.RandomDAG(gen.Config{N: 200, M: 2000, Seed: 1}))
+	if sparse.Stats().Entries <= 0 || dense.Stats().Entries <= 0 {
+		t.Fatal("entries must be positive")
+	}
+	if sparse.Stats().BuildTime < 0 {
+		t.Fatal("negative build time")
+	}
+	if dense.Name() != "TreeCover" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,142 @@
+// Package twohop implements the original 2-hop labeling of Cohen, Halperin,
+// Kaplan and Zwick [14] (§3.2) via its greedy set-cover approximation:
+// repeatedly pick the hop vertex w covering the most still-uncovered
+// reachable pairs (u, v) with u→w→v, and add w to Lout(u) for the covered
+// ancestors and to Lin(v) for the covered descendants.
+//
+// As the paper stresses, the approximation runs in roughly O(n⁴) time on
+// the materialized transitive closure — infeasible for large graphs. It is
+// included because it is the framework's origin and because its label
+// sizes are the quality bar the later heuristics (TFL/DL/PLL/TOL) chase;
+// the harness only runs it on small inputs.
+package twohop
+
+import (
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tc"
+)
+
+// Index is the original 2-hop index, built greedily from the TC.
+type Index struct {
+	in, out [][]uint32 // hub vertex ids, ascending
+	stats   core.Stats
+}
+
+// New builds the greedy 2-hop labeling of g (general digraph).
+func New(g *graph.Digraph) *Index {
+	start := time.Now()
+	n := g.N()
+	closure := tc.NewClosure(g)
+
+	// anc[w] = vertices that reach w (incl. w); desc[w] = vertices w
+	// reaches (incl. w). Materialized from the closure.
+	anc := make([]*bitset.Set, n)
+	desc := make([]*bitset.Set, n)
+	for w := 0; w < n; w++ {
+		anc[w], desc[w] = bitset.New(n), bitset.New(n)
+		for x := 0; x < n; x++ {
+			if closure.Reach(graph.V(x), graph.V(w)) {
+				anc[w].Set(x)
+			}
+			if closure.Reach(graph.V(w), graph.V(x)) {
+				desc[w].Set(x)
+			}
+		}
+	}
+
+	// uncovered[u] = set of v != u with u→v not yet certified.
+	uncovered := make([]*bitset.Set, n)
+	remaining := 0
+	for u := 0; u < n; u++ {
+		uncovered[u] = bitset.New(n)
+		desc[u].ForEach(func(v int) bool {
+			if v != u {
+				uncovered[u].Set(v)
+				remaining++
+			}
+			return true
+		})
+	}
+
+	ix := &Index{in: make([][]uint32, n), out: make([][]uint32, n)}
+	for remaining > 0 {
+		// Pick the hop w covering the most uncovered pairs u→w→v.
+		bestW, bestCover := -1, 0
+		for w := 0; w < n; w++ {
+			cover := 0
+			anc[w].ForEach(func(u int) bool {
+				// Count uncovered[u] ∩ desc[w].
+				uncovered[u].ForEach(func(v int) bool {
+					if desc[w].Test(v) {
+						cover++
+					}
+					return true
+				})
+				return true
+			})
+			if cover > bestCover {
+				bestCover, bestW = cover, w
+			}
+		}
+		if bestW < 0 {
+			break // defensive: nothing coverable (cannot happen)
+		}
+		w := bestW
+		anc[w].ForEach(func(u int) bool {
+			hit := false
+			uncovered[u].ForEach(func(v int) bool {
+				if desc[w].Test(v) {
+					hit = true
+					uncovered[u].Clear(v)
+					remaining--
+					if !contains(ix.in[v], uint32(w)) {
+						ix.in[v] = append(ix.in[v], uint32(w))
+					}
+				}
+				return true
+			})
+			if hit && !contains(ix.out[u], uint32(w)) {
+				ix.out[u] = append(ix.out[u], uint32(w))
+			}
+			return true
+		})
+	}
+	entries := 0
+	for v := 0; v < n; v++ {
+		entries += len(ix.in[v]) + len(ix.out[v])
+	}
+	ix.stats = core.Stats{Entries: entries, Bytes: entries * 4, BuildTime: time.Since(start)}
+	return ix
+}
+
+func contains(s []uint32, x uint32) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements core.Index.
+func (ix *Index) Name() string { return "2-Hop" }
+
+// Reach answers by hub intersection (unsorted lists; labels are tiny).
+func (ix *Index) Reach(s, t graph.V) bool {
+	if s == t {
+		return true
+	}
+	for _, h := range ix.out[s] {
+		if h == uint32(t) || contains(ix.in[t], h) {
+			return true
+		}
+	}
+	return contains(ix.in[t], uint32(s))
+}
+
+// Stats implements core.Index.
+func (ix *Index) Stats() core.Stats { return ix.stats }

@@ -1,0 +1,56 @@
+package twohop
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/indextest"
+	"repro/internal/tc"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.CheckGeneralIndex(t, func(g *graph.Digraph) core.Index { return New(g) })
+}
+
+func TestLabelQualityOnLine(t *testing.T) {
+	// On a 2k-line, greedy 2-hop should pick middle hubs and undercut the
+	// quadratic TC pair count by a wide margin.
+	n := 64
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.V(i), graph.V(i+1))
+	}
+	g := b.MustFreeze()
+	ix := New(g)
+	oracle := tc.NewClosure(g)
+	if ix.Stats().Entries*3 > oracle.Pairs() {
+		t.Errorf("2-hop entries %d vs TC pairs %d: compression too weak",
+			ix.Stats().Entries, oracle.Pairs())
+	}
+}
+
+func TestSelfPairs(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 30, M: 60, Seed: 2})
+	ix := New(g)
+	for v := graph.V(0); int(v) < g.N(); v++ {
+		if !ix.Reach(v, v) {
+			t.Fatalf("Reach(%d,%d) = false", v, v)
+		}
+	}
+	if ix.Name() != "2-Hop" {
+		t.Error("name")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(5, nil)
+	ix := New(g)
+	if ix.Stats().Entries != 0 {
+		t.Errorf("empty graph has %d entries", ix.Stats().Entries)
+	}
+	if ix.Reach(0, 1) || !ix.Reach(3, 3) {
+		t.Error("reach on empty graph wrong")
+	}
+}

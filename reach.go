@@ -1,0 +1,324 @@
+// Package reach is a library of reachability indexes on graphs,
+// reproducing the systems surveyed in "An Overview of Reachability Indexes
+// on Graphs" (Zhang, Bonifati, Özsu; SIGMOD 2023).
+//
+// It answers three query classes over directed graphs:
+//
+//   - plain reachability Qr(s, t) — §2.1 — via 20+ indexes spanning the
+//     tree-cover, 2-hop, and approximate-transitive-closure frameworks
+//     (Table 1 of the paper);
+//   - alternation-constrained (LCR) reachability Qr(s, t, (l1∪l2∪...)*) —
+//     §4.1 — via the GTC, landmark, tree-based and 2-hop LCR indexes
+//     (Table 2);
+//   - concatenation-constrained (RLC) reachability Qr(s, t, (l1·l2·...)*)
+//     — §4.2 — via the RLC index.
+//
+// The DB type routes an arbitrary path-constraint expression to the right
+// index (or to product-automaton search when the constraint falls outside
+// both indexable fragments, per the paper's §5 observation that no index
+// covers full regular path queries).
+//
+// Quick start:
+//
+//	g := reach.Fig1Plain()
+//	ix, _ := reach.Build(reach.KindBFL, g, reach.Options{})
+//	ok := ix.Reach(s, t)
+//
+// All indexes validate against exact oracles in this repository's test
+// suite; see DESIGN.md for the paper-to-package mapping.
+package reach
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bfl"
+	"repro/internal/core"
+	"repro/internal/dagger"
+	"repro/internal/dbl"
+	"repro/internal/duallabel"
+	"repro/internal/feline"
+	"repro/internal/ferrari"
+	"repro/internal/grail"
+	"repro/internal/graph"
+	"repro/internal/gripp"
+	"repro/internal/ip"
+	"repro/internal/lcrbloom"
+	"repro/internal/lcrdecomp"
+	"repro/internal/lcrgtc"
+	"repro/internal/lcrlandmark"
+	"repro/internal/lcrtree"
+	"repro/internal/oreach"
+	"repro/internal/p2h"
+	"repro/internal/pathhop"
+	"repro/internal/pathtree"
+	"repro/internal/pll"
+	"repro/internal/preach"
+	"repro/internal/rlc"
+	"repro/internal/rpqindex"
+	"repro/internal/sspi"
+	"repro/internal/threehop"
+	"repro/internal/tol"
+	"repro/internal/treecover"
+	"repro/internal/twohop"
+)
+
+// Re-exported fundamental types.
+type (
+	// Graph is an immutable directed graph (optionally edge-labeled).
+	Graph = graph.Digraph
+	// GraphBuilder accumulates vertices and edges.
+	GraphBuilder = graph.Builder
+	// V is a vertex id.
+	V = graph.V
+	// Label is an edge-label id.
+	Label = graph.Label
+	// GraphEdge is a directed, optionally labeled edge.
+	GraphEdge = graph.Edge
+	// Index answers plain reachability queries.
+	Index = core.Index
+	// PartialIndex exposes lookup-only answers (TryReach).
+	PartialIndex = core.Partial
+	// DynamicIndex supports edge insertions/deletions.
+	DynamicIndex = core.Dynamic
+	// LCRIndex answers alternation-constrained queries.
+	LCRIndex = core.LCRIndex
+	// RLCIndex answers concatenation-constrained queries.
+	RLCIndex = core.RLCIndex
+	// Stats describes an index footprint.
+	Stats = core.Stats
+)
+
+// Graph constructors re-exported from the internal graph package.
+var (
+	// NewBuilder returns a builder for a plain digraph with n vertices.
+	NewBuilder = graph.NewBuilder
+	// NewLabeledBuilder returns a builder for an edge-labeled digraph.
+	NewLabeledBuilder = graph.NewLabeledBuilder
+	// ReadGraph parses the edge-list exchange format.
+	ReadGraph = graph.Read
+	// WriteGraph serializes a graph in the edge-list exchange format.
+	WriteGraph = graph.Write
+	// Fig1Plain builds the paper's Figure 1(a) plain graph.
+	Fig1Plain = graph.Fig1Plain
+	// Fig1Labeled builds the paper's Figure 1(b) edge-labeled graph.
+	Fig1Labeled = graph.Fig1Labeled
+)
+
+// Kind names a plain reachability indexing technique (a Table 1 row).
+type Kind string
+
+// Plain index kinds, grouped by framework as in Table 1.
+const (
+	// Tree-cover framework (§3.1).
+	KindTreeCover Kind = "treecover" // Agrawal et al. [2], complete
+	KindTreeSSPI  Kind = "sspi"      // Tree+SSPI [9], partial
+	KindDualLabel Kind = "duallabel" // dual labeling [17], complete
+	KindGRIPP     Kind = "gripp"     // GRIPP [43], partial, general input
+	KindPathTree  Kind = "pathtree"  // path-tree family [24,27], complete
+	KindGRAIL     Kind = "grail"     // GRAIL [50], partial
+	KindFerrari   Kind = "ferrari"   // FERRARI [40], partial
+	KindDAGGER    Kind = "dagger"    // DAGGER [51], partial, dynamic
+
+	// 2-hop framework (§3.2).
+	KindTwoHop   Kind = "2hop"    // Cohen et al. [14], complete, general
+	KindThreeHop Kind = "3hop"    // 3-hop [26], complete
+	KindPathHop  Kind = "pathhop" // path-hop [8], complete
+	KindTFL      Kind = "tfl"     // TF-label-style topo order [13]
+	KindDL       Kind = "dl"      // distribution labeling [25]
+	KindPLL      Kind = "pll"     // pruned landmark labeling [49]
+	KindTOL      Kind = "tol"     // total-order labeling [55], dynamic
+	KindDBL      Kind = "dbl"     // DBL [29], partial, insert-only
+	KindOReach   Kind = "oreach"  // O'Reach [18], partial
+	KindHL       Kind = "hl"      // hierarchical labeling [25]
+
+	// Approximate transitive closure (§3.3).
+	KindIP  Kind = "ip"  // IP label [46,47], partial
+	KindBFL Kind = "bfl" // BFL [41], partial
+
+	// Other techniques (§3.4).
+	KindFeline Kind = "feline" // FELINE [45], partial
+	KindPReaCH Kind = "preach" // PReaCH [31], partial
+)
+
+// Kinds returns every plain index kind in a stable order.
+func Kinds() []Kind {
+	ks := []Kind{
+		KindTreeCover, KindTreeSSPI, KindDualLabel, KindGRIPP, KindPathTree,
+		KindGRAIL, KindFerrari, KindDAGGER, KindTwoHop, KindThreeHop,
+		KindPathHop, KindTFL, KindDL, KindPLL, KindTOL, KindDBL, KindOReach,
+		KindHL, KindIP, KindBFL, KindFeline, KindPReaCH,
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Options bundles the tunables shared across index families. Zero values
+// select each technique's defaults.
+type Options struct {
+	// K: interval budget (GRAIL/FERRARI/DAGGER), sketch size (IP),
+	// supportive vertices (O'Reach), landmarks (DBL, LCR landmark index).
+	K int
+	// Bits: Bloom filter width (BFL, DBL).
+	Bits int
+	// Seed drives every randomized structure.
+	Seed int64
+	// MaxSeq is the RLC index's maximum indexed concatenation length κ.
+	MaxSeq int
+	// Parallel enables concurrent construction where a technique supports
+	// it (currently the landmark LCR index's per-landmark GTCs) — the §5
+	// "parallel computation of indexes" direction.
+	Parallel bool
+}
+
+// Build constructs the requested plain index over g. DAG-only techniques
+// are lifted to general graphs through SCC condensation automatically
+// (§3.1); techniques accepting general graphs run on g directly.
+func Build(k Kind, g *Graph, opt Options) (Index, error) {
+	switch k {
+	case KindTreeCover:
+		return core.ForGeneral(g, func(d *Graph) Index { return treecover.New(d) }), nil
+	case KindTreeSSPI:
+		return core.ForGeneral(g, func(d *Graph) Index { return sspi.New(d) }), nil
+	case KindDualLabel:
+		return core.ForGeneral(g, func(d *Graph) Index { return duallabel.New(d) }), nil
+	case KindGRIPP:
+		return gripp.New(g), nil
+	case KindPathTree:
+		return core.ForGeneral(g, func(d *Graph) Index { return pathtree.New(d) }), nil
+	case KindGRAIL:
+		return core.ForGeneral(g, func(d *Graph) Index {
+			return grail.New(d, grail.Options{K: opt.K, Seed: opt.Seed})
+		}), nil
+	case KindFerrari:
+		return core.ForGeneral(g, func(d *Graph) Index {
+			return ferrari.New(d, ferrari.Options{K: opt.K})
+		}), nil
+	case KindDAGGER:
+		return core.ForGeneral(g, func(d *Graph) Index {
+			return dagger.New(d, dagger.Options{K: opt.K, Seed: opt.Seed})
+		}), nil
+	case KindTwoHop:
+		return twohop.New(g), nil
+	case KindThreeHop:
+		return core.ForGeneral(g, func(d *Graph) Index { return threehop.New(d) }), nil
+	case KindPathHop:
+		return core.ForGeneral(g, func(d *Graph) Index { return pathhop.New(d) }), nil
+	case KindTFL:
+		return core.ForGeneral(g, func(d *Graph) Index {
+			return pll.New(d, pll.Options{Order: pll.OrderTopological})
+		}), nil
+	case KindDL:
+		return pll.New(g, pll.Options{Order: pll.OrderDegree, Name: "DL"}), nil
+	case KindPLL:
+		return pll.New(g, pll.Options{Order: pll.OrderDegree}), nil
+	case KindHL:
+		return core.ForGeneral(g, func(d *Graph) Index {
+			return pll.New(d, pll.Options{Order: pll.OrderDegreeProduct, Name: "HL"})
+		}), nil
+	case KindTOL:
+		return tol.New(g), nil
+	case KindDBL:
+		return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed}), nil
+	case KindOReach:
+		return core.ForGeneral(g, func(d *Graph) Index {
+			return oreach.New(d, oreach.Options{K: opt.K})
+		}), nil
+	case KindIP:
+		return core.ForGeneral(g, func(d *Graph) Index {
+			return ip.New(d, ip.Options{K: opt.K, Seed: opt.Seed})
+		}), nil
+	case KindBFL:
+		return core.ForGeneral(g, func(d *Graph) Index {
+			return bfl.New(d, bfl.Options{Bits: opt.Bits, Seed: opt.Seed})
+		}), nil
+	case KindFeline:
+		return core.ForGeneral(g, func(d *Graph) Index { return feline.New(d) }), nil
+	case KindPReaCH:
+		return core.ForGeneral(g, func(d *Graph) Index { return preach.New(d) }), nil
+	}
+	return nil, fmt.Errorf("reach: unknown index kind %q", k)
+}
+
+// BuildDynamic constructs a dynamic plain index (TOL, DAGGER, DBL). Note
+// the dynamic indexes operate on the graph as given (no SCC adapter): the
+// DAG-only DAGGER requires a DAG start, and updates that respect it.
+func BuildDynamic(k Kind, g *Graph, opt Options) (DynamicIndex, error) {
+	switch k {
+	case KindTOL:
+		return tol.New(g), nil
+	case KindDAGGER:
+		return dagger.New(g, dagger.Options{K: opt.K, Seed: opt.Seed}), nil
+	case KindDBL:
+		return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed}), nil
+	}
+	return nil, fmt.Errorf("reach: %q is not a dynamic index kind", k)
+}
+
+// LCRKind names an alternation-constrained indexing technique (Table 2).
+type LCRKind string
+
+// LCR index kinds.
+const (
+	LCRZouGTC   LCRKind = "zougtc"   // Zou et al. [48,56], complete GTC
+	LCRLandmark LCRKind = "landmark" // Valstar et al. [44], partial
+	LCRP2H      LCRKind = "p2h"      // P2H+ [33], complete 2-hop
+	LCRDLCR     LCRKind = "dlcr"     // DLCR [10], complete, dynamic
+	LCRJinTree  LCRKind = "jintree"  // Jin et al. [21], tree + partial GTC
+	LCRDecomp   LCRKind = "decomp"   // Chen et al. [12], decomposition
+	// LCRBloom is this repository's prototype of the paper's §5 open
+	// challenge: a partial LCR index without false negatives (labeled
+	// Bloom-filter families + filter-guided constrained BFS).
+	LCRBloom LCRKind = "lcrbloom"
+)
+
+// LCRKinds returns every LCR index kind in a stable order.
+func LCRKinds() []LCRKind {
+	return []LCRKind{LCRZouGTC, LCRLandmark, LCRP2H, LCRDLCR, LCRJinTree, LCRDecomp, LCRBloom}
+}
+
+// BuildLCR constructs the requested alternation-constraint index.
+func BuildLCR(k LCRKind, g *Graph, opt Options) (LCRIndex, error) {
+	if !g.Labeled() {
+		return nil, fmt.Errorf("reach: LCR index %q needs an edge-labeled graph", k)
+	}
+	switch k {
+	case LCRZouGTC:
+		return lcrgtc.New(g), nil
+	case LCRLandmark:
+		return lcrlandmark.New(g, lcrlandmark.Options{K: opt.K, Parallel: opt.Parallel}), nil
+	case LCRP2H:
+		return p2h.New(g), nil
+	case LCRDLCR:
+		return p2h.NewDynamic(g), nil
+	case LCRJinTree:
+		return lcrtree.New(g), nil
+	case LCRDecomp:
+		return lcrdecomp.New(g), nil
+	case LCRBloom:
+		return lcrbloom.New(g, lcrbloom.Options{Bits: opt.Bits, Seed: opt.Seed}), nil
+	}
+	return nil, fmt.Errorf("reach: unknown LCR index kind %q", k)
+}
+
+// BuildRLC constructs the concatenation-constraint (RLC) index.
+func BuildRLC(g *Graph, opt Options) (RLCIndex, error) {
+	if !g.Labeled() {
+		return nil, fmt.Errorf("reach: the RLC index needs an edge-labeled graph")
+	}
+	return rlc.New(g, rlc.Options{MaxSeq: opt.MaxSeq}), nil
+}
+
+// ConstraintIndex answers Qr(s, t, α) for one fixed α by pure lookups —
+// the §5 "general path constraints" direction (see internal/rpqindex).
+type ConstraintIndex = rpqindex.Index
+
+// BuildConstraint builds a dedicated product-labeling index for the fixed
+// path-constraint expression alpha. Any expression of the §2.2 grammar is
+// accepted; queries then cost 2-hop lookups instead of product traversal.
+func BuildConstraint(g *Graph, alpha string) (*ConstraintIndex, error) {
+	if !g.Labeled() {
+		return nil, fmt.Errorf("reach: constraint indexes need an edge-labeled graph")
+	}
+	return rpqindex.New(g, alpha)
+}

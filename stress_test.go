@@ -1,0 +1,148 @@
+package reach
+
+// Stress sweeps: every index kind cross-validated against the exact
+// oracles over many random graph families and seeds. These widen the
+// per-package conformance tests with cross-family coverage; skipped under
+// -short.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/labelset"
+	"repro/internal/tc"
+)
+
+func stressGraphs(seed int64) map[string]*Graph {
+	return map[string]*Graph{
+		"dag-sparse": gen.RandomDAG(gen.Config{N: 150, M: 220, Seed: seed}),
+		"dag-dense":  gen.RandomDAG(gen.Config{N: 90, M: 800, Seed: seed}),
+		"er":         gen.ErdosRenyi(gen.Config{N: 100, M: 350, Seed: seed}),
+		"scalefree":  gen.ScaleFree(140, 3, seed),
+		"layered":    gen.LayeredDAG(8, 12, 2, seed),
+		"treeplus":   gen.TreePlus(130, 30, seed),
+	}
+}
+
+func TestStressAllPlainKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep")
+	}
+	for seed := int64(100); seed < 103; seed++ {
+		for name, g := range stressGraphs(seed) {
+			oracle := tc.NewClosure(g)
+			for _, k := range Kinds() {
+				ix, err := Build(k, g, Options{Seed: seed, K: 2, Bits: 128})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, k, err)
+				}
+				rng := rand.New(rand.NewSource(seed * 7))
+				for q := 0; q < 400; q++ {
+					s := V(rng.Intn(g.N()))
+					tt := V(rng.Intn(g.N()))
+					if got, want := ix.Reach(s, tt), oracle.Reach(s, tt); got != want {
+						t.Fatalf("seed %d %s/%s: Reach(%d,%d) = %v, want %v",
+							seed, name, k, s, tt, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStressAllLCRKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep")
+	}
+	for seed := int64(200); seed < 203; seed++ {
+		for _, labels := range []int{2, 5} {
+			g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 60, M: 220, Seed: seed}), labels, 0.6, seed+1)
+			oracle := tc.NewGTC(g)
+			for _, k := range LCRKinds() {
+				ix, err := BuildLCR(k, g, Options{K: 8, Bits: 128, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s: %v", k, err)
+				}
+				rng := rand.New(rand.NewSource(seed * 13))
+				for q := 0; q < 500; q++ {
+					s := V(rng.Intn(g.N()))
+					tt := V(rng.Intn(g.N()))
+					mask := labelset.Set(rng.Int63n(1 << uint(labels)))
+					want := s == tt || oracle.ReachLC(s, tt, mask)
+					if got := ix.ReachLC(s, tt, mask); got != want {
+						t.Fatalf("seed %d |L|=%d %s: ReachLC(%d,%d,%b) = %v, want %v",
+							seed, labels, k, s, tt, mask, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStressDynamicInterleaved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep")
+	}
+	// Interleave updates and query audits on every dynamic kind across
+	// multiple seeds; DBL only sees insertions.
+	for seed := int64(300); seed < 303; seed++ {
+		for _, k := range []Kind{KindTOL, KindDAGGER} {
+			g := gen.RandomDAG(gen.Config{N: 70, M: 170, Seed: seed})
+			ix, err := BuildDynamic(k, g, Options{K: 2, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			script := gen.UpdateScript(g, 40, true, seed+1)
+			cur := mutableCopy(g)
+			rng := rand.New(rand.NewSource(seed * 17))
+			for i, op := range script {
+				if op.Insert {
+					cur.insert(op.Edge.From, op.Edge.To)
+					if err := ix.InsertEdge(op.Edge.From, op.Edge.To); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					cur.remove(op.Edge.From, op.Edge.To)
+					if err := ix.DeleteEdge(op.Edge.From, op.Edge.To); err != nil {
+						t.Fatal(err)
+					}
+				}
+				oracle := tc.NewClosure(cur.freeze())
+				for q := 0; q < 50; q++ {
+					s := V(rng.Intn(g.N()))
+					tt := V(rng.Intn(g.N()))
+					if got, want := ix.Reach(s, tt), oracle.Reach(s, tt); got != want {
+						t.Fatalf("seed %d %s op %d: (%d,%d) = %v want %v",
+							seed, k, i, s, tt, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// mutableCopy is a tiny edge-set mirror for the stress scripts.
+type mutableCopy2 struct {
+	n     int
+	edges map[[2]V]bool
+}
+
+func mutableCopy(g *Graph) *mutableCopy2 {
+	m := &mutableCopy2{n: g.N(), edges: map[[2]V]bool{}}
+	for _, e := range g.EdgeList() {
+		m.edges[[2]V{e.From, e.To}] = true
+	}
+	return m
+}
+
+func (m *mutableCopy2) insert(u, v V) { m.edges[[2]V{u, v}] = true }
+func (m *mutableCopy2) remove(u, v V) { delete(m.edges, [2]V{u, v}) }
+func (m *mutableCopy2) freeze() *Graph {
+	b := NewBuilder(m.n)
+	for e := range m.edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, _ := b.Freeze()
+	return g
+}
