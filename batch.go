@@ -15,15 +15,27 @@ type Pair struct {
 	S, T V
 }
 
+// batchObserver is implemented by instrumented indexes (core.Instrumented)
+// to count batch submissions; per-query metrics record through Reach.
+type batchObserver interface {
+	ObserveBatch(n int)
+}
+
 // BatchReach evaluates many plain reachability queries concurrently over
 // a shared index. Indexes in this library are safe for concurrent readers
 // once built (they are immutable after construction; dynamic indexes must
 // not be updated while a batch runs). workers <= 0 selects GOMAXPROCS.
+// Instrumented indexes (see Instrument) additionally count the batch and
+// its size; individual queries record through the wrapper as usual — the
+// per-query counters are atomic, so concurrent workers stay race-free.
 //
 // Throughput-oriented workloads (the §5 "many negative queries" regime)
 // are embarrassingly parallel; this helper is the §5 parallel-computation
 // direction applied to the query side.
 func BatchReach(ix Index, pairs []Pair, workers int) []bool {
+	if bo, ok := ix.(batchObserver); ok {
+		bo.ObserveBatch(len(pairs))
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -235,6 +235,37 @@ func BenchmarkTable2_RLC_Query(b *testing.B) {
 	}
 }
 
+// --- Observability overhead: instrumented vs raw ----------------------
+//
+// The instrumentation contract (OBSERVABILITY.md) is <=10% overhead on
+// Reach with metrics enabled and ~0 when disabled; compare these against
+// the matching BenchmarkTable1_*_Query rows.
+
+func benchQueryInstrumented(b *testing.B, k reach.Kind, opt reach.Options, m *reach.IndexMetrics) {
+	g, qs, _ := dagWorkload()
+	ix := reach.Instrument(cachedIndex(b, k, opt), g, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if ix.Reach(q.S, q.T) != q.Want {
+			b.Fatalf("%s: wrong answer", ix.Name())
+		}
+	}
+}
+
+func BenchmarkObs_BFL_QueryInstrumented(b *testing.B) {
+	benchQueryInstrumented(b, reach.KindBFL, reach.Options{Bits: 256}, &reach.IndexMetrics{})
+}
+
+func BenchmarkObs_GRAIL_QueryInstrumented(b *testing.B) {
+	benchQueryInstrumented(b, reach.KindGRAIL, reach.Options{K: 3}, &reach.IndexMetrics{})
+}
+
+// Nil metrics exercise the disabled fast path: one pointer comparison.
+func BenchmarkObs_BFL_QueryInstrumentDisabled(b *testing.B) {
+	benchQueryInstrumented(b, reach.KindBFL, reach.Options{Bits: 256}, nil)
+}
+
 // --- E4: negative-heavy mixes (§5) ------------------------------------
 
 func benchNegHeavy(b *testing.B, k reach.Kind, opt reach.Options) {

@@ -32,6 +32,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
 
+	// Validate up front: a bad size or label count would otherwise panic
+	// deep inside a generator (or overflow the 64-bit label-set masks).
+	switch {
+	case *n <= 0:
+		usage("-n must be positive, got %d", *n)
+	case *m < 0:
+		usage("-m must be non-negative, got %d", *m)
+	case *deg <= 0:
+		usage("-deg must be positive, got %d", *deg)
+	case *layers <= 0 || *width <= 0:
+		usage("-layers and -width must be positive, got %d/%d", *layers, *width)
+	case *labels < 0 || *labels > 64:
+		usage("-labels must be in 0..64 (label sets are 64-bit masks), got %d", *labels)
+	case *zipf < 0:
+		usage("-zipf must be non-negative, got %v", *zipf)
+	}
+
 	var g *reach.Graph
 	switch *family {
 	case "dag":
@@ -45,8 +62,7 @@ func main() {
 	case "treeplus":
 		g = gen.TreePlus(*n, *m, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
-		os.Exit(2)
+		usage("unknown family %q", *family)
 	}
 	if *labels > 0 {
 		g = gen.Zipf(g, *labels, *zipf, *seed+1)
@@ -55,4 +71,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func usage(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

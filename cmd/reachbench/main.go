@@ -1,6 +1,6 @@
 // Command reachbench regenerates the paper's evaluation artifacts: the
 // Table 1 / Table 2 taxonomies, the Figure 1 worked examples, and the
-// E1–E10 claim experiments catalogued in EXPERIMENTS.md.
+// E1–E12 claim experiments catalogued in EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -8,23 +8,84 @@
 //	reachbench -only table1,e3    # run a subset
 //	reachbench -scale 5           # multiply graph sizes by 5
 //	reachbench -seed 42           # change the workload seed
+//	reachbench -metrics -index bfl  # instrumented workload + metrics dump
+//	reachbench -cpuprofile cpu.pb  # write a pprof CPU profile
+//	reachbench -memprofile mem.pb  # write a pprof heap profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	reach "repro"
 	"repro/internal/experiments"
+	"repro/internal/gen"
 )
 
 func main() {
 	scale := flag.Int("scale", 1, "size multiplier for experiment graphs")
 	seed := flag.Int64("seed", 1, "workload seed")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,fig1,e1..e11")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,fig1,e1..e12")
+	metrics := flag.Bool("metrics", false, "run an instrumented workload for -index and dump its metrics instead of the experiment suite")
+	indexKind := flag.String("index", "bfl", "plain index kind for the -metrics run")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		usageExit("unexpected arguments %q", strings.Join(flag.Args(), " "))
+	}
+	if *scale < 1 {
+		usageExit("-scale must be >= 1, got %d", *scale)
+	}
+	if *metrics {
+		// Validate the index kind up front: fail with usage instead of
+		// panicking mid-build on a bogus kind.
+		if !validKind(reach.Kind(*indexKind)) {
+			usageExit("unknown index kind %q (want one of %s)", *indexKind, kindList())
+		}
+	} else if *indexKind != "bfl" {
+		usageExit("-index only applies with -metrics")
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("memprofile: %v", err)
+		}
+	}()
+
+	if *metrics {
+		runMetrics(reach.Kind(*indexKind), *scale, *seed)
+		return
+	}
 
 	sc := experiments.Scale{Factor: *scale}
 	w := os.Stdout
@@ -44,8 +105,9 @@ func main() {
 		"e9":     func(w io.Writer) { experiments.E9(w, sc, *seed) },
 		"e10":    func(w io.Writer) { experiments.E10(w, sc, *seed) },
 		"e11":    func(w io.Writer) { experiments.E11(w, sc, *seed) },
+		"e12":    func(w io.Writer) { experiments.E12(w, sc, *seed) },
 	}
-	order := []string{"table1", "table2", "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	order := []string{"table1", "table2", "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
 
 	selected := order
 	if *only != "" {
@@ -53,9 +115,7 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			name = strings.TrimSpace(strings.ToLower(name))
 			if _, ok := runners[name]; !ok {
-				fmt.Fprintf(os.Stderr, "reachbench: unknown experiment %q (want one of %s)\n",
-					name, strings.Join(order, ","))
-				os.Exit(2)
+				usageExit("unknown experiment %q (want one of %s)", name, strings.Join(order, ","))
 			}
 			selected = append(selected, name)
 		}
@@ -63,4 +123,60 @@ func main() {
 	for _, name := range selected {
 		runners[name](w)
 	}
+}
+
+// runMetrics builds the requested index with build-phase spans, drives a
+// mixed workload through an instrumented wrapper, and dumps the snapshot.
+func runMetrics(k reach.Kind, scale int, seed int64) {
+	n := 20000 * scale
+	g := gen.RandomDAG(gen.Config{N: n, M: 4 * n, Seed: seed})
+	var spans reach.BuildSpans
+	raw, err := reach.Build(k, g, reach.Options{K: 3, Bits: 256, Seed: seed, Spans: &spans})
+	if err != nil {
+		fail("build %s: %v", k, err)
+	}
+	var m reach.IndexMetrics
+	ix := reach.Instrument(raw, g, &m)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := 0; i < 20000; i++ {
+		ix.Reach(reach.V(rng.Intn(n)), reach.V(rng.Intn(n)))
+	}
+	fmt.Printf("index %s over %d vertices / %d edges, 20000 random queries\n",
+		raw.Name(), g.N(), g.M())
+	fmt.Println("build phases:")
+	for _, sp := range spans.Snapshot() {
+		fmt.Printf("  %*s%-24s %v\n", 2*sp.Depth, "", sp.Name, sp.Dur)
+	}
+	s := m.Snapshot()
+	fmt.Printf("queries=%d (+%d/-%d) decided=%.1f%% fallback=%d visited=%d p50=%v p99=%v\n",
+		s.Queries, s.Positive, s.Negative, 100*s.DecidedRate(), s.Fallback,
+		s.Visited, s.Latency.P50, s.Latency.P99)
+}
+
+func validKind(k reach.Kind) bool {
+	for _, kk := range reach.Kinds() {
+		if kk == k {
+			return true
+		}
+	}
+	return false
+}
+
+func kindList() string {
+	var names []string
+	for _, k := range reach.Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ",")
+}
+
+func usageExit(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "reachbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "reachbench: "+format+"\n", args...)
+	os.Exit(1)
 }

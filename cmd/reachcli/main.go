@@ -7,15 +7,23 @@
 //	reachcli -graph g.txt -index bfl -q "0 15"           # plain query
 //	reachcli -graph g.txt -q "alice bob (knows|likes)*"  # constrained
 //	echo "0 1\n0 2" | reachcli -graph g.txt              # batch on stdin
+//	reachcli stats -graph g.txt -index bfl -queries 5000 # observability
 //
 // Query lines hold "s t" for plain reachability or "s t α" for a
 // path-constrained query; vertices may be ids or names from the file.
+//
+// The stats subcommand builds the index with the observability layer
+// enabled, drives a sampled query workload through it, and prints the
+// metrics snapshot: per-index positive/negative counts, TryReach
+// decided-rate, guided-traversal fallback volume, latency percentiles,
+// and named build-phase durations (see OBSERVABILITY.md).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -24,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		runStats(os.Args[2:])
+		return
+	}
 	graphPath := flag.String("graph", "", "graph file (edge-list exchange format)")
 	indexKind := flag.String("index", "bfl", "plain index kind (see -list)")
 	lcrKind := flag.String("lcr", "p2h", "LCR index kind for labeled graphs")
@@ -109,6 +121,72 @@ func main() {
 		}
 		answer(line)
 	}
+}
+
+// runStats implements `reachcli stats`: build with metrics enabled, run a
+// sampled workload, print decided-rate, fallback-rate, and latency
+// percentiles per index plus the build-phase spans.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("reachcli stats", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file (edge-list exchange format)")
+	indexKind := fs.String("index", "bfl", "plain index kind")
+	lcrKind := fs.String("lcr", "p2h", "LCR index kind for labeled graphs")
+	queries := fs.Int("queries", 2000, "number of sampled queries to drive")
+	seed := fs.Int64("seed", 1, "workload seed")
+	fs.Parse(args)
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "reachcli stats: missing -graph")
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *queries <= 0 {
+		fmt.Fprintln(os.Stderr, "reachcli stats: -queries must be positive")
+		os.Exit(2)
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	g, err := reach.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		fail("parse %s: %v", *graphPath, err)
+	}
+	db, err := reach.NewDB(g, reach.DBConfig{
+		Plain:   reach.Kind(*indexKind),
+		LCR:     reach.LCRKind(*lcrKind),
+		Metrics: true,
+	})
+	if err != nil {
+		fail("build: %v", err)
+	}
+	db.PublishExpvar("reach_db")
+
+	rng := rand.New(rand.NewSource(*seed))
+	for i := 0; i < *queries; i++ {
+		s := reach.V(rng.Intn(g.N()))
+		t := reach.V(rng.Intn(g.N()))
+		db.Reach(s, t)
+	}
+	if g.Labeled() {
+		mask := uint64(1)<<uint(g.Labels()) - 1
+		for i := 0; i < *queries/4; i++ {
+			s := reach.V(rng.Intn(g.N()))
+			t := reach.V(rng.Intn(g.N()))
+			var labels []reach.Label
+			pick := rng.Uint64() & mask
+			for l := 0; l < g.Labels(); l++ {
+				if pick&(1<<uint(l)) != 0 {
+					labels = append(labels, reach.Label(l))
+				}
+			}
+			db.QueryAllowed(s, t, labels...)
+		}
+	}
+	fmt.Printf("graph %s: %d vertices, %d edges, %d labels; %d sampled queries\n",
+		*graphPath, g.N(), g.M(), g.Labels(), *queries)
+	snap, _ := db.MetricsSnapshot()
+	snap.WriteText(os.Stdout)
 }
 
 func vertex(g *reach.Graph, tok string) (reach.V, bool) {

@@ -2,8 +2,11 @@ package reach
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/labelset"
+	"repro/internal/obs"
 	"repro/internal/regexpath"
 	"repro/internal/traversal"
 )
@@ -21,6 +24,9 @@ type DB struct {
 	// registered holds dedicated indexes for hot constraints (§5's
 	// query-log-driven scenario), keyed by normalized expression.
 	registered map[string]*ConstraintIndex
+	// metrics is non-nil when DBConfig.Metrics enabled observability:
+	// routing counters, per-index query metrics, and build-phase spans.
+	metrics *obs.DBMetrics
 }
 
 // DBConfig selects the indexes a DB builds.
@@ -35,10 +41,17 @@ type DBConfig struct {
 	RLC bool
 	// Options passes the per-technique tunables through.
 	Options Options
+	// Metrics enables the observability layer: build-phase spans are
+	// recorded during NewDB, every query is counted and timed per routing
+	// class, and the plain index is wrapped to record probe-level
+	// decided/fallback/visited detail. See OBSERVABILITY.md. Disabled
+	// (the default), queries pay one nil comparison.
+	Metrics bool
 }
 
 // NewDB builds a DB over g. For unlabeled graphs only the plain index is
-// built; path-constrained queries then return an error.
+// built; genuinely labeled path-constrained queries then return an error
+// (trivially plain constraints still work — see Query).
 func NewDB(g *Graph, cfg DBConfig) (*DB, error) {
 	if cfg.Plain == "" {
 		cfg.Plain = KindBFL
@@ -47,9 +60,18 @@ func NewDB(g *Graph, cfg DBConfig) (*DB, error) {
 		cfg.LCR = LCRP2H
 	}
 	db := &DB{g: g}
+	if cfg.Metrics {
+		db.metrics = obs.NewDBMetrics()
+		if cfg.Options.Spans == nil {
+			cfg.Options.Spans = &db.metrics.Build
+		}
+	}
 	var err error
 	if db.plain, err = Build(cfg.Plain, g, cfg.Options); err != nil {
 		return nil, err
+	}
+	if db.metrics != nil {
+		db.plain = core.Instrument(db.plain, g, db.metrics.Index(db.plain.Name()))
 	}
 	if g.Labeled() {
 		if db.lcr, err = BuildLCR(cfg.LCR, g, cfg.Options); err != nil {
@@ -66,8 +88,38 @@ func NewDB(g *Graph, cfg DBConfig) (*DB, error) {
 // Graph returns the underlying graph.
 func (db *DB) Graph() *Graph { return db.g }
 
+// Metrics returns the DB's metrics root, or nil when DBConfig.Metrics was
+// false.
+func (db *DB) Metrics() *obs.DBMetrics { return db.metrics }
+
+// MetricsSnapshot captures the DB's metrics; ok is false when the
+// observability layer is disabled.
+func (db *DB) MetricsSnapshot() (snap obs.Snapshot, ok bool) {
+	if db.metrics == nil {
+		return obs.Snapshot{}, false
+	}
+	return db.metrics.Snapshot(), true
+}
+
+// PublishExpvar registers the DB's metrics under name in the expvar
+// registry (/debug/vars). No-op when metrics are disabled or the name is
+// already published.
+func (db *DB) PublishExpvar(name string) {
+	if db.metrics != nil {
+		db.metrics.Publish(name)
+	}
+}
+
 // Reach answers the plain reachability query Qr(s, t).
-func (db *DB) Reach(s, t V) bool { return db.plain.Reach(s, t) }
+func (db *DB) Reach(s, t V) bool {
+	if db.metrics == nil {
+		return db.plain.Reach(s, t)
+	}
+	start := time.Now()
+	res := db.plain.Reach(s, t)
+	db.metrics.Route(obs.RoutePlain).Observe(res, time.Since(start))
+	return res
+}
 
 // Query answers the path-constrained reachability query Qr(s, t, α),
 // where α follows the paper's grammar  α ::= l | α·α | α∪α | α+ | α*
@@ -77,39 +129,92 @@ func (db *DB) Reach(s, t V) bool { return db.plain.Reach(s, t) }
 //
 // Routing: alternation-star constraints go to the LCR index,
 // concatenation-star constraints to the RLC index, everything else to
-// product-automaton search.
+// product-automaton search. On unlabeled graphs, constraints whose
+// language is insensitive to labels (any alternation-star/plus, or a
+// single-label star/plus) reduce to plain reachability and are answered
+// by the plain index; genuinely labeled constraints return an error.
 func (db *DB) Query(s, t V, alpha string) (bool, error) {
+	if db.metrics == nil {
+		res, _, err := db.query(s, t, alpha)
+		return res, err
+	}
+	start := time.Now()
+	res, route, err := db.query(s, t, alpha)
+	if err != nil {
+		db.metrics.Errors.Inc()
+		return res, err
+	}
+	db.metrics.Route(route).Observe(res, time.Since(start))
+	return res, err
+}
+
+func (db *DB) query(s, t V, alpha string) (bool, obs.RouteKind, error) {
 	if !db.g.Labeled() {
-		return false, fmt.Errorf("reach: graph is unlabeled; use Reach for plain queries")
+		res, err := db.queryUnlabeled(s, t, alpha)
+		return res, obs.RoutePlain, err
 	}
 	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
 	if err != nil {
-		return false, err
+		return false, obs.RouteProduct, err
 	}
 	if ix, ok := db.registered[ast.String()]; ok {
-		return ix.Reach(s, t), nil
+		return ix.Reach(s, t), obs.RouteRegistered, nil
 	}
 	cl := regexpath.Classify(ast)
 	switch cl.Class {
 	case regexpath.ClassAlternation:
 		if s == t && !cl.PlusOnly {
-			return true, nil
+			return true, obs.RouteLCR, nil
 		}
 		if cl.PlusOnly {
 			// (…)+ requires at least one edge; peel the first step and
 			// then answer the star query from each allowed neighbour.
-			return db.plusAlternation(s, t, cl.Allowed), nil
+			return db.plusAlternation(s, t, cl.Allowed), obs.RouteLCR, nil
 		}
-		return db.lcr.ReachLC(s, t, cl.Allowed), nil
+		return db.lcr.ReachLC(s, t, cl.Allowed), obs.RouteLCR, nil
 	case regexpath.ClassConcatenation:
 		if s == t && !cl.PlusOnly {
-			return true, nil
+			return true, obs.RouteRLC, nil
 		}
-		return db.rlc.ReachRLC(s, t, cl.Sequence), nil
+		return db.rlc.ReachRLC(s, t, cl.Sequence), obs.RouteRLC, nil
 	default:
 		dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), db.g.Labels())
-		return traversal.ProductBFS(db.g, s, t, dfa), nil
+		return traversal.ProductBFS(db.g, s, t, dfa), obs.RouteProduct, nil
 	}
+}
+
+// queryUnlabeled serves path-constrained queries on an unlabeled graph
+// when the constraint is trivially plain-reachable. With every edge
+// carrying the same implicit label, an alternation-star admits paths of
+// every length (≥1 for plus), as does a single-label concatenation-star —
+// both reduce to the plain index. Multi-label concatenations constrain
+// the path length modulo the sequence length and genuinely need labels.
+func (db *DB) queryUnlabeled(s, t V, alpha string) (bool, error) {
+	ast, err := regexpath.Parse(alpha, regexpath.AnyResolver())
+	if err != nil {
+		return false, err
+	}
+	cl := regexpath.Classify(ast)
+	plain := cl.Class == regexpath.ClassAlternation ||
+		(cl.Class == regexpath.ClassConcatenation && len(cl.Sequence) == 1)
+	if !plain {
+		return false, fmt.Errorf(
+			"reach: graph is unlabeled and constraint %q depends on edge labels; only label-insensitive constraints (e.g. (a|b)*) are answerable — use Reach for plain queries",
+			alpha)
+	}
+	if s == t && !cl.PlusOnly {
+		return true, nil
+	}
+	if cl.PlusOnly {
+		// At least one edge: step to every successor, then plain-star.
+		for _, w := range db.g.Succ(s) {
+			if w == t || db.plain.Reach(w, t) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return db.plain.Reach(s, t), nil
 }
 
 // plusAlternation answers (l1|l2|...)+ — at least one edge — by stepping
@@ -183,10 +288,13 @@ func (db *DB) QueryAllowed(s, t V, labels ...Label) (bool, error) {
 	if db.lcr == nil {
 		return false, fmt.Errorf("reach: no LCR index (graph unlabeled)")
 	}
-	if s == t {
-		return true, nil
+	if db.metrics == nil {
+		return s == t || db.lcr.ReachLC(s, t, labelset.Of(labels...)), nil
 	}
-	return db.lcr.ReachLC(s, t, labelset.Of(labels...)), nil
+	start := time.Now()
+	res := s == t || db.lcr.ReachLC(s, t, labelset.Of(labels...))
+	db.metrics.Route(obs.RouteLCR).Observe(res, time.Since(start))
+	return res, nil
 }
 
 // Stats returns the footprint of every built index keyed by its name.

@@ -1,9 +1,13 @@
 package reach
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/gen"
 	"repro/internal/labelset"
+	"repro/internal/obs"
+	"repro/internal/tc"
 )
 
 // labelSet adapts a raw mask for tests.
@@ -102,8 +106,13 @@ func TestDBErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plain.Query(0, 1, "x*"); err == nil {
-		t.Error("constrained query on unlabeled graph should fail")
+	// "x*" is label-insensitive and now served by the plain index; a
+	// genuinely labeled constraint still fails on an unlabeled graph.
+	if _, err := plain.Query(0, 1, "(x.y)*"); err == nil {
+		t.Error("labeled constraint on unlabeled graph should fail")
+	}
+	if _, err := plain.Query(0, 1, "x.y"); err == nil {
+		t.Error("fixed-shape constraint on unlabeled graph should fail")
 	}
 	if _, err := plain.QueryAllowed(0, 1, 0); err == nil {
 		t.Error("QueryAllowed on unlabeled graph should fail")
@@ -218,6 +227,207 @@ func TestDBStats(t *testing.T) {
 		if s.Bytes < 0 {
 			t.Errorf("%s: negative bytes", name)
 		}
+	}
+}
+
+func TestDBUnlabeledTrivialConstraints(t *testing.T) {
+	db, err := NewDB(Fig1Plain(), DBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := db.Graph()
+	// Any alternation-star is label-insensitive: Query must agree with
+	// Reach on every pair.
+	for s := V(0); int(s) < g.N(); s++ {
+		for tt := V(0); int(tt) < g.N(); tt++ {
+			got, err := db.Query(s, tt, "(a|b)*")
+			if err != nil {
+				t.Fatalf("Query(%d,%d,(a|b)*): %v", s, tt, err)
+			}
+			if want := db.Reach(s, tt); got != want {
+				t.Fatalf("Query(%d,%d,(a|b)*) = %v, Reach = %v", s, tt, got, want)
+			}
+		}
+	}
+	// Single-label star behaves the same.
+	if got, err := db.Query(0, 0, "x*"); err != nil || !got {
+		t.Errorf("Query(0,0,x*) = %v, %v; want true", got, err)
+	}
+	// Plus needs at least one edge: self-plus is false on a DAG.
+	if got, err := db.Query(0, 0, "(a|b)+"); err != nil || got {
+		t.Errorf("Query(0,0,(a|b)+) = %v, %v; want false", got, err)
+	}
+	// Plus between distinct vertices agrees with Reach (every nonempty
+	// path has length >= 1 already).
+	for s := V(0); int(s) < g.N(); s++ {
+		for tt := V(0); int(tt) < g.N(); tt++ {
+			if s == tt {
+				continue
+			}
+			got, err := db.Query(s, tt, "e+")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := db.Reach(s, tt); got != want {
+				t.Fatalf("Query(%d,%d,e+) = %v, Reach = %v", s, tt, got, want)
+			}
+		}
+	}
+	// Genuinely labeled constraints error, with a message that names the
+	// actual problem rather than the blanket "use Reach".
+	if _, err := db.Query(0, 1, "(a.b)*"); err == nil ||
+		!strings.Contains(err.Error(), "depends on edge labels") {
+		t.Errorf("labeled constraint error = %v", err)
+	}
+	// Syntax errors still surface as parse errors.
+	if _, err := db.Query(0, 1, "((("); err == nil {
+		t.Error("syntax error should fail on unlabeled graphs too")
+	}
+}
+
+// TestDBMetricsDecidedFallback asserts that a batch of mixed positive and
+// negative queries through an instrumented Partial plain index (BFL)
+// yields exactly the decided/fallback split TryReach predicts, plus the
+// right positive/negative and routing counts and build-phase spans.
+func TestDBMetricsDecidedFallback(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 400, M: 1200, Seed: 11})
+	db, err := NewDB(g, DBConfig{Plain: KindBFL, Metrics: true, Options: Options{Bits: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := tc.NewClosure(g)
+	probe, ok := db.plain.(PartialIndex)
+	if !ok {
+		t.Fatal("instrumented BFL should still expose TryReach")
+	}
+	qs := gen.QueriesWithRatio(g, 500, 0.5, 12)
+	var wantPos, wantNeg, wantDecided, wantFallback int64
+	for _, q := range qs {
+		if oracle.Reach(q.S, q.T) {
+			wantPos++
+		} else {
+			wantNeg++
+		}
+		if _, decided := probe.TryReach(q.S, q.T); decided {
+			wantDecided++
+		} else {
+			wantFallback++
+		}
+		if got := db.Reach(q.S, q.T); got != oracle.Reach(q.S, q.T) {
+			t.Fatalf("Reach(%d,%d) wrong", q.S, q.T)
+		}
+	}
+	snap, ok := db.MetricsSnapshot()
+	if !ok {
+		t.Fatal("metrics enabled but no snapshot")
+	}
+	is, ok := snap.Indexes["BFL"]
+	if !ok {
+		t.Fatalf("no BFL index metrics; have %v", snap.Indexes)
+	}
+	if is.Queries != int64(len(qs)) {
+		t.Errorf("queries = %d, want %d", is.Queries, len(qs))
+	}
+	if is.Positive != wantPos || is.Negative != wantNeg {
+		t.Errorf("positive/negative = %d/%d, want %d/%d", is.Positive, is.Negative, wantPos, wantNeg)
+	}
+	if is.Decided != wantDecided || is.Fallback != wantFallback {
+		t.Errorf("decided/fallback = %d/%d, want %d/%d", is.Decided, is.Fallback, wantDecided, wantFallback)
+	}
+	if wantFallback > 0 && is.Visited == 0 {
+		t.Error("fallbacks occurred but no visited vertices recorded")
+	}
+	// Latency is sampled (1 in 32; the very first query is always timed),
+	// so the histogram holds some — but not necessarily all — queries.
+	if c := is.Latency.Count; c == 0 || c > int64(len(qs)) {
+		t.Errorf("latency count = %d, want in 1..%d", c, len(qs))
+	}
+	// Routing: everything above went through the plain route.
+	if rs := snap.Routes[obs.RoutePlain.String()]; rs.Queries != int64(len(qs)) {
+		t.Errorf("plain route queries = %d, want %d", rs.Queries, len(qs))
+	}
+	// Build phases: SCC condensation, the lifted build, and BFL's own
+	// internal phases must all be present and named.
+	names := map[string]bool{}
+	for _, sp := range snap.Build {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"scc/condense", "index/build", "bfl/dfs-intervals", "bfl/filters-out"} {
+		if !names[want] {
+			t.Errorf("missing build phase %q in %v", want, names)
+		}
+	}
+}
+
+// TestDBMetricsRouting drives one query through every routing class of a
+// labeled DB and checks the per-class counters.
+func TestDBMetricsRouting(t *testing.T) {
+	db, err := NewDB(Fig1Labeled(), DBConfig{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Graph().VertexByName("A")
+	g, _ := db.Graph().VertexByName("G")
+	l, _ := db.Graph().VertexByName("L")
+	b, _ := db.Graph().VertexByName("B")
+	m, _ := db.Graph().VertexByName("M")
+
+	db.Reach(a, g)                              // plain
+	db.Query(a, g, "(friendOf|follows)*")       // lcr
+	db.Query(l, b, "(worksFor.friendOf)*")      // rlc
+	db.Query(a, m, "follows.worksFor.worksFor") // product
+	if err := db.RegisterConstraint("follows.(worksFor)+"); err != nil {
+		t.Fatal(err)
+	}
+	db.Query(a, m, "follows.(worksFor)+") // registered
+	db.Query(a, m, "(((")                 // parse error
+
+	snap, _ := db.MetricsSnapshot()
+	for route, want := range map[string]int64{
+		"plain": 1, "lcr": 1, "rlc": 1, "product": 1, "registered": 1,
+	} {
+		if got := snap.Routes[route].Queries; got != want {
+			t.Errorf("route %s queries = %d, want %d", route, got, want)
+		}
+	}
+	if snap.Errors != 1 {
+		t.Errorf("errors = %d, want 1", snap.Errors)
+	}
+	if len(snap.Build) < 3 {
+		t.Errorf("expected >=3 build phases, got %v", snap.Build)
+	}
+}
+
+// TestBatchReachInstrumented checks that batches over an instrumented
+// index record batch-level and per-query counters.
+func TestBatchReachInstrumented(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 200, M: 600, Seed: 21})
+	raw, err := Build(KindBFL, g, Options{Bits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m IndexMetrics
+	ix := Instrument(raw, g, &m)
+	qs := gen.Queries(g, 100, 22)
+	pairs := make([]Pair, len(qs))
+	for i, q := range qs {
+		pairs[i] = Pair{S: q.S, T: q.T}
+	}
+	got := BatchReach(ix, pairs, 4)
+	for i, q := range qs {
+		if got[i] != q.Want {
+			t.Fatalf("batch answer %d wrong", i)
+		}
+	}
+	s := m.Snapshot()
+	if s.Batches != 1 || s.BatchQueries != int64(len(pairs)) {
+		t.Errorf("batches/batch_queries = %d/%d, want 1/%d", s.Batches, s.BatchQueries, len(pairs))
+	}
+	if s.Queries != int64(len(pairs)) {
+		t.Errorf("queries = %d, want %d", s.Queries, len(pairs))
+	}
+	if s.Decided+s.Fallback != s.Queries {
+		t.Errorf("decided+fallback = %d, want %d", s.Decided+s.Fallback, s.Queries)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/order"
 )
 
@@ -27,6 +28,8 @@ type Options struct {
 	Bits int
 	// Seed scrambles the vertex→bit hash.
 	Seed int64
+	// Spans, when non-nil, receives named build-phase durations.
+	Spans *obs.Spans
 }
 
 func (o *Options) defaults() {
@@ -59,10 +62,14 @@ func New(dag *graph.Digraph, opts Options) *Index {
 		out:   make([]uint64, n*words),
 		in:    make([]uint64, n*words),
 	}
+	end := opts.Spans.Start("bfl/dfs-intervals")
 	po := order.DFSForest(dag, order.Sources(dag), nil)
 	ix.post, ix.min = po.Post, po.Min
+	end()
 
+	end = opts.Spans.Start("bfl/toposort")
 	topo, _ := order.Topological(dag)
+	end()
 	seed := uint64(opts.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	bitOf := func(v graph.V) (int, uint64) {
 		x := (uint64(v) + 1) * seed
@@ -73,6 +80,7 @@ func New(dag *graph.Digraph, opts Options) *Index {
 		return int(pos / 64), 1 << (pos % 64)
 	}
 	// Forward filters in reverse topological order.
+	end = opts.Spans.Start("bfl/filters-out")
 	for i := len(topo) - 1; i >= 0; i-- {
 		v := topo[i]
 		row := ix.out[int(v)*words : (int(v)+1)*words]
@@ -85,7 +93,9 @@ func New(dag *graph.Digraph, opts Options) *Index {
 			}
 		}
 	}
+	end()
 	// Backward filters in topological order.
+	end = opts.Spans.Start("bfl/filters-in")
 	for _, v := range topo {
 		row := ix.in[int(v)*words : (int(v)+1)*words]
 		w, b := bitOf(v)
@@ -97,6 +107,7 @@ func New(dag *graph.Digraph, opts Options) *Index {
 			}
 		}
 	}
+	end()
 	ix.stats = core.Stats{
 		Entries:   2 * n, // one filter pair per vertex
 		Bytes:     2*n*words*8 + 2*n*4,
@@ -139,6 +150,14 @@ func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
 // Reach answers Qr(s, t) exactly via filter-guided DFS.
 func (ix *Index) Reach(s, t graph.V) bool {
 	return core.GuidedDFS(ix.g, s, t, ix.TryReach)
+}
+
+// ReachCounted implements core.ReachCounter: the same guided DFS as
+// Reach, additionally reporting how many vertices it expanded and whether
+// the index labels decided the query without any expansion.
+func (ix *Index) ReachCounted(s, t graph.V) (bool, int, bool) {
+	r, n := core.CountingGuidedDFS(ix.g, s, t, ix.TryReach)
+	return r, n, n == 0
 }
 
 // Stats implements core.Index.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/scc"
 )
 
@@ -14,14 +15,37 @@ type DAGBuilder func(dag *graph.Digraph) Index
 // is the standard reduction the paper notes "most plain reachability
 // indexes in literature assume".
 func ForGeneral(g *graph.Digraph, build DAGBuilder) Index {
+	return ForGeneralSpans(g, nil, build)
+}
+
+// ForGeneralSpans is ForGeneral with build-phase observability: the SCC
+// condensation and the inner index construction are recorded as named
+// spans (a nil recorder records nothing). Builders that expose their own
+// internal phases nest them under "index/build".
+func ForGeneralSpans(g *graph.Digraph, spans *obs.Spans, build DAGBuilder) Index {
+	end := spans.Start("scc/condense")
 	cond := scc.Condense(g)
+	end()
+	end = spans.Start("index/build")
 	inner := build(cond.DAG)
-	return &condensed{cond: cond, inner: inner}
+	end()
+	c := &condensed{cond: cond, inner: inner}
+	if rc, ok := inner.(ReachCounter); ok {
+		c.rc = rc
+	}
+	if p, ok := inner.(Partial); ok {
+		c.p = p
+		c.try = p.TryReach // bound once: the hot paths must not allocate per call
+	}
+	return c
 }
 
 type condensed struct {
 	cond  *scc.Condensation
 	inner Index
+	rc    ReachCounter                    // inner as ReachCounter, nil otherwise
+	p     Partial                         // inner as Partial, nil when complete
+	try   func(u, t graph.V) (bool, bool) // p.TryReach, pre-bound
 }
 
 func (c *condensed) Name() string { return c.inner.Name() }
@@ -46,10 +70,31 @@ func (c *condensed) TryReach(s, t graph.V) (bool, bool) {
 	if cs == ct {
 		return true, true
 	}
-	if p, ok := c.inner.(Partial); ok {
-		return p.TryReach(cs, ct)
+	if c.p != nil {
+		return c.p.TryReach(cs, ct)
 	}
 	return c.inner.Reach(cs, ct), true
+}
+
+// ReachCounted implements ReachCounter: it answers exactly like Reach but
+// additionally reports whether the inner index decided the query from its
+// labels alone and, if not, how many DAG vertices the guided fallback
+// expanded. When the inner index counts for itself (the guided-DFS family
+// all do) the query is byte-for-byte the traversal Reach performs, so
+// instrumented and raw queries do identical work apart from the counter.
+func (c *condensed) ReachCounted(s, t graph.V) (reachable bool, visited int, decided bool) {
+	cs, ct := c.cond.Comp[s], c.cond.Comp[t]
+	if cs == ct {
+		return true, 0, true
+	}
+	if c.rc != nil {
+		return c.rc.ReachCounted(cs, ct)
+	}
+	if c.p != nil {
+		r, n := CountingGuidedDFS(c.cond.DAG, cs, ct, c.try)
+		return r, n, n == 0
+	}
+	return c.inner.Reach(cs, ct), 0, true
 }
 
 // Inner exposes the wrapped DAG index; the experiment harness uses it to

@@ -61,10 +61,17 @@ func TestExperimentsSmoke(t *testing.T) {
 	E8(&buf, sc, 1)
 	E9(&buf, sc, 1)
 	E10(&buf, sc, 1)
+	E12(&buf, sc, 1)
 	out := buf.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12"} {
 		if !strings.Contains(out, id+" —") {
 			t.Errorf("missing %s header", id)
+		}
+	}
+	// E12's probe-level table and build-phase spans must materialize.
+	for _, want := range []string{"decided", "bfl/filters-out", "scc/condense"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E12 output missing %q", want)
 		}
 	}
 }

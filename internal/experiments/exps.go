@@ -424,4 +424,5 @@ func All(w io.Writer, sc Scale, seed int64) {
 	E9(w, sc, seed)
 	E10(w, sc, seed)
 	E11(w, sc, seed)
+	E12(w, sc, seed)
 }

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// IndexMetrics accumulates the per-index query signals of §3.3/§5: how
+// often the index alone decided (TryReach), how often guided traversal had
+// to run and how much of the graph it touched, and the latency and
+// positive/negative split of every Reach call.
+//
+// The representation is chosen so a decided (index-only) query costs a
+// single atomic add: the total query count is Positive+Negative, and the
+// decided count is Queries-Fallback — only fallbacks, which already pay
+// for a traversal, record extra counters. Latency may be sampled by the
+// recorder (see core.Instrumented), so Latency.Count can be below Queries.
+type IndexMetrics struct {
+	Positive Counter // queries answered true
+	Negative Counter // queries answered false
+	Fallback Counter // required guided traversal
+	Visited  Counter // total vertices expanded across all fallbacks
+
+	Batches      Counter // BatchReach invocations routed through this index
+	BatchQueries Counter // queries submitted via batches
+
+	Latency Histogram
+}
+
+// Observe records one completed query with its latency.
+func (m *IndexMetrics) Observe(positive bool, d time.Duration) {
+	m.ObserveOutcome(positive)
+	m.Latency.Record(d)
+}
+
+// ObserveOutcome records one completed query without latency — the
+// single-atomic-add path the instrumented wrapper uses on unsampled calls.
+func (m *IndexMetrics) ObserveOutcome(positive bool) {
+	if positive {
+		m.Positive.Inc()
+	} else {
+		m.Negative.Inc()
+	}
+}
+
+// Queries returns the total number of observed queries.
+func (m *IndexMetrics) Queries() int64 { return m.Positive.Load() + m.Negative.Load() }
+
+// ObserveProbe records the probe-level outcome of one query on a partial
+// index: decided reports whether TryReach settled it, visited is the
+// number of vertices the guided fallback expanded (0 when decided).
+// Decided queries are free here — the decided count is derived as
+// Queries-Fallback at snapshot time.
+func (m *IndexMetrics) ObserveProbe(decided bool, visited int) {
+	if decided {
+		return
+	}
+	m.Fallback.Inc()
+	m.Visited.Add(int64(visited))
+}
+
+// ObserveBatch records one batch submission of n queries.
+func (m *IndexMetrics) ObserveBatch(n int) {
+	m.Batches.Inc()
+	m.BatchQueries.Add(int64(n))
+}
+
+// IndexSnapshot is a point-in-time view of IndexMetrics. Queries is
+// always Positive+Negative and Decided is Queries-Fallback; Latency.Count
+// may be lower than Queries when the recorder samples timing. Because
+// Decided is derived from counters read at slightly different instants,
+// it can transiently overestimate during concurrent load (it is exact at
+// rest and never negative).
+type IndexSnapshot struct {
+	Queries  int64 `json:"queries"`
+	Positive int64 `json:"positive"`
+	Negative int64 `json:"negative"`
+	Decided  int64 `json:"decided"`
+	Fallback int64 `json:"fallback"`
+	Visited  int64 `json:"visited"`
+
+	Batches      int64 `json:"batches,omitempty"`
+	BatchQueries int64 `json:"batch_queries,omitempty"`
+
+	Latency HistSnapshot `json:"latency"`
+}
+
+// DecidedRate is the fraction of queries the index settled without guided
+// traversal — the paper's §3.3 measure of a partial index's pruning power
+// (1.0 for complete indexes, which never fall back).
+func (s IndexSnapshot) DecidedRate() float64 { return rate(s.Decided, s.Queries) }
+
+// FallbackRate is 1 - DecidedRate.
+func (s IndexSnapshot) FallbackRate() float64 { return rate(s.Fallback, s.Queries) }
+
+func rate(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// Snapshot captures the current values. Fallback is read before Positive
+// and Negative so that derived Decided never goes negative; the derived
+// Queries is monotone across concurrent snapshots because each underlying
+// counter only grows.
+func (m *IndexMetrics) Snapshot() IndexSnapshot {
+	fb := m.Fallback.Load()
+	pos, neg := m.Positive.Load(), m.Negative.Load()
+	decided := pos + neg - fb
+	if decided < 0 {
+		decided = 0
+	}
+	return IndexSnapshot{
+		Queries:      pos + neg,
+		Positive:     pos,
+		Negative:     neg,
+		Decided:      decided,
+		Fallback:     fb,
+		Visited:      m.Visited.Load(),
+		Batches:      m.Batches.Load(),
+		BatchQueries: m.BatchQueries.Load(),
+		Latency:      m.Latency.Snapshot(),
+	}
+}
+
+// RouteKind enumerates DB.Query routing decisions (§2.2 constraint classes
+// plus the plain-Reach path and registered constraint indexes).
+type RouteKind int
+
+// Routing classes.
+const (
+	RoutePlain      RouteKind = iota // plain reachability (Reach, trivially-plain constraints)
+	RouteLCR                         // alternation constraints → LCR index (§4.1)
+	RouteRLC                         // concatenation constraints → RLC index (§4.2)
+	RouteRegistered                  // registered per-constraint index (§5)
+	RouteProduct                     // general constraints → product-automaton search (§2.3)
+	NumRoutes
+)
+
+func (k RouteKind) String() string {
+	switch k {
+	case RoutePlain:
+		return "plain"
+	case RouteLCR:
+		return "lcr"
+	case RouteRLC:
+		return "rlc"
+	case RouteRegistered:
+		return "registered"
+	case RouteProduct:
+		return "product"
+	}
+	return fmt.Sprintf("route(%d)", int(k))
+}
+
+// RouteMetrics accumulates per-class DB.Query statistics.
+type RouteMetrics struct {
+	Queries  Counter
+	Positive Counter
+	Negative Counter
+	Latency  Histogram
+}
+
+// Observe records one routed query.
+func (m *RouteMetrics) Observe(positive bool, d time.Duration) {
+	m.Queries.Inc()
+	if positive {
+		m.Positive.Inc()
+	} else {
+		m.Negative.Inc()
+	}
+	m.Latency.Record(d)
+}
+
+// RouteSnapshot is a point-in-time view of RouteMetrics.
+type RouteSnapshot struct {
+	Queries  int64        `json:"queries"`
+	Positive int64        `json:"positive"`
+	Negative int64        `json:"negative"`
+	Latency  HistSnapshot `json:"latency"`
+}
+
+// DBMetrics is the DB-level metrics root: build-phase spans, per-class
+// routing counters, per-index query metrics, and an error counter.
+type DBMetrics struct {
+	Build  Spans
+	Errors Counter
+
+	routes [NumRoutes]RouteMetrics
+
+	mu      sync.Mutex
+	indexes map[string]*IndexMetrics
+}
+
+// NewDBMetrics returns an empty metrics root.
+func NewDBMetrics() *DBMetrics {
+	return &DBMetrics{indexes: make(map[string]*IndexMetrics)}
+}
+
+// Route returns the metrics cell for one routing class.
+func (m *DBMetrics) Route(k RouteKind) *RouteMetrics { return &m.routes[k] }
+
+// Index returns (creating on first use) the metrics cell for the named
+// index. The returned pointer is stable and safe for concurrent recording.
+func (m *DBMetrics) Index(name string) *IndexMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	im := m.indexes[name]
+	if im == nil {
+		im = &IndexMetrics{}
+		m.indexes[name] = im
+	}
+	return im
+}
+
+// Snapshot is a point-in-time view of everything a DBMetrics recorded.
+type Snapshot struct {
+	Indexes map[string]IndexSnapshot `json:"indexes"`
+	Routes  map[string]RouteSnapshot `json:"routes"`
+	Build   []PhaseSpan              `json:"build,omitempty"`
+	Errors  int64                    `json:"errors"`
+}
+
+// Snapshot captures all metrics. It may run concurrently with recording;
+// every counter it reads is individually monotone.
+func (m *DBMetrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Indexes: make(map[string]IndexSnapshot),
+		Routes:  make(map[string]RouteSnapshot),
+		Build:   m.Build.Snapshot(),
+		Errors:  m.Errors.Load(),
+	}
+	m.mu.Lock()
+	cells := make(map[string]*IndexMetrics, len(m.indexes))
+	for name, im := range m.indexes {
+		cells[name] = im
+	}
+	m.mu.Unlock()
+	for name, im := range cells {
+		s.Indexes[name] = im.Snapshot()
+	}
+	for k := RouteKind(0); k < NumRoutes; k++ {
+		rm := &m.routes[k]
+		if rm.Queries.Load() == 0 {
+			continue
+		}
+		s.Routes[k.String()] = RouteSnapshot{
+			Queries:  rm.Queries.Load(),
+			Positive: rm.Positive.Load(),
+			Negative: rm.Negative.Load(),
+			Latency:  rm.Latency.Snapshot(),
+		}
+	}
+	return s
+}
+
+// Publish registers this metrics root under name in the process-wide
+// expvar registry (visible on /debug/vars). Publishing the same name
+// twice is a no-op rather than the expvar panic, so DBs can be rebuilt.
+func (m *DBMetrics) Publish(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}
+
+// WriteText renders the snapshot as the human-readable dump printed by
+// `reachcli stats` and `reachbench -metrics`.
+func (s Snapshot) WriteText(w io.Writer) {
+	if len(s.Build) > 0 {
+		fmt.Fprintln(w, "build phases:")
+		for _, sp := range s.Build {
+			fmt.Fprintf(w, "  %*s%-24s %v\n", 2*sp.Depth, "", sp.Name, sp.Dur)
+		}
+	}
+	if len(s.Indexes) > 0 {
+		fmt.Fprintln(w, "indexes:")
+		for _, name := range sortedKeys(s.Indexes) {
+			is := s.Indexes[name]
+			fmt.Fprintf(w, "  %-14s queries=%d (+%d/-%d)", name, is.Queries, is.Positive, is.Negative)
+			if is.Decided+is.Fallback > 0 {
+				fmt.Fprintf(w, " decided=%.1f%% fallback=%d visited=%d",
+					100*is.DecidedRate(), is.Fallback, is.Visited)
+			}
+			if is.Batches > 0 {
+				fmt.Fprintf(w, " batches=%d batch_queries=%d", is.Batches, is.BatchQueries)
+			}
+			fmt.Fprintf(w, " p50=%v p99=%v\n", is.Latency.P50, is.Latency.P99)
+		}
+	}
+	if len(s.Routes) > 0 {
+		fmt.Fprintln(w, "routes:")
+		for _, name := range sortedKeys(s.Routes) {
+			rs := s.Routes[name]
+			fmt.Fprintf(w, "  %-14s queries=%d (+%d/-%d) p50=%v p99=%v\n",
+				name, rs.Queries, rs.Positive, rs.Negative, rs.Latency.P50, rs.Latency.P99)
+		}
+	}
+	if s.Errors > 0 {
+		fmt.Fprintf(w, "errors: %d\n", s.Errors)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseSpan is one named, timed build phase. Depth encodes the hierarchy:
+// a span started while another is open is its child (depth parent+1), so
+// e.g. the BFL filter passes nest under the SCC-lifted "index/build" span.
+type PhaseSpan struct {
+	Name  string        `json:"name"`
+	Depth int           `json:"depth"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Spans records hierarchical build-phase spans. Start/end pairs must nest
+// (LIFO) within one recorder; construction code is sequential at the
+// phase granularity instrumented here. A nil *Spans is valid and records
+// nothing, which is the disabled fast path every builder relies on.
+type Spans struct {
+	mu    sync.Mutex
+	spans []PhaseSpan
+	depth int
+}
+
+// Start opens a named phase and returns the closure that ends it:
+//
+//	end := spans.Start("scc/condense")
+//	... phase work ...
+//	end()
+func (s *Spans) Start(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	s.mu.Lock()
+	idx := len(s.spans)
+	s.spans = append(s.spans, PhaseSpan{Name: name, Depth: s.depth})
+	s.depth++
+	s.mu.Unlock()
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		s.mu.Lock()
+		s.spans[idx].Dur = d
+		s.depth--
+		s.mu.Unlock()
+	}
+}
+
+// Snapshot returns the recorded spans in start order.
+func (s *Spans) Snapshot() []PhaseSpan {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PhaseSpan, len(s.spans))
+	copy(out, s.spans)
+	return out
+}
+
+// Reset discards all recorded spans.
+func (s *Spans) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.spans, s.depth = nil, 0
+	s.mu.Unlock()
+}

@@ -138,5 +138,13 @@ func (ix *Index) Reach(s, t graph.V) bool {
 	return core.GuidedDFS(ix.g, s, t, ix.TryReach)
 }
 
+// ReachCounted implements core.ReachCounter: the same guided DFS as
+// Reach, additionally reporting how many vertices it expanded and whether
+// the index labels decided the query without any expansion.
+func (ix *Index) ReachCounted(s, t graph.V) (bool, int, bool) {
+	r, n := core.CountingGuidedDFS(ix.g, s, t, ix.TryReach)
+	return r, n, n == 0
+}
+
 // Stats implements core.Index.
 func (ix *Index) Stats() core.Stats { return ix.stats }

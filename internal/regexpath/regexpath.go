@@ -101,6 +101,15 @@ func GraphResolver(g *graph.Digraph) LabelResolver {
 	}
 }
 
+// AnyResolver accepts every label name, mapping it to label 0. It parses
+// constraints against graphs that carry no labels: on an unlabeled graph
+// every edge spells the same (implicit) label, so classification over this
+// resolver decides whether a constraint is trivially plain-reachable
+// (e.g. any alternation-star) or genuinely needs edge labels.
+func AnyResolver() LabelResolver {
+	return func(string) (graph.Label, bool) { return 0, true }
+}
+
 type parser struct {
 	in      string
 	pos     int

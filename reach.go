@@ -48,6 +48,7 @@ import (
 	"repro/internal/lcrgtc"
 	"repro/internal/lcrlandmark"
 	"repro/internal/lcrtree"
+	"repro/internal/obs"
 	"repro/internal/oreach"
 	"repro/internal/p2h"
 	"repro/internal/pathhop"
@@ -87,6 +88,19 @@ type (
 	RLCIndex = core.RLCIndex
 	// Stats describes an index footprint.
 	Stats = core.Stats
+
+	// BuildSpans records named build-phase durations (see OBSERVABILITY.md).
+	BuildSpans = obs.Spans
+	// IndexMetrics accumulates per-index query metrics.
+	IndexMetrics = obs.IndexMetrics
+	// DBMetrics is the DB-level metrics root.
+	DBMetrics = obs.DBMetrics
+	// PhaseSpan is one named, timed build phase.
+	PhaseSpan = obs.PhaseSpan
+	// MetricsSnapshot is a point-in-time view of a DB's metrics.
+	MetricsSnapshot = obs.Snapshot
+	// IndexMetricsSnapshot is the per-index slice of a MetricsSnapshot.
+	IndexMetricsSnapshot = obs.IndexSnapshot
 )
 
 // Graph constructors re-exported from the internal graph package.
@@ -169,75 +183,101 @@ type Options struct {
 	// it (currently the landmark LCR index's per-landmark GTCs) — the §5
 	// "parallel computation of indexes" direction.
 	Parallel bool
+	// Spans, when non-nil, receives named build-phase durations from
+	// Build/BuildLCR/BuildRLC (SCC condensation, order computation, filter
+	// passes, ...); see OBSERVABILITY.md for the span-name schema. Nil
+	// disables phase recording at zero cost.
+	Spans *BuildSpans
+}
+
+// timed runs a direct (non-SCC-lifted) builder under an "index/build"
+// span; a nil recorder makes it a plain call.
+func timed(spans *obs.Spans, build func() Index) Index {
+	end := spans.Start("index/build")
+	ix := build()
+	end()
+	return ix
 }
 
 // Build constructs the requested plain index over g. DAG-only techniques
 // are lifted to general graphs through SCC condensation automatically
-// (§3.1); techniques accepting general graphs run on g directly.
+// (§3.1); techniques accepting general graphs run on g directly. With
+// Options.Spans set, construction phases are recorded as named spans.
 func Build(k Kind, g *Graph, opt Options) (Index, error) {
+	sp := opt.Spans
 	switch k {
 	case KindTreeCover:
-		return core.ForGeneral(g, func(d *Graph) Index { return treecover.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return treecover.New(d) }), nil
 	case KindTreeSSPI:
-		return core.ForGeneral(g, func(d *Graph) Index { return sspi.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return sspi.New(d) }), nil
 	case KindDualLabel:
-		return core.ForGeneral(g, func(d *Graph) Index { return duallabel.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return duallabel.New(d) }), nil
 	case KindGRIPP:
-		return gripp.New(g), nil
+		return timed(sp, func() Index { return gripp.New(g) }), nil
 	case KindPathTree:
-		return core.ForGeneral(g, func(d *Graph) Index { return pathtree.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return pathtree.New(d) }), nil
 	case KindGRAIL:
-		return core.ForGeneral(g, func(d *Graph) Index {
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
 			return grail.New(d, grail.Options{K: opt.K, Seed: opt.Seed})
 		}), nil
 	case KindFerrari:
-		return core.ForGeneral(g, func(d *Graph) Index {
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
 			return ferrari.New(d, ferrari.Options{K: opt.K})
 		}), nil
 	case KindDAGGER:
-		return core.ForGeneral(g, func(d *Graph) Index {
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
 			return dagger.New(d, dagger.Options{K: opt.K, Seed: opt.Seed})
 		}), nil
 	case KindTwoHop:
-		return twohop.New(g), nil
+		return timed(sp, func() Index { return twohop.New(g) }), nil
 	case KindThreeHop:
-		return core.ForGeneral(g, func(d *Graph) Index { return threehop.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return threehop.New(d) }), nil
 	case KindPathHop:
-		return core.ForGeneral(g, func(d *Graph) Index { return pathhop.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return pathhop.New(d) }), nil
 	case KindTFL:
-		return core.ForGeneral(g, func(d *Graph) Index {
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
 			return pll.New(d, pll.Options{Order: pll.OrderTopological})
 		}), nil
 	case KindDL:
-		return pll.New(g, pll.Options{Order: pll.OrderDegree, Name: "DL"}), nil
+		return timed(sp, func() Index { return pll.New(g, pll.Options{Order: pll.OrderDegree, Name: "DL"}) }), nil
 	case KindPLL:
-		return pll.New(g, pll.Options{Order: pll.OrderDegree}), nil
+		return timed(sp, func() Index { return pll.New(g, pll.Options{Order: pll.OrderDegree}) }), nil
 	case KindHL:
-		return core.ForGeneral(g, func(d *Graph) Index {
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
 			return pll.New(d, pll.Options{Order: pll.OrderDegreeProduct, Name: "HL"})
 		}), nil
 	case KindTOL:
-		return tol.New(g), nil
+		return timed(sp, func() Index { return tol.New(g) }), nil
 	case KindDBL:
-		return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed}), nil
+		return timed(sp, func() Index {
+			return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed})
+		}), nil
 	case KindOReach:
-		return core.ForGeneral(g, func(d *Graph) Index {
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
 			return oreach.New(d, oreach.Options{K: opt.K})
 		}), nil
 	case KindIP:
-		return core.ForGeneral(g, func(d *Graph) Index {
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
 			return ip.New(d, ip.Options{K: opt.K, Seed: opt.Seed})
 		}), nil
 	case KindBFL:
-		return core.ForGeneral(g, func(d *Graph) Index {
-			return bfl.New(d, bfl.Options{Bits: opt.Bits, Seed: opt.Seed})
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
+			return bfl.New(d, bfl.Options{Bits: opt.Bits, Seed: opt.Seed, Spans: sp})
 		}), nil
 	case KindFeline:
-		return core.ForGeneral(g, func(d *Graph) Index { return feline.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return feline.New(d) }), nil
 	case KindPReaCH:
-		return core.ForGeneral(g, func(d *Graph) Index { return preach.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return preach.New(d) }), nil
 	}
 	return nil, fmt.Errorf("reach: unknown index kind %q", k)
+}
+
+// Instrument wraps ix so every Reach records latency, outcome, and — for
+// partial indexes — probe-level decided/fallback/visited detail into m.
+// g must be the graph ix was built over (it is the adjacency the guided
+// fallback traverses); m must not be nil for recording to occur.
+func Instrument(ix Index, g *Graph, m *IndexMetrics) Index {
+	return core.Instrument(ix, g, m)
 }
 
 // BuildDynamic constructs a dynamic plain index (TOL, DAGGER, DBL). Note
@@ -277,11 +317,22 @@ func LCRKinds() []LCRKind {
 	return []LCRKind{LCRZouGTC, LCRLandmark, LCRP2H, LCRDLCR, LCRJinTree, LCRDecomp, LCRBloom}
 }
 
-// BuildLCR constructs the requested alternation-constraint index.
+// BuildLCR constructs the requested alternation-constraint index. With
+// Options.Spans set, construction is recorded as an "lcr/build" span.
 func BuildLCR(k LCRKind, g *Graph, opt Options) (LCRIndex, error) {
 	if !g.Labeled() {
 		return nil, fmt.Errorf("reach: LCR index %q needs an edge-labeled graph", k)
 	}
+	ix, err := buildLCR(k, g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func buildLCR(k LCRKind, g *Graph, opt Options) (LCRIndex, error) {
+	end := opt.Spans.Start("lcr/build")
+	defer end()
 	switch k {
 	case LCRZouGTC:
 		return lcrgtc.New(g), nil
@@ -301,12 +352,16 @@ func BuildLCR(k LCRKind, g *Graph, opt Options) (LCRIndex, error) {
 	return nil, fmt.Errorf("reach: unknown LCR index kind %q", k)
 }
 
-// BuildRLC constructs the concatenation-constraint (RLC) index.
+// BuildRLC constructs the concatenation-constraint (RLC) index. With
+// Options.Spans set, construction is recorded as an "rlc/build" span.
 func BuildRLC(g *Graph, opt Options) (RLCIndex, error) {
 	if !g.Labeled() {
 		return nil, fmt.Errorf("reach: the RLC index needs an edge-labeled graph")
 	}
-	return rlc.New(g, rlc.Options{MaxSeq: opt.MaxSeq}), nil
+	end := opt.Spans.Start("rlc/build")
+	ix := rlc.New(g, rlc.Options{MaxSeq: opt.MaxSeq})
+	end()
+	return ix, nil
 }
 
 // ConstraintIndex answers Qr(s, t, α) for one fixed α by pure lookups —

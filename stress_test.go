@@ -7,6 +7,7 @@ package reach
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/gen"
@@ -119,6 +120,76 @@ func TestStressDynamicInterleaved(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestStressMetricsConcurrent hammers an instrumented index from many
+// goroutines while another goroutine snapshots the metrics continuously:
+// snapshots must be race-free (run under -race in CI) and every counter
+// monotone, and the final totals must equal the submitted load exactly.
+func TestStressMetricsConcurrent(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 300, M: 900, Seed: 42})
+	raw, err := Build(KindBFL, g, Options{Bits: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m IndexMetrics
+	ix := Instrument(raw, g, &m)
+	oracle := tc.NewClosure(g)
+
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := 0; i < per; i++ {
+				s := V(rng.Intn(g.N()))
+				tt := V(rng.Intn(g.N()))
+				if got, want := ix.Reach(s, tt), oracle.Reach(s, tt); got != want {
+					t.Errorf("Reach(%d,%d) = %v, want %v", s, tt, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last IndexMetricsSnapshot
+		for i := 0; i < 500; i++ {
+			s := m.Snapshot()
+			// Decided is excluded: it is derived (Queries-Fallback) from
+			// counters read at different instants, so it may transiently
+			// overestimate under load; every stored counter is monotone.
+			if s.Queries < last.Queries || s.Positive < last.Positive ||
+				s.Negative < last.Negative ||
+				s.Fallback < last.Fallback || s.Visited < last.Visited {
+				t.Errorf("snapshot regressed: %+v -> %+v", last, s)
+				return
+			}
+			last = s
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	s := m.Snapshot()
+	const total = workers * per
+	if s.Queries != total {
+		t.Fatalf("queries = %d, want %d", s.Queries, total)
+	}
+	if s.Positive+s.Negative != total {
+		t.Fatalf("positive+negative = %d, want %d", s.Positive+s.Negative, total)
+	}
+	if s.Decided+s.Fallback != total {
+		t.Fatalf("decided+fallback = %d, want %d", s.Decided+s.Fallback, total)
+	}
+	// Latency is sampled, so the histogram holds a subset of the load;
+	// it must still be nonempty and never exceed the true total.
+	if s.Latency.Count == 0 || s.Latency.Count > total {
+		t.Fatalf("latency count = %d, want in 1..%d", s.Latency.Count, total)
 	}
 }
 
