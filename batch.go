@@ -1,10 +1,8 @@
 package reach
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/labelset"
+	"repro/internal/par"
 )
 
 // labelSetOf adapts a raw 64-bit mask to the internal label-set type.
@@ -21,6 +19,12 @@ type batchObserver interface {
 	ObserveBatch(n int)
 }
 
+// batchGrain is the number of queries a batch worker claims per steal.
+// Small enough that one expensive run of queries (deep guided-DFS
+// fallbacks cluster in adversarial orderings) cannot strand a worker with
+// a long private chunk, large enough to amortize the atomic claim.
+const batchGrain = 16
+
 // BatchReach evaluates many plain reachability queries concurrently over
 // a shared index. Indexes in this library are safe for concurrent readers
 // once built (they are immutable after construction; dynamic indexes must
@@ -29,6 +33,11 @@ type batchObserver interface {
 // its size; individual queries record through the wrapper as usual — the
 // per-query counters are atomic, so concurrent workers stay race-free.
 //
+// Workers claim grain-sized runs of the batch from a shared atomic
+// counter rather than pre-assigned static chunks, so a cluster of
+// expensive queries (negative queries that exhaust a guided fallback)
+// cannot leave the other workers idle while one drains its chunk.
+//
 // Throughput-oriented workloads (the §5 "many negative queries" regime)
 // are embarrassingly parallel; this helper is the §5 parallel-computation
 // direction applied to the query side.
@@ -36,39 +45,15 @@ func BatchReach(ix Index, pairs []Pair, workers int) []bool {
 	if bo, ok := ix.(batchObserver); ok {
 		bo.ObserveBatch(len(pairs))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers < 0 {
+		workers = 0 // documented contract: <= 0 selects GOMAXPROCS
 	}
 	out := make([]bool, len(pairs))
-	if workers <= 1 {
-		for i, p := range pairs {
-			out[i] = ix.Reach(p.S, p.T)
+	par.DoGrain(workers, len(pairs), batchGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.Reach(pairs[i].S, pairs[i].T)
 		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = ix.Reach(pairs[i].S, pairs[i].T)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 
@@ -80,40 +65,15 @@ type LCRPair struct {
 
 // BatchReachLC is BatchReach for alternation-constrained queries.
 func BatchReachLC(ix LCRIndex, pairs []LCRPair, workers int) []bool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers < 0 {
+		workers = 0
 	}
 	out := make([]bool, len(pairs))
-	run := func(lo, hi int) {
+	par.DoGrain(workers, len(pairs), batchGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p := pairs[i]
 			out[i] = p.S == p.T || ix.ReachLC(p.S, p.T, labelSetOf(p.Allowed))
 		}
-	}
-	if workers <= 1 {
-		run(0, len(pairs))
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			run(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }

@@ -407,6 +407,94 @@ func BenchmarkE11_BatchReach(b *testing.B) {
 	}
 }
 
+// --- E13: parallel construction and pooled query scratch ----------------
+//
+// The workers=1 vs workers=4 pairs measure the internal/par fan-out (on a
+// multi-core host 4 workers should approach 4x on the embarrassingly
+// parallel builds; with GOMAXPROCS=1 the pair instead bounds the pool's
+// overhead). The Pooled* benchmarks certify the scratch arena: steady-state
+// traversals report 0 allocs/op.
+
+func benchBuildWorkers(b *testing.B, k reach.Kind, opt reach.Options, workers int) {
+	g, _, _ := dagWorkload()
+	opt.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reach.Build(k, g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13_GRAIL_Build_W1(b *testing.B) {
+	benchBuildWorkers(b, reach.KindGRAIL, reach.Options{K: 3}, 1)
+}
+func BenchmarkE13_GRAIL_Build_W4(b *testing.B) {
+	benchBuildWorkers(b, reach.KindGRAIL, reach.Options{K: 3}, 4)
+}
+func BenchmarkE13_IP_Build_W1(b *testing.B) {
+	benchBuildWorkers(b, reach.KindIP, reach.Options{K: 8}, 1)
+}
+func BenchmarkE13_IP_Build_W4(b *testing.B) {
+	benchBuildWorkers(b, reach.KindIP, reach.Options{K: 8}, 4)
+}
+func BenchmarkE13_OReach_Build_W1(b *testing.B) {
+	benchBuildWorkers(b, reach.KindOReach, reach.Options{K: 16}, 1)
+}
+func BenchmarkE13_OReach_Build_W4(b *testing.B) {
+	benchBuildWorkers(b, reach.KindOReach, reach.Options{K: 16}, 4)
+}
+func BenchmarkE13_BFL_Build_W1(b *testing.B) {
+	benchBuildWorkers(b, reach.KindBFL, reach.Options{Bits: 256}, 1)
+}
+func BenchmarkE13_BFL_Build_W4(b *testing.B) {
+	benchBuildWorkers(b, reach.KindBFL, reach.Options{Bits: 256}, 4)
+}
+
+func benchClosureWorkers(b *testing.B, workers int) {
+	g := gen.RandomDAG(gen.Config{N: 20000, M: 80000, Seed: 9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.NewClosureN(g, workers)
+	}
+}
+
+func BenchmarkE13_TCClosure_Build_W1(b *testing.B) { benchClosureWorkers(b, 1) }
+func BenchmarkE13_TCClosure_Build_W4(b *testing.B) { benchClosureWorkers(b, 4) }
+
+// BenchmarkE13_PooledBFS certifies the zero-allocation contract of the
+// scratch arena on the online BFS baseline: after warmup every query
+// reuses a pooled visited bitset and queue (expect 0 allocs/op).
+func BenchmarkE13_PooledBFS(b *testing.B) {
+	g, qs, _ := dagWorkload()
+	traversal.BFS(g, qs[0].S, qs[0].T) // warm the pool before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if traversal.BFS(g, q.S, q.T) != q.Want {
+			b.Fatal("BFS wrong")
+		}
+	}
+}
+
+// BenchmarkE13_PooledGuidedFallback measures a partial index whose
+// negative queries exhaust the guided-DFS fallback — the allocation-heavy
+// path before the pool (one bitset.New(n) per undecided query).
+func BenchmarkE13_PooledGuidedFallback(b *testing.B) {
+	_, _, neg := dagWorkload()
+	ix := cachedIndex(b, reach.KindGRAIL, reach.Options{K: 3})
+	ix.Reach(neg[0].S, neg[0].T)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := neg[i%len(neg)]
+		if ix.Reach(q.S, q.T) != q.Want {
+			b.Fatal("wrong")
+		}
+	}
+}
+
 // --- Figure 1 sanity as a benchmark (router overhead) -------------------
 
 func BenchmarkFig1_RouterQuery(b *testing.B) {

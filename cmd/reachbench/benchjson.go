@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	reach "repro"
+	"repro/internal/gen"
+)
+
+// benchReport is the machine-readable benchmark schema consumed by CI and
+// the cross-PR tracking files (BENCH_<n>.json at the repo root). One entry
+// per plain index kind over a shared workload; kinds whose published
+// scaling limits make them infeasible at the workload size carry a skip
+// reason instead of numbers.
+type benchReport struct {
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Workers    int         `json:"workers"`
+	N          int         `json:"n"`
+	M          int         `json:"m"`
+	Seed       int64       `json:"seed"`
+	Queries    int         `json:"queries"`
+	Kinds      []benchKind `json:"kinds"`
+}
+
+type benchKind struct {
+	Kind        string  `json:"kind"`
+	Name        string  `json:"name,omitempty"`
+	BuildNs     int64   `json:"build_ns,omitempty"`
+	QueryNsOp   float64 `json:"query_ns_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Entries     int     `json:"entries,omitempty"`
+	Bytes       int     `json:"bytes,omitempty"`
+	Skipped     string  `json:"skipped,omitempty"`
+}
+
+// benchSkips maps kinds excluded from the JSON benchmark to the reason.
+var benchSkips = map[reach.Kind]string{
+	reach.KindTwoHop: "quadratic densest-subgraph build; infeasible at this workload size (see E5)",
+}
+
+// writeBenchJSON builds every plain index kind over one shared workload
+// and records build wall time, mean query latency, and per-query heap
+// allocations (MemStats deltas over the whole query sweep).
+func writeBenchJSON(path string, scale int, seed int64, workers int) error {
+	n := 2000 * scale
+	g := gen.RandomDAG(gen.Config{N: n, M: 4 * n, Seed: seed})
+	qs := gen.Queries(g, 2000, seed+1)
+
+	rep := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		N:          g.N(),
+		M:          g.M(),
+		Seed:       seed,
+		Queries:    len(qs),
+	}
+	for _, k := range reach.Kinds() {
+		if reason, ok := benchSkips[k]; ok {
+			rep.Kinds = append(rep.Kinds, benchKind{Kind: string(k), Skipped: reason})
+			continue
+		}
+		opt := reach.Options{K: 3, Bits: 256, Seed: seed, Workers: workers}
+		start := time.Now()
+		ix, err := reach.Build(k, g, opt)
+		buildNs := time.Since(start).Nanoseconds()
+		if err != nil {
+			rep.Kinds = append(rep.Kinds, benchKind{Kind: string(k), Skipped: err.Error()})
+			continue
+		}
+		// Warm the scratch pool so allocs/op reflects steady state.
+		for _, q := range qs[:10] {
+			ix.Reach(q.S, q.T)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		qstart := time.Now()
+		wrong := 0
+		for _, q := range qs {
+			if ix.Reach(q.S, q.T) != q.Want {
+				wrong++
+			}
+		}
+		qdur := time.Since(qstart)
+		runtime.ReadMemStats(&after)
+		if wrong > 0 {
+			rep.Kinds = append(rep.Kinds, benchKind{
+				Kind: string(k), Name: ix.Name(),
+				Skipped: "wrong answers on the validation workload",
+			})
+			continue
+		}
+		st := ix.Stats()
+		rep.Kinds = append(rep.Kinds, benchKind{
+			Kind:        string(k),
+			Name:        ix.Name(),
+			BuildNs:     buildNs,
+			QueryNsOp:   float64(qdur.Nanoseconds()) / float64(len(qs)),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(len(qs)),
+			Entries:     st.Entries,
+			Bytes:       st.Bytes,
+		})
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

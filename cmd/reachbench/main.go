@@ -8,7 +8,9 @@
 //	reachbench -only table1,e3    # run a subset
 //	reachbench -scale 5           # multiply graph sizes by 5
 //	reachbench -seed 42           # change the workload seed
+//	reachbench -workers 4          # worker pool for parallel build phases
 //	reachbench -metrics -index bfl  # instrumented workload + metrics dump
+//	reachbench -benchjson BENCH.json  # machine-readable per-kind bench
 //	reachbench -cpuprofile cpu.pb  # write a pprof CPU profile
 //	reachbench -memprofile mem.pb  # write a pprof heap profile
 package main
@@ -31,9 +33,11 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "size multiplier for experiment graphs")
 	seed := flag.Int64("seed", 1, "workload seed")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,fig1,e1..e12")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,fig1,e1..e13")
 	metrics := flag.Bool("metrics", false, "run an instrumented workload for -index and dump its metrics instead of the experiment suite")
 	indexKind := flag.String("index", "bfl", "plain index kind for the -metrics run")
+	workers := flag.Int("workers", 0, "worker pool for parallel build phases (0 = GOMAXPROCS, 1 = serial)")
+	benchjson := flag.String("benchjson", "", "write a machine-readable per-kind benchmark (build ns, query ns/op, allocs/op) to this file and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -83,7 +87,13 @@ func main() {
 	}()
 
 	if *metrics {
-		runMetrics(reach.Kind(*indexKind), *scale, *seed)
+		runMetrics(reach.Kind(*indexKind), *scale, *seed, *workers)
+		return
+	}
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson, *scale, *seed, *workers); err != nil {
+			fail("benchjson: %v", err)
+		}
 		return
 	}
 
@@ -106,8 +116,9 @@ func main() {
 		"e10":    func(w io.Writer) { experiments.E10(w, sc, *seed) },
 		"e11":    func(w io.Writer) { experiments.E11(w, sc, *seed) },
 		"e12":    func(w io.Writer) { experiments.E12(w, sc, *seed) },
+		"e13":    func(w io.Writer) { experiments.E13(w, sc, *seed) },
 	}
-	order := []string{"table1", "table2", "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+	order := []string{"table1", "table2", "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 
 	selected := order
 	if *only != "" {
@@ -127,11 +138,11 @@ func main() {
 
 // runMetrics builds the requested index with build-phase spans, drives a
 // mixed workload through an instrumented wrapper, and dumps the snapshot.
-func runMetrics(k reach.Kind, scale int, seed int64) {
+func runMetrics(k reach.Kind, scale int, seed int64, workers int) {
 	n := 20000 * scale
 	g := gen.RandomDAG(gen.Config{N: n, M: 4 * n, Seed: seed})
 	var spans reach.BuildSpans
-	raw, err := reach.Build(k, g, reach.Options{K: 3, Bits: 256, Seed: seed, Spans: &spans})
+	raw, err := reach.Build(k, g, reach.Options{K: 3, Bits: 256, Seed: seed, Workers: workers, Spans: &spans})
 	if err != nil {
 		fail("build %s: %v", k, err)
 	}
@@ -145,7 +156,11 @@ func runMetrics(k reach.Kind, scale int, seed int64) {
 		raw.Name(), g.N(), g.M())
 	fmt.Println("build phases:")
 	for _, sp := range spans.Snapshot() {
-		fmt.Printf("  %*s%-24s %v\n", 2*sp.Depth, "", sp.Name, sp.Dur)
+		attr := ""
+		if sp.Workers > 0 {
+			attr = fmt.Sprintf("  workers=%d", sp.Workers)
+		}
+		fmt.Printf("  %*s%-24s %v%s\n", 2*sp.Depth, "", sp.Name, sp.Dur, attr)
 	}
 	s := m.Snapshot()
 	fmt.Printf("queries=%d (+%d/-%d) decided=%.1f%% fallback=%d visited=%d p50=%v p99=%v\n",

@@ -19,6 +19,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/order"
+	"repro/internal/par"
 )
 
 // Options configures BFL.
@@ -28,6 +29,12 @@ type Options struct {
 	Bits int
 	// Seed scrambles the vertex→bit hash.
 	Seed int64
+	// Workers caps the pool running the per-partition Bloom-filter merge
+	// passes (0 = GOMAXPROCS, 1 = serial). Each pass is a
+	// level-synchronized sweep — a vertex's filter is the union of its
+	// own bit and its neighbours' finished filters — so the index is
+	// identical at any worker count.
+	Workers int
 	// Spans, when non-nil, receives named build-phase durations.
 	Spans *obs.Spans
 }
@@ -67,8 +74,8 @@ func New(dag *graph.Digraph, opts Options) *Index {
 	ix.post, ix.min = po.Post, po.Min
 	end()
 
-	end = opts.Spans.Start("bfl/toposort")
-	topo, _ := order.Topological(dag)
+	end = opts.Spans.Start("bfl/levels")
+	buckets := order.LevelBuckets(dag)
 	end()
 	seed := uint64(opts.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	bitOf := func(v graph.V) (int, uint64) {
@@ -79,10 +86,11 @@ func New(dag *graph.Digraph, opts Options) *Index {
 		pos := x % uint64(words*64)
 		return int(pos / 64), 1 << (pos % 64)
 	}
-	// Forward filters in reverse topological order.
-	end = opts.Spans.Start("bfl/filters-out")
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
+	nw := par.Resolve(opts.Workers)
+	// Forward filters, deepest level first: successors' filters are
+	// complete before a vertex unions them in.
+	end = opts.Spans.StartN("bfl/filters-out", nw)
+	par.Sweep(opts.Workers, order.Reversed(buckets), func(_ int, v graph.V) {
 		row := ix.out[int(v)*words : (int(v)+1)*words]
 		w, b := bitOf(v)
 		row[w] |= b
@@ -92,11 +100,11 @@ func New(dag *graph.Digraph, opts Options) *Index {
 				row[k] |= src[k]
 			}
 		}
-	}
+	})
 	end()
-	// Backward filters in topological order.
-	end = opts.Spans.Start("bfl/filters-in")
-	for _, v := range topo {
+	// Backward filters, shallowest level first.
+	end = opts.Spans.StartN("bfl/filters-in", nw)
+	par.Sweep(opts.Workers, buckets, func(_ int, v graph.V) {
 		row := ix.in[int(v)*words : (int(v)+1)*words]
 		w, b := bitOf(v)
 		row[w] |= b
@@ -106,7 +114,7 @@ func New(dag *graph.Digraph, opts Options) *Index {
 				row[k] |= src[k]
 			}
 		}
-	}
+	})
 	end()
 	ix.stats = core.Stats{
 		Entries:   2 * n, // one filter pair per vertex

@@ -22,13 +22,40 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
-// grow ensures the set can hold bit i.
+// grow ensures the set can hold bit i, reusing spare capacity (zeroing
+// the newly exposed words) before falling back to reallocation.
 func (s *Set) grow(i int) {
 	w := i/wordBits + 1
-	if w > len(s.words) {
-		nw := make([]uint64, w)
-		copy(nw, s.words)
-		s.words = nw
+	if w <= len(s.words) {
+		return
+	}
+	if w <= cap(s.words) {
+		old := len(s.words)
+		s.words = s.words[:w]
+		for j := old; j < w; j++ {
+			s.words[j] = 0
+		}
+		return
+	}
+	nw := make([]uint64, w)
+	copy(nw, s.words)
+	s.words = nw
+}
+
+// EnsureClear makes s an empty set with capacity for bits [0, n),
+// reusing the backing storage when it is large enough. This is the
+// pooled-scratch fast path: after the first few queries warm a pool
+// entry up to the graph size, EnsureClear is a pure memclr — no
+// allocation (see internal/scratch).
+func (s *Set) EnsureClear(n int) {
+	w := (n + wordBits - 1) / wordBits
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+		return
+	}
+	s.words = s.words[:w]
+	for i := range s.words {
+		s.words[i] = 0
 	}
 }
 

@@ -23,10 +23,18 @@ func ForGeneral(g *graph.Digraph, build DAGBuilder) Index {
 // spans (a nil recorder records nothing). Builders that expose their own
 // internal phases nest them under "index/build".
 func ForGeneralSpans(g *graph.Digraph, spans *obs.Spans, build DAGBuilder) Index {
+	return ForGeneralSpansN(g, spans, 0, build)
+}
+
+// ForGeneralSpansN is ForGeneralSpans for builders with a parallel
+// construction phase: the "index/build" span records the resolved worker
+// count as its `workers` attribute. The SCC condensation itself (Tarjan)
+// is inherently sequential and always runs serial.
+func ForGeneralSpansN(g *graph.Digraph, spans *obs.Spans, workers int, build DAGBuilder) Index {
 	end := spans.Start("scc/condense")
 	cond := scc.Condense(g)
 	end()
-	end = spans.Start("index/build")
+	end = spans.StartN("index/build", workers)
 	inner := build(cond.DAG)
 	end()
 	c := &condensed{cond: cond, inner: inner}

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"repro/internal/bitset"
 	"repro/internal/graph"
+	"repro/internal/scratch"
 )
 
 // GuidedDFS is the shared query engine of every partial index (§3.3, §5):
@@ -26,12 +26,14 @@ func GuidedDFS(g Adjacency, s, t graph.V, try func(u, t graph.V) (bool, bool)) b
 	if r, ok := try(s, t); ok {
 		return r
 	}
-	visited := bitset.New(g.N())
+	sc := scratch.Get(g.N())
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	visited.Set(int(s))
-	stack := []graph.V{s}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	sc.Queue = append(sc.Queue, s)
+	for len(sc.Queue) > 0 {
+		v := sc.Queue[len(sc.Queue)-1]
+		sc.Queue = sc.Queue[:len(sc.Queue)-1]
 		for _, w := range g.Succ(v) {
 			if w == t {
 				return true
@@ -46,7 +48,7 @@ func GuidedDFS(g Adjacency, s, t graph.V, try func(u, t graph.V) (bool, bool)) b
 				}
 				continue // pruned: w cannot reach t
 			}
-			stack = append(stack, w)
+			sc.Queue = append(sc.Queue, w)
 		}
 	}
 	return false
@@ -62,12 +64,14 @@ func CountingGuidedDFS(g Adjacency, s, t graph.V, try func(u, t graph.V) (bool, 
 	if r, ok := try(s, t); ok {
 		return r, 0
 	}
-	visited := bitset.New(g.N())
+	sc := scratch.Get(g.N())
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	visited.Set(int(s))
-	stack := []graph.V{s}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	sc.Queue = append(sc.Queue, s)
+	for len(sc.Queue) > 0 {
+		v := sc.Queue[len(sc.Queue)-1]
+		sc.Queue = sc.Queue[:len(sc.Queue)-1]
 		expanded++
 		for _, w := range g.Succ(v) {
 			if w == t {
@@ -83,7 +87,7 @@ func CountingGuidedDFS(g Adjacency, s, t graph.V, try func(u, t graph.V) (bool, 
 				}
 				continue
 			}
-			stack = append(stack, w)
+			sc.Queue = append(sc.Queue, w)
 		}
 	}
 	return false, expanded

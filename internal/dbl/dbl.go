@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/scc"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	Bits int
 	// Seed scrambles the Bloom hash.
 	Seed int64
+	// Workers caps the pool for the per-landmark BFS pairs and the
+	// Bloom-label sweeps (0 = GOMAXPROCS, 1 = serial). Landmark
+	// traversals are independent and their bit merges happen serially in
+	// landmark order, so the index is identical at any worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -78,14 +84,20 @@ func New(g *graph.Digraph, opts Options) *Index {
 	if len(lms) > ix.k {
 		lms = lms[:ix.k]
 	}
-	// DL labels by one BFS pair per landmark.
-	for bit, lm := range lms {
-		forward := bfs(g, lm, true)
-		backward := bfs(g, lm, false)
-		for _, v := range forward {
+	// DL labels by one BFS pair per landmark. The traversals fan out in
+	// parallel; the bit merges stay serial (per-landmark results land in
+	// indexed slots first) because landmarks share label words.
+	fwd := make([][]graph.V, len(lms))
+	bwd := make([][]graph.V, len(lms))
+	par.Do(opts.Workers, len(lms), func(i int) {
+		fwd[i] = bfs(g, lms[i], true)
+		bwd[i] = bfs(g, lms[i], false)
+	})
+	for bit := range lms {
+		for _, v := range fwd[bit] {
 			ix.dlIn[v] |= 1 << uint(bit) // landmark reaches v
 		}
-		for _, v := range backward {
+		for _, v := range bwd[bit] {
 			ix.dlOut[v] |= 1 << uint(bit) // v reaches landmark
 		}
 	}
@@ -104,22 +116,23 @@ func New(g *graph.Digraph, opts Options) *Index {
 		cOut[c*w+word] |= bit
 		cIn[c*w+word] |= bit
 	}
-	topo, _ := order.Topological(dag)
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := int(topo[i])
-		for _, u := range dag.Succ(graph.V(v)) {
+	buckets := order.LevelBuckets(dag)
+	par.Sweep(opts.Workers, order.Reversed(buckets), func(_ int, cv graph.V) {
+		v := int(cv)
+		for _, u := range dag.Succ(cv) {
 			for j := 0; j < w; j++ {
 				cOut[v*w+j] |= cOut[int(u)*w+j]
 			}
 		}
-	}
-	for _, v := range topo {
-		for _, u := range dag.Pred(v) {
+	})
+	par.Sweep(opts.Workers, buckets, func(_ int, cv graph.V) {
+		v := int(cv)
+		for _, u := range dag.Pred(cv) {
 			for j := 0; j < w; j++ {
-				cIn[int(v)*w+j] |= cIn[int(u)*w+j]
+				cIn[v*w+j] |= cIn[int(u)*w+j]
 			}
 		}
-	}
+	})
 	for v := 0; v < n; v++ {
 		c := int(cond.Comp[v])
 		copy(ix.blOut[v*w:(v+1)*w], cOut[c*w:(c+1)*w])

@@ -62,8 +62,9 @@ func TestExperimentsSmoke(t *testing.T) {
 	E9(&buf, sc, 1)
 	E10(&buf, sc, 1)
 	E12(&buf, sc, 1)
+	E13(&buf, sc, 1)
 	out := buf.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13"} {
 		if !strings.Contains(out, id+" —") {
 			t.Errorf("missing %s header", id)
 		}
@@ -72,6 +73,12 @@ func TestExperimentsSmoke(t *testing.T) {
 	for _, want := range []string{"decided", "bfl/filters-out", "scc/condense"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("E12 output missing %q", want)
+		}
+	}
+	// E13's scaling table and pooled-vs-unpooled allocation rows.
+	for _, want := range []string{"GOMAXPROCS", "speedup@4", "BFS (pooled)", "BFS (unpooled)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E13 output missing %q", want)
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/par"
 )
 
 // Options configures FERRARI.
@@ -24,6 +25,13 @@ type Options struct {
 	// K is the per-vertex interval budget (the paper's "at most k").
 	// Default 4.
 	K int
+	// Workers caps the pool running the interval-assignment pass
+	// (0 = GOMAXPROCS, 1 = serial) — the multi-threaded interval
+	// assignment the FERRARI paper reports. The pass is a
+	// level-synchronized sweep: a vertex's list depends only on its
+	// successors' finished lists, so vertices of one topological level
+	// merge concurrently and the result is identical at any worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -53,9 +61,9 @@ func New(dag *graph.Digraph, opts Options) *Index {
 	n := dag.N()
 	po := order.DFSForest(dag, order.Sources(dag), nil)
 	lists := make([][]iv, n)
-	topo, _ := order.Topological(dag)
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
+	// Deepest level first: every successor's list is complete before a
+	// vertex merges it, and vertices within a level are independent.
+	par.Sweep(opts.Workers, order.Reversed(order.LevelBuckets(dag)), func(_ int, v graph.V) {
 		list := []iv{{lo: po.Min[v], hi: po.Post[v], exact: true}}
 		for _, w := range dag.Succ(v) {
 			for _, x := range lists[w] {
@@ -63,7 +71,7 @@ func New(dag *graph.Digraph, opts Options) *Index {
 			}
 		}
 		lists[v] = coarsen(list, opts.K)
-	}
+	})
 	ix := &Index{g: dag, post: po.Post, lists: lists}
 	entries := 0
 	for _, l := range lists {

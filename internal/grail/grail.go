@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/par"
 )
 
 // Options configures GRAIL.
@@ -24,6 +25,11 @@ type Options struct {
 	K int
 	// Seed drives the random spanning forests.
 	Seed int64
+	// Workers caps the pool building the K independent labelings
+	// (0 = GOMAXPROCS, 1 = serial). Labeling i derives its own RNG from
+	// par.SubSeed(Seed, i), so for a fixed Seed the index is identical
+	// at any worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -47,15 +53,18 @@ func New(dag *graph.Digraph, opts Options) *Index {
 	opts.defaults()
 	start := time.Now()
 	n := dag.N()
-	rng := rand.New(rand.NewSource(opts.Seed))
 	ix := &Index{g: dag, k: opts.K,
 		mins:  make([]uint32, opts.K*n),
 		posts: make([]uint32, opts.K*n),
 	}
 	topo, _ := order.Topological(dag)
-	for i := 0; i < opts.K; i++ {
+	// The K labelings are independent — the embarrassingly parallel phase.
+	// Each writes only its own slice of mins/posts and owns an RNG seeded
+	// by (Seed, i), so the fan-out is deterministic at any worker count.
+	par.Do(opts.Workers, opts.K, func(i int) {
 		// Random root order and random child order give labelings with
 		// independent false-positive sets.
+		rng := rand.New(rand.NewSource(par.SubSeed(opts.Seed, i)))
 		roots := order.Random(n, rng)
 		po := order.DFSForest(dag, roots, rng)
 		post := ix.posts[i*n : (i+1)*n]
@@ -75,7 +84,7 @@ func New(dag *graph.Digraph, opts Options) *Index {
 				}
 			}
 		}
-	}
+	})
 	ix.stats = core.Stats{
 		Entries:   opts.K * n,
 		Bytes:     opts.K * n * 8,

@@ -18,9 +18,9 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/scratch"
 )
 
 // instance is one occurrence of a vertex in the instance tree.
@@ -130,21 +130,20 @@ func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
 	return false, false
 }
 
-// Reach answers Qr(s, t) by the hop traversal over the instance tree.
+// Reach answers Qr(s, t) by the hop traversal over the instance tree. The
+// hopped set and hop stack come from the pooled scratch arena.
 func (ix *Index) Reach(s, t graph.V) bool {
 	if s == t {
 		return true
 	}
-	hopped := bitset.New(ix.g.N())
-	return ix.riq(s, t, hopped)
-}
-
-func (ix *Index) riq(s, t graph.V, hopped *bitset.Set) bool {
-	stack := []graph.V{s}
+	sc := scratch.Get(ix.g.N())
+	defer scratch.Put(sc)
+	hopped := sc.Visited()
 	hopped.Set(int(s))
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	sc.Queue = append(sc.Queue, s)
+	for len(sc.Queue) > 0 {
+		v := sc.Queue[len(sc.Queue)-1]
+		sc.Queue = sc.Queue[:len(sc.Queue)-1]
 		ti := ix.inst[ix.treeOf[v]]
 		if ix.anyInstanceIn(t, ti.pre, ti.post) {
 			return true
@@ -159,7 +158,7 @@ func (ix *Index) riq(s, t graph.V, hopped *bitset.Set) bool {
 			w := ix.inst[i].v
 			if !ix.inst[i].tree && !hopped.Test(int(w)) {
 				hopped.Set(int(w))
-				stack = append(stack, w)
+				sc.Queue = append(sc.Queue, w)
 			}
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/par"
 )
 
 // Options configures IP.
@@ -32,6 +33,11 @@ type Options struct {
 	K int
 	// Seed drives the random permutation.
 	Seed int64
+	// Workers caps the pool running the sketch-merge passes
+	// (0 = GOMAXPROCS, 1 = serial). Each pass is a level-synchronized
+	// sweep — a vertex's sketch is a pure merge of its neighbours'
+	// finished sketches — so the index is identical at any worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -71,27 +77,32 @@ func New(dag *graph.Digraph, opts Options) *Index {
 		out: make([]uint32, n*k), outLen: make([]uint8, n),
 		in: make([]uint32, n*k), inLen: make([]uint8, n),
 	}
-	topo, _ := order.Topological(dag)
-	// Forward sketches in reverse topological order.
-	buf := make([]uint32, 0, 4*k)
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
-		buf = buf[:0]
+	buckets := order.LevelBuckets(dag)
+	bufs := make([][]uint32, par.Resolve(opts.Workers))
+	for i := range bufs {
+		bufs[i] = make([]uint32, 0, 4*k)
+	}
+	// Forward sketches, deepest level first: successors' sketches are
+	// complete before a vertex merges them.
+	par.Sweep(opts.Workers, order.Reversed(buckets), func(w int, v graph.V) {
+		buf := bufs[w][:0]
 		buf = append(buf, perm[v])
 		for _, u := range dag.Succ(v) {
 			buf = append(buf, ix.out[int(u)*k:int(u)*k+int(ix.outLen[u])]...)
 		}
 		ix.outLen[v] = uint8(kMin(buf, ix.out[int(v)*k:int(v)*k+k]))
-	}
-	// Backward sketches in topological order.
-	for _, v := range topo {
-		buf = buf[:0]
+		bufs[w] = buf
+	})
+	// Backward sketches, shallowest level first.
+	par.Sweep(opts.Workers, buckets, func(w int, v graph.V) {
+		buf := bufs[w][:0]
 		buf = append(buf, perm[v])
 		for _, u := range dag.Pred(v) {
 			buf = append(buf, ix.in[int(u)*k:int(u)*k+int(ix.inLen[u])]...)
 		}
 		ix.inLen[v] = uint8(kMin(buf, ix.in[int(v)*k:int(v)*k+k]))
-	}
+		bufs[w] = buf
+	})
 	ix.level, _ = order.Levels(dag)
 	ix.rlevel, _ = order.Levels(dag.Reverse())
 	ix.stats = core.Stats{

@@ -27,12 +27,12 @@ package lcrbloom
 import (
 	"time"
 
-	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/labelset"
 	"repro/internal/order"
 	"repro/internal/scc"
+	"repro/internal/scratch"
 )
 
 // Options configures the index.
@@ -209,12 +209,13 @@ func (ix *Index) ReachLC(s, t graph.V, allowed labelset.Set) bool {
 			fams = append(fams, &ix.drop[l])
 		}
 	}
-	visited := bitset.New(ix.g.N())
+	sc := scratch.Get(ix.g.N())
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	visited.Set(int(s))
-	queue := []graph.V{s}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	sc.Queue = append(sc.Queue, s)
+	for qi := 0; qi < len(sc.Queue); qi++ {
+		v := sc.Queue[qi]
 		succ := ix.g.Succ(v)
 		labs := ix.g.SuccLabels(v)
 	next:
@@ -236,7 +237,7 @@ func (ix *Index) ReachLC(s, t graph.V, allowed labelset.Set) bool {
 					continue next
 				}
 			}
-			queue = append(queue, w)
+			sc.Queue = append(sc.Queue, w)
 		}
 	}
 	return false

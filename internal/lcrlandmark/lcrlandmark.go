@@ -13,24 +13,25 @@
 package lcrlandmark
 
 import (
-	"sync"
 	"time"
 
-	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/labelset"
 	"repro/internal/order"
+	"repro/internal/par"
+	"repro/internal/scratch"
 )
 
 // Options configures the landmark index.
 type Options struct {
 	// K is the number of landmark vertices. Default 16.
 	K int
-	// Parallel computes the per-landmark single-source GTCs concurrently
-	// (they are independent) — the §5 "parallel computation of indexes"
-	// direction applied to the one index where it is embarrassingly easy.
-	Parallel bool
+	// Workers caps the pool computing the per-landmark single-source
+	// GTCs (0 = GOMAXPROCS, 1 = serial) — they are independent, the §5
+	// "parallel computation of indexes" direction where it is
+	// embarrassingly easy. The index is identical at any worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -65,23 +66,12 @@ func New(g *graph.Digraph, opts Options) *Index {
 	}
 	lms := order.ByDegreeDesc(g)[:k]
 	ix.gtc = make([][]*labelset.Collection, k)
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for i, lm := range lms {
-			ix.landmark[lm] = int32(i)
-			wg.Add(1)
-			go func(i int, lm graph.V) {
-				defer wg.Done()
-				ix.gtc[i] = singleSourceGTC(g, lm)
-			}(i, lm)
-		}
-		wg.Wait()
-	} else {
-		for i, lm := range lms {
-			ix.landmark[lm] = int32(i)
-			ix.gtc[i] = singleSourceGTC(g, lm)
-		}
+	for i, lm := range lms {
+		ix.landmark[lm] = int32(i)
 	}
+	par.Do(opts.Workers, k, func(i int) {
+		ix.gtc[i] = singleSourceGTC(g, lms[i])
+	})
 	entries := 0
 	for i := range ix.gtc {
 		for _, c := range ix.gtc[i] {
@@ -135,12 +125,13 @@ func (ix *Index) ReachLC(s, t graph.V, allowed labelset.Set) bool {
 	if s == t {
 		return true
 	}
-	visited := bitset.New(ix.g.N())
+	sc := scratch.Get(ix.g.N())
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	visited.Set(int(s))
-	queue := []graph.V{s}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	sc.Queue = append(sc.Queue, s)
+	for qi := 0; qi < len(sc.Queue); qi++ {
+		v := sc.Queue[qi]
 		if li := ix.landmark[v]; li >= 0 {
 			// Landmark hit: its GTC decides everything reachable from v.
 			if c := ix.gtc[li][t]; c != nil {
@@ -171,7 +162,7 @@ func (ix *Index) ReachLC(s, t graph.V, allowed labelset.Set) bool {
 			}
 			if !visited.Test(int(w)) {
 				visited.Set(int(w))
-				queue = append(queue, w)
+				sc.Queue = append(sc.Queue, w)
 			}
 		}
 	}

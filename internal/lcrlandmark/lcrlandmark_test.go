@@ -30,15 +30,17 @@ func TestSingleLandmark(t *testing.T) {
 
 func TestParallelBuildEquivalent(t *testing.T) {
 	g := gen.Zipf(gen.ErdosRenyi(gen.Config{N: 100, M: 400, Seed: 4}), 5, 0.6, 5)
-	seq := New(g, Options{K: 16})
-	par := New(g, Options{K: 16, Parallel: true})
-	if seq.Stats().Entries != par.Stats().Entries {
-		t.Fatalf("parallel build diverged: %d vs %d entries",
-			seq.Stats().Entries, par.Stats().Entries)
+	seq := New(g, Options{K: 16, Workers: 1})
+	for _, workers := range []int{0, 2, 8} {
+		par := New(g, Options{K: 16, Workers: workers})
+		if seq.Stats().Entries != par.Stats().Entries {
+			t.Fatalf("workers=%d build diverged: %d vs %d entries",
+				workers, seq.Stats().Entries, par.Stats().Entries)
+		}
 	}
 	// And it stays exact.
 	indextest.CheckLCRIndex(t, func(g *graph.Digraph) core.LCRIndex {
-		return New(g, Options{K: 8, Parallel: true})
+		return New(g, Options{K: 8, Workers: 4})
 	})
 }
 

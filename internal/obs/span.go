@@ -12,6 +12,11 @@ type PhaseSpan struct {
 	Name  string        `json:"name"`
 	Depth int           `json:"depth"`
 	Dur   time.Duration `json:"dur_ns"`
+	// Workers is the worker-pool size that executed the phase: 0 for
+	// phases without a parallel fan-out, 1 for an explicitly serial run
+	// of a parallelizable phase, n > 1 for a pool of n (see
+	// reach.Options.Workers and OBSERVABILITY.md).
+	Workers int `json:"workers,omitempty"`
 }
 
 // Spans records hierarchical build-phase spans. Start/end pairs must nest
@@ -30,12 +35,19 @@ type Spans struct {
 //	... phase work ...
 //	end()
 func (s *Spans) Start(name string) func() {
+	return s.StartN(name, 0)
+}
+
+// StartN is Start for a phase executed by a parallel fan-out: the span
+// additionally records the resolved worker-pool size (its `workers`
+// attribute). Pass 1 when a parallelizable phase ran serially.
+func (s *Spans) StartN(name string, workers int) func() {
 	if s == nil {
 		return func() {}
 	}
 	s.mu.Lock()
 	idx := len(s.spans)
-	s.spans = append(s.spans, PhaseSpan{Name: name, Depth: s.depth})
+	s.spans = append(s.spans, PhaseSpan{Name: name, Depth: s.depth, Workers: workers})
 	s.depth++
 	s.mu.Unlock()
 	t0 := time.Now()

@@ -80,6 +80,43 @@ func Levels(g *graph.Digraph) ([]uint32, int) {
 	return lev, int(max) + 1
 }
 
+// LevelBuckets groups the vertices of a DAG by topological level (see
+// Levels), vertices in ascending id order within each bucket. No edge
+// connects two vertices of the same bucket and every edge goes from a
+// lower bucket to a strictly higher one, so the buckets are the schedule
+// of a level-synchronized parallel sweep (par.Sweep): ascending for
+// predecessor-propagation passes, Reversed for successor-propagation
+// ones. All buckets share one backing array.
+func LevelBuckets(g *graph.Digraph) [][]graph.V {
+	lev, nl := Levels(g)
+	counts := make([]int, nl)
+	for _, l := range lev {
+		counts[l]++
+	}
+	backing := make([]graph.V, g.N())
+	buckets := make([][]graph.V, nl)
+	off := 0
+	for l, c := range counts {
+		buckets[l] = backing[off : off : off+c]
+		off += c
+	}
+	for v := 0; v < g.N(); v++ {
+		l := lev[v]
+		buckets[l] = append(buckets[l], graph.V(v))
+	}
+	return buckets
+}
+
+// Reversed returns a view of the buckets in reverse order (the backing
+// per-bucket slices are shared, not copied).
+func Reversed(buckets [][]graph.V) [][]graph.V {
+	out := make([][]graph.V, len(buckets))
+	for i := range buckets {
+		out[i] = buckets[len(buckets)-1-i]
+	}
+	return out
+}
+
 // ByDegreeDesc returns the vertices sorted by total degree, highest first,
 // ties broken by vertex id. This is the total order used by DL/PLL/P2H+.
 func ByDegreeDesc(g *graph.Digraph) []graph.V {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/traversal"
 )
 
@@ -23,6 +24,10 @@ import (
 type Options struct {
 	// K is the number of supportive vertices. Default 16.
 	K int
+	// Workers caps the pool running the per-supportive-vertex forward/
+	// backward BFS pairs (0 = GOMAXPROCS, 1 = serial). The traversals
+	// are independent, so the index is identical at any worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -61,10 +66,10 @@ func New(dag *graph.Digraph, opts Options) *Index {
 	sort.Slice(ix.sup, func(i, j int) bool { return ix.sup[i] < ix.sup[j] })
 	ix.fwd = make([]*bitset.Set, k)
 	ix.bwd = make([]*bitset.Set, k)
-	for i, v := range ix.sup {
-		ix.fwd[i] = traversal.ReachableFrom(dag, v)
-		ix.bwd[i] = traversal.Reaching(dag, v)
-	}
+	par.Do(opts.Workers, k, func(i int) {
+		ix.fwd[i] = traversal.ReachableFrom(dag, ix.sup[i])
+		ix.bwd[i] = traversal.Reaching(dag, ix.sup[i])
+	})
 	topo, _ := order.Topological(dag)
 	for i, v := range topo {
 		ix.x[v] = uint32(i)

@@ -1,0 +1,163 @@
+// Package par is the shared parallel-construction substrate of the §5
+// "parallel computation of indexes" direction: a bounded worker pool with
+// an atomic-counter work-stealing loop, deterministic ordered fan-out/
+// fan-in (results land in caller-indexed slots, so the output is
+// independent of scheduling), and level-synchronized DAG sweeps for the
+// propagation passes whose only dependencies follow topological levels
+// (Bloom-filter unions, interval merges, sketch merges, closure rows).
+//
+// Every entry point takes a worker count with the library-wide
+// convention of reach.Options.Workers: 0 selects GOMAXPROCS, 1 is the
+// serial path (no goroutines at all), n > 1 caps the pool at n. Callers
+// guarantee determinism by making each work item independent of its
+// scheduling — randomized builders derive one sub-seed per item with
+// SubSeed instead of sharing a sequential RNG stream.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a reach.Options.Workers value to an effective pool size:
+// 0 means GOMAXPROCS, anything below 1 clamps to serial.
+func Resolve(workers int) int {
+	if workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// Do runs f(i) for every i in [0, n) on at most `workers` goroutines
+// (resolved per Resolve). Items are claimed one at a time from an atomic
+// counter — work stealing, so a few expensive items cannot serialize the
+// pool the way static chunking does. With workers <= 1 (or n <= 1) f runs
+// inline on the calling goroutine. Do returns after every item finished:
+// the fan-in is a full barrier, which also publishes all writes made by
+// the workers to the caller (happens-before via WaitGroup).
+func Do(workers, n int, f func(i int)) {
+	DoW(workers, n, func(_, i int) { f(i) })
+}
+
+// DoW is Do with the worker slot id (0..workers-1) passed alongside the
+// item index, so callers can maintain per-worker scratch without locking.
+func DoW(workers, n int, f func(worker, i int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// DoGrain is DoW stealing `grain` consecutive items per claim, for loops
+// whose per-item work is too small to amortize one atomic op each.
+func DoGrain(workers, n, grain int, f func(worker, lo, hi int)) {
+	workers = Resolve(workers)
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		if n > 0 {
+			f(0, 0, n)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				f(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// sweepFanout is the level width below which a Sweep level runs inline:
+// spawning a pool for a handful of vertices costs more than it saves.
+const sweepFanout = 64
+
+// sweepGrain batches level items per steal; propagation work per vertex
+// (a few cache lines of OR/merge) needs batching to amortize the counter.
+const sweepGrain = 32
+
+// Sweep runs a level-synchronized DAG sweep: levels are processed in the
+// order given with a full barrier between consecutive levels, and the
+// items of one level are processed concurrently (they must be mutually
+// independent — in a topological-level bucketing no edge connects two
+// vertices of the same level). Passing the level list in reverse order
+// turns a predecessor-propagation sweep into a successor-propagation one.
+// The barrier publishes each level's writes to the next level's workers,
+// so sweeps are race-free by construction.
+func Sweep[T any](workers int, levels [][]T, f func(worker int, item T)) {
+	workers = Resolve(workers)
+	for _, level := range levels {
+		if workers <= 1 || len(level) < sweepFanout {
+			for _, it := range level {
+				f(0, it)
+			}
+			continue
+		}
+		DoGrain(workers, len(level), sweepGrain, func(w, lo, hi int) {
+			for _, it := range level[lo:hi] {
+				f(w, it)
+			}
+		})
+	}
+}
+
+// SubSeed derives the i-th independent sub-seed of seed by splitmix64.
+// Parallel randomized builders (GRAIL's k labelings) give every work item
+// its own RNG seeded with SubSeed(seed, i) so the result is a pure
+// function of (seed, i) — identical at any worker count — instead of a
+// function of the shared stream's interleaving.
+func SubSeed(seed int64, i int) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(i)+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(1); got != 1 {
+		t.Errorf("Resolve(1) = %d", got)
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Errorf("Resolve(-3) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+}
+
+func TestDoCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 1000
+		hits := make([]int32, n)
+		Do(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestDoWWorkerIdsInRange(t *testing.T) {
+	const n = 500
+	var bad atomic.Int32
+	DoW(8, n, func(w, i int) {
+		if w < 0 || w >= 8 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d items saw an out-of-range worker id", bad.Load())
+	}
+}
+
+func TestDoGrainCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		for _, grain := range []int{1, 7, 64, 1000} {
+			const n = 777
+			hits := make([]int32, n)
+			DoGrain(workers, n, grain, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d grain=%d: item %d hit %d times", workers, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	ran := false
+	Do(4, 0, func(int) { ran = true })
+	DoGrain(4, 0, 16, func(_, _, _ int) { ran = true })
+	if ran {
+		t.Fatal("f ran with n = 0")
+	}
+}
+
+// TestSweepLevelBarrier: a sweep where each level sums the previous
+// level's results must observe fully-published predecessor values — the
+// inter-level barrier is the correctness contract of every propagation
+// pass built on Sweep.
+func TestSweepLevelBarrier(t *testing.T) {
+	const width, depth = 200, 20
+	levels := make([][]int, depth)
+	for l := range levels {
+		levels[l] = make([]int, width)
+		for i := range levels[l] {
+			levels[l][i] = l*width + i
+		}
+	}
+	vals := make([]int64, width*depth)
+	for _, workers := range []int{1, 2, 8} {
+		for i := range vals {
+			vals[i] = 0
+		}
+		Sweep(workers, levels, func(_, item int) {
+			l := item / width
+			if l == 0 {
+				vals[item] = 1
+				return
+			}
+			var sum int64
+			for i := 0; i < width; i++ {
+				sum += vals[(l-1)*width+i]
+			}
+			vals[item] = sum / width // = product of widths seen so far
+		})
+		for i, v := range vals[(depth-1)*width:] {
+			if v != 1 {
+				t.Fatalf("workers=%d: sink %d saw %d, want 1 (missed barrier)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestSubSeedDistinctAndStable(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := SubSeed(42, i)
+		if seen[s] {
+			t.Fatalf("SubSeed(42, %d) collides", i)
+		}
+		seen[s] = true
+		if s != SubSeed(42, i) {
+			t.Fatalf("SubSeed(42, %d) unstable", i)
+		}
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Error("different seeds map to the same sub-seed stream head")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package scratch
+
+// Under the race detector sync.Pool deliberately drops a fraction of Puts
+// (to flush out retain-after-Put bugs), so the steady-state zero-alloc
+// guarantee does not hold there by construction.
+const raceEnabled = true

@@ -1,0 +1,75 @@
+// Package scratch provides the pooled per-query traversal arena: a
+// visited bitset (two for bidirectional searches) plus reusable vertex
+// queues. Before this pool every online traversal and every partial
+// index's guided-DFS fallback allocated a fresh bitset.New(g.N()) and
+// queue per query — on large graphs that allocation dominated
+// negative-query latency and generated garbage proportional to query
+// volume. With the pool, steady-state queries allocate nothing: Get
+// reuses a warmed arena whose bitset clear is a memclr and whose queues
+// keep their grown capacity.
+//
+// Usage:
+//
+//	sc := scratch.Get(g.N())
+//	defer scratch.Put(sc)
+//	visited := sc.Visited()         // cleared, holds bits [0, n)
+//	sc.Queue = append(sc.Queue, s)  // operate on the fields directly so
+//	                                // growth survives into the pool
+//
+// Arenas are handed out by a sync.Pool, so concurrent queries (BatchReach
+// workers) each get their own; nested use inside one query (e.g. a guided
+// DFS asking for a second arena) is safe but not needed by any caller —
+// every traversal in this repository acquires exactly one.
+package scratch
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// T is one query's traversal arena.
+type T struct {
+	visited  *bitset.Set
+	visited2 *bitset.Set
+
+	// Queue doubles as BFS queue and DFS stack. Queue2 and Aux serve
+	// bidirectional searches (second frontier, next-frontier build
+	// buffer). Callers append/truncate the fields in place.
+	Queue  []graph.V
+	Queue2 []graph.V
+	Aux    []graph.V
+}
+
+var pool = sync.Pool{New: func() any {
+	return &T{visited: &bitset.Set{}, visited2: &bitset.Set{}}
+}}
+
+// Get returns an arena whose primary visited set is cleared with
+// capacity for bits [0, n) and whose queues are empty (capacity kept).
+func Get(n int) *T {
+	s := pool.Get().(*T)
+	s.visited.EnsureClear(n)
+	s.Queue = s.Queue[:0]
+	s.Queue2 = s.Queue2[:0]
+	s.Aux = s.Aux[:0]
+	return s
+}
+
+// Put returns the arena to the pool. The caller must not retain any
+// reference into the arena (the visited sets or queue backing arrays)
+// after Put.
+func Put(s *T) { pool.Put(s) }
+
+// Visited returns the primary visited set, already cleared by Get.
+func (s *T) Visited() *bitset.Set { return s.visited }
+
+// Visited2 returns the secondary visited set cleared with capacity for
+// bits [0, n) — the backward frontier of bidirectional searches. It is
+// cleared lazily here rather than in Get so unidirectional queries never
+// pay for it.
+func (s *T) Visited2(n int) *bitset.Set {
+	s.visited2.EnsureClear(n)
+	return s.visited2
+}

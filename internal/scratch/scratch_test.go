@@ -1,0 +1,94 @@
+package scratch
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestReuseIsClean: an arena returned dirty must come back from Get with
+// a cleared visited set and empty queues — the reset-between-queries
+// contract every pooled traversal relies on.
+func TestReuseIsClean(t *testing.T) {
+	// Pin the pool entry: with GC off, Put → Get returns the same arena.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	s := Get(1000)
+	for i := 0; i < 1000; i += 7 {
+		s.Visited().Set(i)
+	}
+	s.Visited2(500).Set(13)
+	s.Queue = append(s.Queue, 1, 2, 3)
+	s.Queue2 = append(s.Queue2, 4)
+	s.Aux = append(s.Aux, 5, 6)
+	Put(s)
+
+	r := Get(1000)
+	for i := 0; i < 1000; i++ {
+		if r.Visited().Test(i) {
+			t.Fatalf("reused arena has stale visited bit %d", i)
+		}
+	}
+	if v2 := r.Visited2(500); v2.Test(13) {
+		t.Fatal("reused arena has stale secondary visited bit")
+	}
+	if len(r.Queue) != 0 || len(r.Queue2) != 0 || len(r.Aux) != 0 {
+		t.Fatalf("reused arena has stale queues: %d/%d/%d",
+			len(r.Queue), len(r.Queue2), len(r.Aux))
+	}
+	Put(r)
+}
+
+// TestGrowAcrossSizes: an arena warmed on a small graph must be safe on a
+// larger one (regrown and cleared), and shrinking requests must not
+// expose stale high bits later.
+func TestGrowAcrossSizes(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	s := Get(64)
+	s.Visited().Set(63)
+	Put(s)
+
+	big := Get(10_000)
+	if big.Visited().Test(63) {
+		t.Fatal("stale bit survived a grow")
+	}
+	big.Visited().Set(9_999)
+	Put(big)
+
+	small := Get(64)
+	if small.Visited().Test(63) {
+		t.Fatal("stale bit visible after shrink")
+	}
+	small.Visited().Set(70) // force a grow through the Set path
+	Put(small)
+
+	again := Get(10_000)
+	if again.Visited().Test(9_999) {
+		t.Fatal("stale high bit re-exposed after shrink/grow cycle")
+	}
+	Put(again)
+}
+
+// TestSteadyStateZeroAlloc: after warm-up at a fixed size, Get/Put must
+// not allocate.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under -race; zero-alloc cannot hold")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	warm := Get(5000)
+	warm.Queue = append(warm.Queue, make([]graph.V, 256)...)
+	Put(warm)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		s := Get(5000)
+		s.Queue = append(s.Queue, 1)
+		Put(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f objects/op, want 0", allocs)
+	}
+}

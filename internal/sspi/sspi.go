@@ -16,10 +16,10 @@ package sspi
 import (
 	"time"
 
-	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/order"
+	"repro/internal/scratch"
 )
 
 // Index is the Tree+SSPI partial index over a DAG.
@@ -65,17 +65,20 @@ func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
 	return false, false
 }
 
-// Reach answers Qr(s, t) by the backward predecessor-closure climb.
+// Reach answers Qr(s, t) by the backward predecessor-closure climb. The
+// visited set and climb stack come from the pooled scratch arena.
 func (ix *Index) Reach(s, t graph.V) bool {
 	if s == t || ix.po.Contains(s, t) {
 		return true
 	}
-	visited := bitset.New(ix.g.N())
+	sc := scratch.Get(ix.g.N())
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	visited.Set(int(t))
-	stack := []graph.V{t}
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	sc.Queue = append(sc.Queue, t)
+	for len(sc.Queue) > 0 {
+		x := sc.Queue[len(sc.Queue)-1]
+		sc.Queue = sc.Queue[:len(sc.Queue)-1]
 		// Climb to the tree parent: s could be an ancestor owning x's
 		// trailing tree run (already covered by the initial Contains), but
 		// intermediate ancestors expose more surplus predecessors.
@@ -84,7 +87,7 @@ func (ix *Index) Reach(s, t graph.V) bool {
 			if ix.po.Contains(s, p) {
 				return true
 			}
-			stack = append(stack, p)
+			sc.Queue = append(sc.Queue, p)
 		}
 		for _, u := range ix.surplus[x] {
 			if visited.Test(int(u)) {
@@ -94,7 +97,7 @@ func (ix *Index) Reach(s, t graph.V) bool {
 			if u == s || ix.po.Contains(s, u) {
 				return true
 			}
-			stack = append(stack, u)
+			sc.Queue = append(sc.Queue, u)
 		}
 	}
 	return false

@@ -15,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/labelset"
 	"repro/internal/order"
+	"repro/internal/par"
 	"repro/internal/scc"
 )
 
@@ -26,22 +27,26 @@ type Closure struct {
 }
 
 // NewClosure computes the transitive closure of g (general digraph; SCCs
-// are condensed first).
-func NewClosure(g *graph.Digraph) *Closure {
+// are condensed first). Serial; see NewClosureN for the parallel variant.
+func NewClosure(g *graph.Digraph) *Closure { return NewClosureN(g, 1) }
+
+// NewClosureN is NewClosure with the per-source bitset-row merges fanned
+// out over a worker pool (0 = GOMAXPROCS, 1 = serial): rows are filled in
+// a level-synchronized sweep, deepest level first, so all successor rows
+// of a vertex are complete before they are OR-ed into its own row and
+// rows within one level fill concurrently. The closure is exact at any
+// worker count.
+func NewClosureN(g *graph.Digraph, workers int) *Closure {
 	cond := scc.Condense(g)
 	dag := cond.DAG
 	nc := dag.N()
 	mat := bitset.NewMatrix(nc, nc)
-	topo, _ := order.Topological(dag)
-	// Reverse topological order: successors are complete before
-	// predecessors consume them.
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
+	par.Sweep(workers, order.Reversed(order.LevelBuckets(dag)), func(_ int, v graph.V) {
 		mat.Set(int(v), int(v))
 		for _, w := range dag.Succ(v) {
 			mat.OrRow(int(v), int(w))
 		}
-	}
+	})
 	return &Closure{comp: cond.Comp, mat: mat}
 }
 

@@ -4,11 +4,16 @@
 // and product-automaton BFS for general regular path constraints. Every
 // index in this repository is benchmarked against these and the partial
 // indexes fall back to (pruned versions of) them.
+//
+// The searches draw their visited bitsets and frontier queues from the
+// shared scratch pool (internal/scratch), so a steady-state query performs
+// no heap allocation — see BenchmarkPooledBFS.
 package traversal
 
 import (
 	"repro/internal/bitset"
 	"repro/internal/graph"
+	"repro/internal/scratch"
 )
 
 // BFS answers Qr(s, t) by forward breadth-first search.
@@ -16,19 +21,20 @@ func BFS(g *graph.Digraph, s, t graph.V) bool {
 	if s == t {
 		return true
 	}
-	visited := bitset.New(g.N())
+	sc := scratch.Get(g.N())
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	visited.Set(int(s))
-	queue := []graph.V{s}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	sc.Queue = append(sc.Queue, s)
+	for qi := 0; qi < len(sc.Queue); qi++ {
+		v := sc.Queue[qi]
 		for _, w := range g.Succ(v) {
 			if w == t {
 				return true
 			}
 			if !visited.Test(int(w)) {
 				visited.Set(int(w))
-				queue = append(queue, w)
+				sc.Queue = append(sc.Queue, w)
 			}
 		}
 	}
@@ -40,19 +46,21 @@ func DFS(g *graph.Digraph, s, t graph.V) bool {
 	if s == t {
 		return true
 	}
-	visited := bitset.New(g.N())
+	sc := scratch.Get(g.N())
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	visited.Set(int(s))
-	stack := []graph.V{s}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	sc.Queue = append(sc.Queue, s)
+	for len(sc.Queue) > 0 {
+		v := sc.Queue[len(sc.Queue)-1]
+		sc.Queue = sc.Queue[:len(sc.Queue)-1]
 		for _, w := range g.Succ(v) {
 			if w == t {
 				return true
 			}
 			if !visited.Test(int(w)) {
 				visited.Set(int(w))
-				stack = append(stack, w)
+				sc.Queue = append(sc.Queue, w)
 			}
 		}
 	}
@@ -60,81 +68,91 @@ func DFS(g *graph.Digraph, s, t graph.V) bool {
 }
 
 // BiBFS answers Qr(s, t) by bidirectional breadth-first search, expanding
-// the smaller frontier first (the paper's BiBFS baseline).
+// the smaller frontier first (the paper's BiBFS baseline). The two
+// frontiers and the next-level build buffer rotate through the scratch
+// arena's three queue slots.
 func BiBFS(g *graph.Digraph, s, t graph.V) bool {
 	if s == t {
 		return true
 	}
 	n := g.N()
-	fvis, bvis := bitset.New(n), bitset.New(n)
+	sc := scratch.Get(n)
+	defer scratch.Put(sc)
+	fvis, bvis := sc.Visited(), sc.Visited2(n)
 	fvis.Set(int(s))
 	bvis.Set(int(t))
-	ffront := []graph.V{s}
-	bfront := []graph.V{t}
-	for len(ffront) > 0 && len(bfront) > 0 {
-		if len(ffront) <= len(bfront) {
-			var next []graph.V
-			for _, v := range ffront {
+	sc.Queue = append(sc.Queue, s)   // forward frontier
+	sc.Queue2 = append(sc.Queue2, t) // backward frontier
+	for len(sc.Queue) > 0 && len(sc.Queue2) > 0 {
+		sc.Aux = sc.Aux[:0]
+		if len(sc.Queue) <= len(sc.Queue2) {
+			for _, v := range sc.Queue {
 				for _, w := range g.Succ(v) {
 					if bvis.Test(int(w)) {
 						return true
 					}
 					if !fvis.Test(int(w)) {
 						fvis.Set(int(w))
-						next = append(next, w)
+						sc.Aux = append(sc.Aux, w)
 					}
 				}
 			}
-			ffront = next
+			sc.Queue, sc.Aux = sc.Aux, sc.Queue
 		} else {
-			var next []graph.V
-			for _, v := range bfront {
+			for _, v := range sc.Queue2 {
 				for _, w := range g.Pred(v) {
 					if fvis.Test(int(w)) {
 						return true
 					}
 					if !bvis.Test(int(w)) {
 						bvis.Set(int(w))
-						next = append(next, w)
+						sc.Aux = append(sc.Aux, w)
 					}
 				}
 			}
-			bfront = next
+			sc.Queue2, sc.Aux = sc.Aux, sc.Queue2
 		}
 	}
 	return false
 }
 
 // ReachableFrom returns the set of vertices reachable from s (including s).
+// The returned set is freshly allocated (callers retain it); only the DFS
+// stack comes from the scratch pool.
 func ReachableFrom(g *graph.Digraph, s graph.V) *bitset.Set {
 	visited := bitset.New(g.N())
 	visited.Set(int(s))
-	stack := []graph.V{s}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	sc := scratch.Get(0)
+	defer scratch.Put(sc)
+	sc.Queue = append(sc.Queue, s)
+	for len(sc.Queue) > 0 {
+		v := sc.Queue[len(sc.Queue)-1]
+		sc.Queue = sc.Queue[:len(sc.Queue)-1]
 		for _, w := range g.Succ(v) {
 			if !visited.Test(int(w)) {
 				visited.Set(int(w))
-				stack = append(stack, w)
+				sc.Queue = append(sc.Queue, w)
 			}
 		}
 	}
 	return visited
 }
 
-// Reaching returns the set of vertices that can reach t (including t).
+// Reaching returns the set of vertices that can reach t (including t). The
+// returned set is freshly allocated; only the DFS stack is pooled.
 func Reaching(g *graph.Digraph, t graph.V) *bitset.Set {
 	visited := bitset.New(g.N())
 	visited.Set(int(t))
-	stack := []graph.V{t}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	sc := scratch.Get(0)
+	defer scratch.Put(sc)
+	sc.Queue = append(sc.Queue, t)
+	for len(sc.Queue) > 0 {
+		v := sc.Queue[len(sc.Queue)-1]
+		sc.Queue = sc.Queue[:len(sc.Queue)-1]
 		for _, w := range g.Pred(v) {
 			if !visited.Test(int(w)) {
 				visited.Set(int(w))
-				stack = append(stack, w)
+				sc.Queue = append(sc.Queue, w)
 			}
 		}
 	}
@@ -148,12 +166,13 @@ func LabelConstrainedBFS(g *graph.Digraph, s, t graph.V, allowed uint64) bool {
 	if s == t {
 		return true
 	}
-	visited := bitset.New(g.N())
+	sc := scratch.Get(g.N())
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	visited.Set(int(s))
-	queue := []graph.V{s}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	sc.Queue = append(sc.Queue, s)
+	for qi := 0; qi < len(sc.Queue); qi++ {
+		v := sc.Queue[qi]
 		succ := g.Succ(v)
 		labs := g.SuccLabels(v)
 		for i, w := range succ {
@@ -165,7 +184,7 @@ func LabelConstrainedBFS(g *graph.Digraph, s, t graph.V, allowed uint64) bool {
 			}
 			if !visited.Test(int(w)) {
 				visited.Set(int(w))
-				queue = append(queue, w)
+				sc.Queue = append(sc.Queue, w)
 			}
 		}
 	}
@@ -183,14 +202,18 @@ type DFAIface interface {
 
 // ProductBFS answers the general path-constrained query Qr(s, t, α) by BFS
 // over the product of g and the DFA of α (the "guided graph traversal" of
-// §2.3). A query holds iff some s-t path spells a word of L(α).
+// §2.3). A query holds iff some s-t path spells a word of L(α). The
+// product-space visited set is pooled; the (vertex, state) queue is local
+// because its element type does not fit the shared arena.
 func ProductBFS(g *graph.Digraph, s, t graph.V, dfa DFAIface) bool {
 	start := dfa.Start()
 	if s == t && dfa.Accepting(start) {
 		return true
 	}
 	ns := dfa.NumStates()
-	visited := bitset.New(g.N() * ns)
+	sc := scratch.Get(g.N() * ns)
+	defer scratch.Put(sc)
+	visited := sc.Visited()
 	id := func(v graph.V, q int) int { return int(v)*ns + q }
 	visited.Set(id(s, start))
 	type state struct {

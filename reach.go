@@ -51,6 +51,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oreach"
 	"repro/internal/p2h"
+	"repro/internal/par"
 	"repro/internal/pathhop"
 	"repro/internal/pathtree"
 	"repro/internal/pll"
@@ -179,9 +180,20 @@ type Options struct {
 	Seed int64
 	// MaxSeq is the RLC index's maximum indexed concatenation length κ.
 	MaxSeq int
-	// Parallel enables concurrent construction where a technique supports
-	// it (currently the landmark LCR index's per-landmark GTCs) — the §5
-	// "parallel computation of indexes" direction.
+	// Workers caps the goroutines used by the parallel build phases — the
+	// §5 "parallel computation of indexes" direction, reaching GRAIL's K
+	// random labelings, FERRARI's interval passes, IP's sketch passes,
+	// O'Reach's supportive-vertex BFSs, BFL's Bloom-filter passes, DBL's
+	// landmark BFSs, and the LCR landmark index's per-landmark GTCs.
+	// 0 selects GOMAXPROCS, 1 forces the serial path, n > 1 caps the pool
+	// at n. Guarantee: for a fixed Seed the built index answers
+	// identically at any worker count (see TestParallelBuildDeterminism).
+	Workers int
+	// Parallel enables concurrent construction.
+	//
+	// Deprecated: use Workers. The bool keeps working — Parallel == true
+	// with Workers == 0 selects GOMAXPROCS, which is also what
+	// Workers == 0 alone selects, so the field is now redundant.
 	Parallel bool
 	// Spans, when non-nil, receives named build-phase durations from
 	// Build/BuildLCR/BuildRLC (SCC condensation, order computation, filter
@@ -194,6 +206,15 @@ type Options struct {
 // span; a nil recorder makes it a plain call.
 func timed(spans *obs.Spans, build func() Index) Index {
 	end := spans.Start("index/build")
+	ix := build()
+	end()
+	return ix
+}
+
+// timedN is timed for builders with a parallel construction phase: the
+// span records the resolved worker count as its `workers` attribute.
+func timedN(spans *obs.Spans, workers int, build func() Index) Index {
+	end := spans.StartN("index/build", workers)
 	ix := build()
 	end()
 	return ix
@@ -217,12 +238,12 @@ func Build(k Kind, g *Graph, opt Options) (Index, error) {
 	case KindPathTree:
 		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return pathtree.New(d) }), nil
 	case KindGRAIL:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
-			return grail.New(d, grail.Options{K: opt.K, Seed: opt.Seed})
+		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+			return grail.New(d, grail.Options{K: opt.K, Seed: opt.Seed, Workers: opt.Workers})
 		}), nil
 	case KindFerrari:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
-			return ferrari.New(d, ferrari.Options{K: opt.K})
+		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+			return ferrari.New(d, ferrari.Options{K: opt.K, Workers: opt.Workers})
 		}), nil
 	case KindDAGGER:
 		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
@@ -249,20 +270,20 @@ func Build(k Kind, g *Graph, opt Options) (Index, error) {
 	case KindTOL:
 		return timed(sp, func() Index { return tol.New(g) }), nil
 	case KindDBL:
-		return timed(sp, func() Index {
-			return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed})
+		return timedN(sp, par.Resolve(opt.Workers), func() Index {
+			return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed, Workers: opt.Workers})
 		}), nil
 	case KindOReach:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
-			return oreach.New(d, oreach.Options{K: opt.K})
+		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+			return oreach.New(d, oreach.Options{K: opt.K, Workers: opt.Workers})
 		}), nil
 	case KindIP:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
-			return ip.New(d, ip.Options{K: opt.K, Seed: opt.Seed})
+		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+			return ip.New(d, ip.Options{K: opt.K, Seed: opt.Seed, Workers: opt.Workers})
 		}), nil
 	case KindBFL:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
-			return bfl.New(d, bfl.Options{Bits: opt.Bits, Seed: opt.Seed, Spans: sp})
+		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+			return bfl.New(d, bfl.Options{Bits: opt.Bits, Seed: opt.Seed, Spans: sp, Workers: opt.Workers})
 		}), nil
 	case KindFeline:
 		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return feline.New(d) }), nil
@@ -290,7 +311,7 @@ func BuildDynamic(k Kind, g *Graph, opt Options) (DynamicIndex, error) {
 	case KindDAGGER:
 		return dagger.New(g, dagger.Options{K: opt.K, Seed: opt.Seed}), nil
 	case KindDBL:
-		return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed}), nil
+		return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed, Workers: opt.Workers}), nil
 	}
 	return nil, fmt.Errorf("reach: %q is not a dynamic index kind", k)
 }
@@ -337,7 +358,7 @@ func buildLCR(k LCRKind, g *Graph, opt Options) (LCRIndex, error) {
 	case LCRZouGTC:
 		return lcrgtc.New(g), nil
 	case LCRLandmark:
-		return lcrlandmark.New(g, lcrlandmark.Options{K: opt.K, Parallel: opt.Parallel}), nil
+		return lcrlandmark.New(g, lcrlandmark.Options{K: opt.K, Workers: opt.Workers}), nil
 	case LCRP2H:
 		return p2h.New(g), nil
 	case LCRDLCR:
