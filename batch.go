@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"repro/internal/core"
 	"repro/internal/labelset"
 	"repro/internal/par"
 )
@@ -28,7 +29,10 @@ const batchGrain = 16
 // BatchReach evaluates many plain reachability queries concurrently over
 // a shared index. Indexes in this library are safe for concurrent readers
 // once built (they are immutable after construction; dynamic indexes must
-// not be updated while a batch runs). workers <= 0 selects GOMAXPROCS.
+// not be updated while a batch runs). g must be the graph ix was built
+// over — it bounds the vertex validation; every pair is checked before
+// any query runs, so an out-of-range pair yields ErrVertexRange with no
+// partial work. workers <= 0 selects GOMAXPROCS.
 // Instrumented indexes (see Instrument) additionally count the batch and
 // its size; individual queries record through the wrapper as usual — the
 // per-query counters are atomic, so concurrent workers stay race-free.
@@ -40,21 +44,29 @@ const batchGrain = 16
 //
 // Throughput-oriented workloads (the §5 "many negative queries" regime)
 // are embarrassingly parallel; this helper is the §5 parallel-computation
-// direction applied to the query side.
-func BatchReach(ix Index, pairs []Pair, workers int) []bool {
+// direction applied to the query side. A panic inside the index on any
+// worker stops the batch and surfaces as ErrIndexPanic.
+func BatchReach(ix Index, g *Graph, pairs []Pair, workers int) (out []bool, err error) {
+	n := g.N()
+	for _, p := range pairs {
+		if err := core.CheckPair(n, p.S, p.T); err != nil {
+			return nil, err
+		}
+	}
 	if bo, ok := ix.(batchObserver); ok {
 		bo.ObserveBatch(len(pairs))
 	}
 	if workers < 0 {
 		workers = 0 // documented contract: <= 0 selects GOMAXPROCS
 	}
-	out := make([]bool, len(pairs))
+	defer core.Recover(&err)
+	out = make([]bool, len(pairs))
 	par.DoGrain(workers, len(pairs), batchGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = ix.Reach(pairs[i].S, pairs[i].T)
 		}
 	})
-	return out
+	return out, nil
 }
 
 // LCRPair is one alternation-constrained query of a batch.
@@ -64,16 +76,23 @@ type LCRPair struct {
 }
 
 // BatchReachLC is BatchReach for alternation-constrained queries.
-func BatchReachLC(ix LCRIndex, pairs []LCRPair, workers int) []bool {
+func BatchReachLC(ix LCRIndex, g *Graph, pairs []LCRPair, workers int) (out []bool, err error) {
+	n := g.N()
+	for _, p := range pairs {
+		if err := core.CheckPair(n, p.S, p.T); err != nil {
+			return nil, err
+		}
+	}
 	if workers < 0 {
 		workers = 0
 	}
-	out := make([]bool, len(pairs))
+	defer core.Recover(&err)
+	out = make([]bool, len(pairs))
 	par.DoGrain(workers, len(pairs), batchGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p := pairs[i]
 			out[i] = p.S == p.T || ix.ReachLC(p.S, p.T, labelSetOf(p.Allowed))
 		}
 	})
-	return out
+	return out, nil
 }

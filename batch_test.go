@@ -21,7 +21,10 @@ func TestBatchReachMatchesSequential(t *testing.T) {
 		pairs[i] = Pair{V(rng.Intn(g.N())), V(rng.Intn(g.N()))}
 	}
 	for _, workers := range []int{0, 1, 2, 7, 64} {
-		got := BatchReach(ix, pairs, workers)
+		got, err := BatchReach(ix, g, pairs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		if len(got) != len(pairs) {
 			t.Fatalf("workers=%d: %d answers", workers, len(got))
 		}
@@ -46,7 +49,10 @@ func TestBatchReachLC(t *testing.T) {
 		pairs[i] = LCRPair{V(rng.Intn(g.N())), V(rng.Intn(g.N())), uint64(rng.Intn(16))}
 	}
 	for _, workers := range []int{1, 3, 16} {
-		got := BatchReachLC(ix, pairs, workers)
+		got, err := BatchReachLC(ix, g, pairs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		for i, p := range pairs {
 			want := p.S == p.T || oracle.ReachLC(p.S, p.T, labelSetOf(p.Allowed))
 			if got[i] != want {
@@ -59,7 +65,7 @@ func TestBatchReachLC(t *testing.T) {
 func TestBatchEmpty(t *testing.T) {
 	g := Fig1Plain()
 	ix, _ := Build(KindPLL, g, Options{})
-	if got := BatchReach(ix, nil, 4); len(got) != 0 {
-		t.Fatal("non-empty result for empty batch")
+	if got, err := BatchReach(ix, g, nil, 4); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: got %v, err %v", got, err)
 	}
 }

@@ -403,7 +403,7 @@ func BenchmarkE11_BatchReach(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		reach.BatchReach(ix, pairs, 0)
+		reach.BatchReach(ix, g, pairs, 0)
 	}
 }
 

@@ -37,6 +37,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "run an instrumented workload for -index and dump its metrics instead of the experiment suite")
 	indexKind := flag.String("index", "bfl", "plain index kind for the -metrics run")
 	workers := flag.Int("workers", 0, "worker pool for parallel build phases (0 = GOMAXPROCS, 1 = serial)")
+	k := flag.Int("k", 3, "per-technique budget for the -metrics run")
+	bits := flag.Int("bits", 256, "Bloom filter width for the -metrics run")
 	benchjson := flag.String("benchjson", "", "write a machine-readable per-kind benchmark (build ns, query ns/op, allocs/op) to this file and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -47,6 +49,15 @@ func main() {
 	}
 	if *scale < 1 {
 		usageExit("-scale must be >= 1, got %d", *scale)
+	}
+	if *workers < 0 {
+		usageExit("-workers must be >= 0, got %d", *workers)
+	}
+	if *k < 0 {
+		usageExit("-k must be >= 0, got %d", *k)
+	}
+	if *bits < 0 {
+		usageExit("-bits must be >= 0, got %d", *bits)
 	}
 	if *metrics {
 		// Validate the index kind up front: fail with usage instead of
@@ -87,7 +98,7 @@ func main() {
 	}()
 
 	if *metrics {
-		runMetrics(reach.Kind(*indexKind), *scale, *seed, *workers)
+		runMetrics(reach.Kind(*indexKind), *scale, *seed, reach.Options{K: *k, Bits: *bits, Workers: *workers})
 		return
 	}
 	if *benchjson != "" {
@@ -138,11 +149,13 @@ func main() {
 
 // runMetrics builds the requested index with build-phase spans, drives a
 // mixed workload through an instrumented wrapper, and dumps the snapshot.
-func runMetrics(k reach.Kind, scale int, seed int64, workers int) {
+func runMetrics(k reach.Kind, scale int, seed int64, opt reach.Options) {
 	n := 20000 * scale
 	g := gen.RandomDAG(gen.Config{N: n, M: 4 * n, Seed: seed})
 	var spans reach.BuildSpans
-	raw, err := reach.Build(k, g, reach.Options{K: 3, Bits: 256, Seed: seed, Workers: workers, Spans: &spans})
+	opt.Seed = seed
+	opt.Spans = &spans
+	raw, err := reach.Build(k, g, opt)
 	if err != nil {
 		fail("build %s: %v", k, err)
 	}

@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -42,6 +43,11 @@ func main() {
 	query := flag.String("q", "", "single query: 's t' or 's t α'; default reads stdin")
 	list := flag.Bool("list", false, "list available index kinds and exit")
 	stats := flag.Bool("stats", false, "print index statistics")
+	k := flag.Int("k", 0, "per-technique budget (intervals/sketches/landmarks); 0 = default")
+	bits := flag.Int("bits", 0, "Bloom filter width (BFL/DBL); 0 = default")
+	workers := flag.Int("workers", 0, "build worker cap; 0 = GOMAXPROCS")
+	maxseq := flag.Int("maxseq", 0, "RLC max concatenation length κ; 0 = default")
+	timeout := flag.Duration("timeout", 0, "abort index construction after this long; 0 = no limit")
 	flag.Parse()
 
 	if *list {
@@ -70,12 +76,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loaded %s: %d vertices, %d edges, %d labels\n",
 		*graphPath, g.N(), g.M(), g.Labels())
 
-	db, err := reach.NewDB(g, reach.DBConfig{
-		Plain: reach.Kind(*indexKind),
-		LCR:   reach.LCRKind(*lcrKind),
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	db, err := reach.NewDBCtx(ctx, g, reach.DBConfig{
+		Plain:   reach.Kind(*indexKind),
+		LCR:     reach.LCRKind(*lcrKind),
+		Options: reach.Options{K: *k, Bits: *bits, Workers: *workers, MaxSeq: *maxseq},
 	})
 	if err != nil {
-		fail("build: %v", err)
+		fail("build: %v", firstLine(err))
 	}
 	if *stats {
 		for name, st := range db.Stats() {
@@ -97,13 +110,18 @@ func main() {
 			return
 		}
 		if len(fields) == 2 {
-			fmt.Println(db.Reach(s, t))
+			got, err := db.Reach(s, t)
+			if err != nil {
+				fmt.Printf("error: %v\n", firstLine(err))
+				return
+			}
+			fmt.Println(got)
 			return
 		}
 		alpha := strings.Join(fields[2:], " ")
 		got, err := db.Query(s, t, alpha)
 		if err != nil {
-			fmt.Printf("error: %v\n", err)
+			fmt.Printf("error: %v\n", firstLine(err))
 			return
 		}
 		fmt.Println(got)
@@ -158,7 +176,7 @@ func runStats(args []string) {
 		Metrics: true,
 	})
 	if err != nil {
-		fail("build: %v", err)
+		fail("build: %v", firstLine(err))
 	}
 	db.PublishExpvar("reach_db")
 
@@ -194,6 +212,17 @@ func vertex(g *reach.Graph, tok string) (reach.V, bool) {
 		return reach.V(n), true
 	}
 	return g.VertexByName(tok)
+}
+
+// firstLine trims an error to its first line: the contained-panic errors
+// carry the originating stack in their message, which belongs in logs,
+// not on a CLI's one-line diagnostic.
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " ..."
+	}
+	return s
 }
 
 func fail(format string, args ...interface{}) {

@@ -1,6 +1,8 @@
 package reach
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,6 +10,8 @@ import (
 	"repro/internal/labelset"
 	"repro/internal/obs"
 	"repro/internal/regexpath"
+	"repro/internal/rpqindex"
+	"repro/internal/tc"
 	"repro/internal/traversal"
 )
 
@@ -16,11 +20,19 @@ import (
 // in a GDBMS" integration the paper's §5 envisions. Constraints outside
 // the two indexable fragments are answered by product-automaton search
 // (§2.3's guided traversal), so every query of the α grammar is supported.
+//
+// Every query entry point validates its vertices (ErrVertexRange) and
+// contains panics escaping an index implementation (ErrIndexPanic), so a
+// broken or partially built index can fail a query but never the process.
 type DB struct {
 	g     *Graph
 	plain Index
 	lcr   LCRIndex
 	rlc   RLCIndex
+	// lcrErr/rlcErr are non-nil when the corresponding build failed and
+	// DBConfig.Degraded kept the DB serving: the route runs index-free
+	// (online traversal) and Stats/DegradedRoutes expose the cause.
+	lcrErr, rlcErr error
 	// registered holds dedicated indexes for hot constraints (§5's
 	// query-log-driven scenario), keyed by normalized expression.
 	registered map[string]*ConstraintIndex
@@ -47,12 +59,31 @@ type DBConfig struct {
 	// decided/fallback/visited detail. See OBSERVABILITY.md. Disabled
 	// (the default), queries pay one nil comparison.
 	Metrics bool
+	// Degraded keeps the DB serving when an optional index build fails.
+	// When an LCR or RLC build panics or is canceled, the DB comes up
+	// anyway and answers that query class by online traversal (correct,
+	// just slower); DegradedRoutes, Stats and MetricsSnapshot expose the
+	// degradation. Configuration errors (bad options, unknown kinds) and
+	// plain-index failures always fail NewDB — there is nothing sensible
+	// to degrade to. Default false: any build failure fails NewDB.
+	Degraded bool
 }
 
 // NewDB builds a DB over g. For unlabeled graphs only the plain index is
 // built; genuinely labeled path-constrained queries then return an error
 // (trivially plain constraints still work — see Query).
 func NewDB(g *Graph, cfg DBConfig) (*DB, error) {
+	return NewDBCtx(context.Background(), g, cfg)
+}
+
+// NewDBCtx is NewDB under a context: index builds poll ctx at cooperative
+// checkpoints. With cfg.Degraded a canceled or panicked LCR/RLC build
+// degrades that route instead of failing construction; without it (or for
+// the plain index) the first failure aborts with a typed error.
+func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadOptions)
+	}
 	if cfg.Plain == "" {
 		cfg.Plain = KindBFL
 	}
@@ -67,26 +98,83 @@ func NewDB(g *Graph, cfg DBConfig) (*DB, error) {
 		}
 	}
 	var err error
-	if db.plain, err = Build(cfg.Plain, g, cfg.Options); err != nil {
+	if db.plain, err = BuildCtx(ctx, cfg.Plain, g, cfg.Options); err != nil {
 		return nil, err
 	}
 	if db.metrics != nil {
 		db.plain = core.Instrument(db.plain, g, db.metrics.Index(db.plain.Name()))
 	}
 	if g.Labeled() {
-		if db.lcr, err = BuildLCR(cfg.LCR, g, cfg.Options); err != nil {
-			return nil, err
+		if db.lcr, err = BuildLCRCtx(ctx, cfg.LCR, g, cfg.Options); err != nil {
+			if !degradable(cfg, err) {
+				return nil, err
+			}
+			db.lcrErr = err
+			db.countBuildFault(err)
 		}
-		db.rlc, err = BuildRLC(g, cfg.Options)
-		if err != nil {
-			return nil, err
+		if db.rlc, err = BuildRLCCtx(ctx, g, cfg.Options); err != nil {
+			if !degradable(cfg, err) {
+				return nil, err
+			}
+			db.rlcErr = err
+			db.countBuildFault(err)
+		}
+	}
+	if db.metrics != nil {
+		var names []string
+		if db.lcrErr != nil {
+			names = append(names, "lcr")
+		}
+		if db.rlcErr != nil {
+			names = append(names, "rlc")
+		}
+		if names != nil {
+			db.metrics.SetDegraded(names)
 		}
 	}
 	return db, nil
 }
 
+// degradable reports whether cfg tolerates this build failure. Only
+// runtime faults (panic, cancellation) degrade; configuration errors
+// would fail identically on every rebuild and so fail fast.
+func degradable(cfg DBConfig, err error) bool {
+	return cfg.Degraded &&
+		(errors.Is(err, ErrIndexPanic) || errors.Is(err, ErrBuildCanceled))
+}
+
+func (db *DB) countBuildFault(err error) {
+	if db.metrics == nil {
+		return
+	}
+	db.metrics.Errors.Inc()
+	if errors.Is(err, ErrIndexPanic) {
+		db.metrics.Panics.Inc()
+	}
+	if errors.Is(err, ErrBuildCanceled) {
+		db.metrics.Canceled.Inc()
+	}
+}
+
 // Graph returns the underlying graph.
 func (db *DB) Graph() *Graph { return db.g }
+
+// DegradedRoutes reports the serving routes running index-free after a
+// tolerated build failure, keyed "lcr"/"rlc", with the build error as the
+// value. Empty (nil) on a fully healthy DB.
+func (db *DB) DegradedRoutes() map[string]error {
+	var out map[string]error
+	if db.lcrErr != nil {
+		out = map[string]error{"lcr": db.lcrErr}
+	}
+	if db.rlcErr != nil {
+		if out == nil {
+			out = map[string]error{}
+		}
+		out["rlc"] = db.rlcErr
+	}
+	return out
+}
 
 // Metrics returns the DB's metrics root, or nil when DBConfig.Metrics was
 // false.
@@ -110,15 +198,62 @@ func (db *DB) PublishExpvar(name string) {
 	}
 }
 
-// Reach answers the plain reachability query Qr(s, t).
-func (db *DB) Reach(s, t V) bool {
+// boundary is the deferred panic barrier of every query entry point: a
+// panic escaping an index implementation becomes ErrIndexPanic (with the
+// panicking goroutine's stack in the message) instead of crashing the
+// caller, and the fault is counted when metrics are on.
+func (db *DB) boundary(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	err := core.PanicError(r)
+	*errp = err
+	if db.metrics != nil {
+		db.metrics.Errors.Inc()
+		if errors.Is(err, ErrIndexPanic) {
+			db.metrics.Panics.Inc()
+		}
+		if errors.Is(err, ErrBuildCanceled) {
+			db.metrics.Canceled.Inc()
+		}
+	}
+}
+
+// Reach answers the plain reachability query Qr(s, t). Out-of-range
+// vertices yield ErrVertexRange.
+func (db *DB) Reach(s, t V) (bool, error) {
+	return db.ReachCtx(nil, s, t)
+}
+
+// ReachCtx is Reach under a context: an already-canceled ctx returns its
+// error without touching the index. (Point lookups are microsecond-scale,
+// so there is no mid-query polling on this path; ctx matters when callers
+// share one cancellation across many lookups.)
+func (db *DB) ReachCtx(ctx context.Context, s, t V) (res bool, err error) {
+	if err := core.CheckPair(db.g.N(), s, t); err != nil {
+		return false, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			db.countCanceled()
+			return false, err
+		}
+	}
+	defer db.boundary(&err)
 	if db.metrics == nil {
-		return db.plain.Reach(s, t)
+		return db.plain.Reach(s, t), nil
 	}
 	start := time.Now()
-	res := db.plain.Reach(s, t)
+	res = db.plain.Reach(s, t)
 	db.metrics.Route(obs.RoutePlain).Observe(res, time.Since(start))
-	return res
+	return res, nil
+}
+
+func (db *DB) countCanceled() {
+	if db.metrics != nil {
+		db.metrics.Canceled.Inc()
+	}
 }
 
 // Query answers the path-constrained reachability query Qr(s, t, α),
@@ -133,22 +268,45 @@ func (db *DB) Reach(s, t V) bool {
 // language is insensitive to labels (any alternation-star/plus, or a
 // single-label star/plus) reduce to plain reachability and are answered
 // by the plain index; genuinely labeled constraints return an error.
+// Routes whose index build was degraded (see DBConfig.Degraded) are
+// answered by online traversal instead of failing.
 func (db *DB) Query(s, t V, alpha string) (bool, error) {
+	return db.QueryCtx(nil, s, t, alpha)
+}
+
+// QueryCtx is Query under a context: the product-automaton route (the one
+// query path that can traverse a large graph fraction) polls ctx and
+// returns its error when canceled; index-lookup routes check ctx once up
+// front.
+func (db *DB) QueryCtx(ctx context.Context, s, t V, alpha string) (res bool, err error) {
+	if err := core.CheckPair(db.g.N(), s, t); err != nil {
+		return false, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			db.countCanceled()
+			return false, err
+		}
+	}
+	defer db.boundary(&err)
 	if db.metrics == nil {
-		res, _, err := db.query(s, t, alpha)
+		res, _, err := db.query(ctx, s, t, alpha)
 		return res, err
 	}
 	start := time.Now()
-	res, route, err := db.query(s, t, alpha)
+	res, route, err := db.query(ctx, s, t, alpha)
 	if err != nil {
 		db.metrics.Errors.Inc()
+		if ctx != nil && ctx.Err() != nil {
+			db.metrics.Canceled.Inc()
+		}
 		return res, err
 	}
 	db.metrics.Route(route).Observe(res, time.Since(start))
 	return res, err
 }
 
-func (db *DB) query(s, t V, alpha string) (bool, obs.RouteKind, error) {
+func (db *DB) query(ctx context.Context, s, t V, alpha string) (bool, obs.RouteKind, error) {
 	if !db.g.Labeled() {
 		res, err := db.queryUnlabeled(s, t, alpha)
 		return res, obs.RoutePlain, err
@@ -164,23 +322,58 @@ func (db *DB) query(s, t V, alpha string) (bool, obs.RouteKind, error) {
 	switch cl.Class {
 	case regexpath.ClassAlternation:
 		if s == t && !cl.PlusOnly {
-			return true, obs.RouteLCR, nil
+			return true, db.lcrRoute(), nil
 		}
 		if cl.PlusOnly {
 			// (…)+ requires at least one edge; peel the first step and
 			// then answer the star query from each allowed neighbour.
-			return db.plusAlternation(s, t, cl.Allowed), obs.RouteLCR, nil
+			return db.plusAlternation(s, t, cl.Allowed), db.lcrRoute(), nil
 		}
-		return db.lcr.ReachLC(s, t, cl.Allowed), obs.RouteLCR, nil
+		res, route := db.reachLC(s, t, cl.Allowed)
+		return res, route, nil
 	case regexpath.ClassConcatenation:
 		if s == t && !cl.PlusOnly {
-			return true, obs.RouteRLC, nil
+			return true, db.rlcRoute(), nil
 		}
-		return db.rlc.ReachRLC(s, t, cl.Sequence), obs.RouteRLC, nil
+		res, route := db.reachRLC(s, t, cl.Sequence)
+		return res, route, nil
 	default:
 		dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), db.g.Labels())
-		return traversal.ProductBFS(db.g, s, t, dfa), obs.RouteProduct, nil
+		res, err := traversal.ProductBFSCtx(ctx, db.g, s, t, dfa)
+		return res, obs.RouteProduct, err
 	}
+}
+
+func (db *DB) lcrRoute() obs.RouteKind {
+	if db.lcr == nil {
+		return obs.RouteDegradedLCR
+	}
+	return obs.RouteLCR
+}
+
+func (db *DB) rlcRoute() obs.RouteKind {
+	if db.rlc == nil {
+		return obs.RouteDegradedRLC
+	}
+	return obs.RouteRLC
+}
+
+// reachLC answers the alternation-star query through the LCR index, or —
+// on a degraded DB — by a label-constrained BFS on the graph itself.
+func (db *DB) reachLC(s, t V, allowed labelset.Set) (bool, obs.RouteKind) {
+	if db.lcr != nil {
+		return db.lcr.ReachLC(s, t, allowed), obs.RouteLCR
+	}
+	return traversal.LabelConstrainedBFS(db.g, s, t, uint64(allowed)), obs.RouteDegradedLCR
+}
+
+// reachRLC answers the concatenation-star query through the RLC index, or
+// — on a degraded DB — by the online phase-tracking search.
+func (db *DB) reachRLC(s, t V, seq []Label) (bool, obs.RouteKind) {
+	if db.rlc != nil {
+		return db.rlc.ReachRLC(s, t, seq), obs.RouteRLC
+	}
+	return tc.RLCReach(db.g, s, t, seq, false), obs.RouteDegradedRLC
 }
 
 // queryUnlabeled serves path-constrained queries on an unlabeled graph
@@ -226,7 +419,10 @@ func (db *DB) plusAlternation(s, t V, allowed labelset.Set) bool {
 		if !allowed.Has(labs[i]) {
 			continue
 		}
-		if w == t || db.lcr.ReachLC(w, t, allowed) {
+		if w == t {
+			return true
+		}
+		if res, _ := db.reachLC(w, t, allowed); res {
 			return true
 		}
 	}
@@ -238,7 +434,7 @@ func (db *DB) plusAlternation(s, t V, allowed labelset.Set) bool {
 // it by lookups regardless of the constraint's class. This is the §5 "one
 // indexing technique for general path constraints" direction, applied per
 // hot constraint.
-func (db *DB) RegisterConstraint(alpha string) error {
+func (db *DB) RegisterConstraint(alpha string) (err error) {
 	if !db.g.Labeled() {
 		return fmt.Errorf("reach: graph is unlabeled")
 	}
@@ -246,10 +442,10 @@ func (db *DB) RegisterConstraint(alpha string) error {
 	if err != nil {
 		return err
 	}
-	ix, err := BuildConstraint(db.g, alpha)
-	if err != nil {
-		return err
-	}
+	defer db.boundary(&err)
+	// The expression was parsed once above for validation and map keying;
+	// hand the AST through instead of parsing again inside the builder.
+	ix := rpqindex.NewFromAST(db.g, alpha, ast)
 	if db.registered == nil {
 		db.registered = make(map[string]*ConstraintIndex)
 	}
@@ -260,17 +456,24 @@ func (db *DB) RegisterConstraint(alpha string) error {
 // ReachPath returns a concrete shortest s-t path witnessing Qr(s, t), or
 // nil when t is unreachable. Indexes certify existence; the witness comes
 // from one BFS, as GDBMSs do when the user asks for the path itself.
-func (db *DB) ReachPath(s, t V) []V {
-	if !db.plain.Reach(s, t) {
-		return nil
+func (db *DB) ReachPath(s, t V) (path []V, err error) {
+	if err := core.CheckPair(db.g.N(), s, t); err != nil {
+		return nil, err
 	}
-	return traversal.WitnessPath(db.g, s, t)
+	defer db.boundary(&err)
+	if !db.plain.Reach(s, t) {
+		return nil, nil
+	}
+	return traversal.WitnessPath(db.g, s, t), nil
 }
 
 // QueryPath returns the traversed edges of a path satisfying Qr(s, t, α),
 // or nil when no such path exists. For s == t with a star constraint the
 // empty edge list is returned.
-func (db *DB) QueryPath(s, t V, alpha string) ([]GraphEdge, error) {
+func (db *DB) QueryPath(s, t V, alpha string) (edges []GraphEdge, err error) {
+	if err := core.CheckPair(db.g.N(), s, t); err != nil {
+		return nil, err
+	}
 	if !db.g.Labeled() {
 		return nil, fmt.Errorf("reach: graph is unlabeled")
 	}
@@ -278,33 +481,53 @@ func (db *DB) QueryPath(s, t V, alpha string) ([]GraphEdge, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer db.boundary(&err)
 	dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), db.g.Labels())
 	return traversal.ConstrainedWitness(db.g, s, t, dfa), nil
 }
 
 // QueryAllowed answers the alternation query with an explicit label set —
 // the LCR interface used by analytics loops that build masks directly.
-func (db *DB) QueryAllowed(s, t V, labels ...Label) (bool, error) {
-	if db.lcr == nil {
+// On a degraded DB the answer comes from online traversal.
+func (db *DB) QueryAllowed(s, t V, labels ...Label) (res bool, err error) {
+	if err := core.CheckPair(db.g.N(), s, t); err != nil {
+		return false, err
+	}
+	if !db.g.Labeled() {
 		return false, fmt.Errorf("reach: no LCR index (graph unlabeled)")
 	}
+	defer db.boundary(&err)
 	if db.metrics == nil {
-		return s == t || db.lcr.ReachLC(s, t, labelset.Of(labels...)), nil
+		if s == t {
+			return true, nil
+		}
+		res, _ := db.reachLC(s, t, labelset.Of(labels...))
+		return res, nil
 	}
 	start := time.Now()
-	res := s == t || db.lcr.ReachLC(s, t, labelset.Of(labels...))
-	db.metrics.Route(obs.RouteLCR).Observe(res, time.Since(start))
+	res = s == t
+	route := db.lcrRoute()
+	if !res {
+		res, route = db.reachLC(s, t, labelset.Of(labels...))
+	}
+	db.metrics.Route(route).Observe(res, time.Since(start))
 	return res, nil
 }
 
 // Stats returns the footprint of every built index keyed by its name.
+// Degraded routes appear under "degraded:lcr"/"degraded:rlc" with zero
+// footprint, so operators see at a glance which class lost its index.
 func (db *DB) Stats() map[string]Stats {
 	out := map[string]Stats{db.plain.Name(): db.plain.Stats()}
 	if db.lcr != nil {
 		out[db.lcr.Name()] = db.lcr.Stats()
+	} else if db.lcrErr != nil {
+		out["degraded:lcr"] = Stats{}
 	}
 	if db.rlc != nil {
 		out[db.rlc.Name()] = db.rlc.Stats()
+	} else if db.rlcErr != nil {
+		out["degraded:rlc"] = Stats{}
 	}
 	return out
 }

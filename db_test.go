@@ -37,8 +37,8 @@ func TestDBPaperExamples(t *testing.T) {
 	l, b, m := vertex(t, db, "L"), vertex(t, db, "B"), vertex(t, db, "M")
 
 	// §2.1: Qr(A, G) = true.
-	if !db.Reach(a, g) {
-		t.Error("Qr(A,G) should be true")
+	if ok, err := db.Reach(a, g); err != nil || !ok {
+		t.Errorf("Qr(A,G) = %v, %v; want true", ok, err)
 	}
 	// §2.2: Qr(A, G, (friendOf ∪ follows)*) = false.
 	if ok, err := db.Query(a, g, "(friendOf|follows)*"); err != nil || ok {
@@ -132,7 +132,10 @@ func TestDBErrors(t *testing.T) {
 func TestDBReachPath(t *testing.T) {
 	db := fig1DB(t)
 	a, g := vertex(t, db, "A"), vertex(t, db, "G")
-	p := db.ReachPath(a, g)
+	p, err := db.ReachPath(a, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p == nil || p[0] != a || p[len(p)-1] != g {
 		t.Fatalf("ReachPath(A,G) = %v", p)
 	}
@@ -140,8 +143,8 @@ func TestDBReachPath(t *testing.T) {
 	if len(p) != 4 {
 		t.Errorf("expected the 4-vertex path A,D,H,G; got %d vertices", len(p))
 	}
-	if db.ReachPath(g, a) != nil {
-		t.Error("path for an unreachable pair")
+	if p, err := db.ReachPath(g, a); err != nil || p != nil {
+		t.Errorf("path for an unreachable pair: %v, %v", p, err)
 	}
 }
 
@@ -244,7 +247,11 @@ func TestDBUnlabeledTrivialConstraints(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Query(%d,%d,(a|b)*): %v", s, tt, err)
 			}
-			if want := db.Reach(s, tt); got != want {
+			want, rerr := db.Reach(s, tt)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if got != want {
 				t.Fatalf("Query(%d,%d,(a|b)*) = %v, Reach = %v", s, tt, got, want)
 			}
 		}
@@ -268,7 +275,11 @@ func TestDBUnlabeledTrivialConstraints(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if want := db.Reach(s, tt); got != want {
+			want, rerr := db.Reach(s, tt)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if got != want {
 				t.Fatalf("Query(%d,%d,e+) = %v, Reach = %v", s, tt, got, want)
 			}
 		}
@@ -313,8 +324,8 @@ func TestDBMetricsDecidedFallback(t *testing.T) {
 		} else {
 			wantFallback++
 		}
-		if got := db.Reach(q.S, q.T); got != oracle.Reach(q.S, q.T) {
-			t.Fatalf("Reach(%d,%d) wrong", q.S, q.T)
+		if got, rerr := db.Reach(q.S, q.T); rerr != nil || got != oracle.Reach(q.S, q.T) {
+			t.Fatalf("Reach(%d,%d) wrong (err %v)", q.S, q.T, rerr)
 		}
 	}
 	snap, ok := db.MetricsSnapshot()
@@ -413,7 +424,10 @@ func TestBatchReachInstrumented(t *testing.T) {
 	for i, q := range qs {
 		pairs[i] = Pair{S: q.S, T: q.T}
 	}
-	got := BatchReach(ix, pairs, 4)
+	got, err := BatchReach(ix, g, pairs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, q := range qs {
 		if got[i] != q.Want {
 			t.Fatalf("batch answer %d wrong", i)
@@ -443,8 +457,8 @@ func TestDBAlternativePlainAndLCRKinds(t *testing.T) {
 		}
 		a, _ := db.Graph().VertexByName("A")
 		g, _ := db.Graph().VertexByName("G")
-		if !db.Reach(a, g) {
-			t.Errorf("%+v: Qr(A,G) wrong", cfg)
+		if ok, rerr := db.Reach(a, g); rerr != nil || !ok {
+			t.Errorf("%+v: Qr(A,G) wrong (%v, %v)", cfg, ok, rerr)
 		}
 		if ok, _ := db.Query(a, g, "(friendOf|follows)*"); ok {
 			t.Errorf("%+v: LCR answer wrong", cfg)

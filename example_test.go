@@ -47,7 +47,8 @@ func ExampleDB_ReachPath() {
 	g := db.Graph()
 	a, _ := g.VertexByName("A")
 	t, _ := g.VertexByName("G")
-	for _, v := range db.ReachPath(a, t) {
+	path, _ := db.ReachPath(a, t)
+	for _, v := range path {
 		fmt.Print(g.VertexName(v), " ")
 	}
 	fmt.Println()

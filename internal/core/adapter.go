@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/scc"
@@ -31,9 +32,14 @@ func ForGeneralSpans(g *graph.Digraph, spans *obs.Spans, build DAGBuilder) Index
 // count as its `workers` attribute. The SCC condensation itself (Tarjan)
 // is inherently sequential and always runs serial.
 func ForGeneralSpansN(g *graph.Digraph, spans *obs.Spans, workers int, build DAGBuilder) Index {
+	// Phase-level fault-injection points: every index lifted through the
+	// condensation adapter (most of the catalogue) is panickable here by
+	// the stress harness even if its builder has no checkpoint of its own.
+	faultinject.Hit("core/scc-condense")
 	end := spans.Start("scc/condense")
 	cond := scc.Condense(g)
 	end()
+	faultinject.Hit("core/index-build")
 	end = spans.StartN("index/build", workers)
 	inner := build(cond.DAG)
 	end()

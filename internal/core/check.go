@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+)
+
+// TickStride is how many checkpoint ticks pass between context polls. A
+// tick is placed on the granularity of one unit of builder work (one BFS
+// dequeue, one source vertex, one cover candidate), so a canceled build
+// stops within a bounded, deterministic amount of extra work instead of
+// running to completion.
+const TickStride = 64
+
+// Check is a cooperative cancellation checkpoint threaded through the
+// expensive builders. A nil *Check is valid and makes Tick a no-op — the
+// context-free Build path passes nil and pays a single predictable branch
+// per tick. Cancellation surfaces as a panic with a private sentinel that
+// Recover at the public boundary converts to ErrBuildCanceled; this keeps
+// the deep builder loops free of error plumbing while still aborting
+// promptly, and the par pool's panic containment carries the sentinel out
+// of worker goroutines.
+//
+// Check also doubles as the builders' fault-injection surface: every tick
+// passes through faultinject.Hit(site), so the stress harness can panic a
+// build in any phase or cancel it at an exact checkpoint ordinal.
+type Check struct {
+	done <-chan struct{}
+	site string
+	n    atomic.Uint64
+}
+
+// NewCheck builds the checkpoint for one build under ctx, named by site
+// (e.g. "build/2hop"). It returns nil — the free no-op checkpoint — when
+// the context can never be canceled and fault injection is disarmed.
+func NewCheck(ctx context.Context, site string) *Check {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if done == nil && !faultinject.Enabled() {
+		return nil
+	}
+	return &Check{done: done, site: site}
+}
+
+// canceled is the panic sentinel Tick raises on a canceled context;
+// Recover maps it to ErrBuildCanceled.
+type canceled struct{ site string }
+
+// Tick marks one unit of build work. Nil-safe. Every TickStride ticks it
+// polls the context and panics with the cancellation sentinel if the
+// context is done. Fault injection hits on every tick, so "cancel at
+// checkpoint N" plans are exact, not stride-quantized.
+func (c *Check) Tick() {
+	if c == nil {
+		return
+	}
+	faultinject.Hit(c.site)
+	if c.n.Add(1)%TickStride != 0 {
+		return
+	}
+	if c.done != nil {
+		select {
+		case <-c.done:
+			panic(canceled{site: c.site})
+		default:
+		}
+	}
+}
+
+// Site reports the checkpoint's name; builders that fork sub-phases can
+// log or nest on it.
+func (c *Check) Site() string {
+	if c == nil {
+		return ""
+	}
+	return c.site
+}

@@ -1,10 +1,11 @@
-package core
+package core_test
 
 import (
 	"errors"
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/tc"
@@ -17,7 +18,7 @@ func TestGuidedDFSNoFilter(t *testing.T) {
 	undecided := func(u, t graph.V) (bool, bool) { return false, false }
 	for s := graph.V(0); int(s) < g.N(); s += 2 {
 		for tt := graph.V(0); int(tt) < g.N(); tt += 3 {
-			if GuidedDFS(g, s, tt, undecided) != traversal.BFS(g, s, tt) {
+			if core.GuidedDFS(g, s, tt, undecided) != traversal.BFS(g, s, tt) {
 				t.Fatalf("unfiltered GuidedDFS wrong at (%d,%d)", s, tt)
 			}
 		}
@@ -32,7 +33,7 @@ func TestGuidedDFSWithOracleFilter(t *testing.T) {
 	perfect := func(u, t graph.V) (bool, bool) { return oracle.Reach(u, t), true }
 	for s := graph.V(0); int(s) < g.N(); s += 3 {
 		for tt := graph.V(0); int(tt) < g.N(); tt += 3 {
-			got, expanded := CountingGuidedDFS(g, s, tt, perfect)
+			got, expanded := core.CountingGuidedDFS(g, s, tt, perfect)
 			if got != oracle.Reach(s, tt) {
 				t.Fatalf("wrong at (%d,%d)", s, tt)
 			}
@@ -57,7 +58,7 @@ func TestGuidedDFSSoundFilterStaysExact(t *testing.T) {
 	}
 	for s := graph.V(0); int(s) < g.N(); s++ {
 		for tt := graph.V(0); int(tt) < g.N(); tt++ {
-			if GuidedDFS(g, s, tt, flaky) != oracle.Reach(s, tt) {
+			if core.GuidedDFS(g, s, tt, flaky) != oracle.Reach(s, tt) {
 				t.Fatalf("flaky-but-sound filter broke (%d,%d)", s, tt)
 			}
 		}
@@ -70,12 +71,12 @@ type fakeIndex struct {
 
 func (f *fakeIndex) Name() string            { return "fake" }
 func (f *fakeIndex) Reach(s, t graph.V) bool { return f.oracle.Reach(s, t) }
-func (f *fakeIndex) Stats() Stats            { return Stats{Entries: 1, Bytes: 8} }
+func (f *fakeIndex) Stats() core.Stats       { return core.Stats{Entries: 1, Bytes: 8} }
 
 func TestForGeneralCondensation(t *testing.T) {
 	g := gen.ErdosRenyi(gen.Config{N: 70, M: 280, Seed: 5})
 	built := 0
-	ix := ForGeneral(g, func(dag *graph.Digraph) Index {
+	ix := core.ForGeneral(g, func(dag *graph.Digraph) core.Index {
 		built++
 		// The builder must receive an acyclic graph.
 		if dag.N() > g.N() {
@@ -101,7 +102,7 @@ func TestForGeneralCondensation(t *testing.T) {
 		t.Error("stats must include the component map")
 	}
 	// TryReach forwarding on a non-partial inner index: decided always.
-	p := ix.(Partial)
+	p := ix.(core.Partial)
 	if r, dec := p.TryReach(0, 0); !r || !dec {
 		t.Error("same-vertex TryReach")
 	}
@@ -109,7 +110,7 @@ func TestForGeneralCondensation(t *testing.T) {
 
 func TestDynGraph(t *testing.T) {
 	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}})
-	d := NewDynGraph(g)
+	d := core.NewDynGraph(g)
 	if d.N() != 4 || d.M() != 2 {
 		t.Fatalf("N=%d M=%d", d.N(), d.M())
 	}
@@ -150,7 +151,7 @@ func TestDynGraph(t *testing.T) {
 		}
 	}
 	// Reverse view.
-	d2 := NewDynGraph(g)
+	d2 := core.NewDynGraph(g)
 	r := d2.Reverse()
 	if r.N() != 4 {
 		t.Error("reverse N")
@@ -161,11 +162,11 @@ func TestDynGraph(t *testing.T) {
 }
 
 func TestUnsupportedError(t *testing.T) {
-	err := error(&Unsupported{Op: "DeleteEdge", Index: "DBL"})
+	err := error(&core.Unsupported{Op: "DeleteEdge", Index: "DBL"})
 	if err.Error() != "DBL: DeleteEdge is not supported" {
 		t.Errorf("message %q", err.Error())
 	}
-	var u *Unsupported
+	var u *core.Unsupported
 	if !errors.As(err, &u) {
 		t.Error("errors.As failed")
 	}

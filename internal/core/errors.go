@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// The typed error set of the hardened serving layer. Every public entry
+// point (Build*, DB queries, BatchReach*) reports failures by wrapping one
+// of these sentinels, so callers branch with errors.Is instead of string
+// matching, and no malformed input or contained index bug surfaces as a
+// process crash.
+var (
+	// ErrVertexRange reports a query or build argument naming a vertex
+	// the graph does not have.
+	ErrVertexRange = errors.New("vertex out of range")
+	// ErrBadOptions reports invalid build options or an unusable build
+	// request (negative K/Bits/MaxSeq/Workers, unknown kind, LCR build
+	// on an unlabeled graph, out-of-range labels).
+	ErrBadOptions = errors.New("bad options")
+	// ErrBuildCanceled reports a build aborted by its context at a
+	// cooperative checkpoint.
+	ErrBuildCanceled = errors.New("build canceled")
+	// ErrIndexPanic reports a panic inside an index build or query that
+	// was contained at the public API boundary.
+	ErrIndexPanic = errors.New("index panic")
+)
+
+// CheckVertex returns ErrVertexRange (wrapped) unless v < n.
+func CheckVertex(n int, v graph.V) error {
+	if int(v) >= n {
+		return fmt.Errorf("%w: vertex %d (graph has %d vertices)", ErrVertexRange, v, n)
+	}
+	return nil
+}
+
+// CheckPair validates both endpoints of a query against a graph of n
+// vertices.
+func CheckPair(n int, s, t graph.V) error {
+	if err := CheckVertex(n, s); err != nil {
+		return err
+	}
+	return CheckVertex(n, t)
+}
+
+// Recover is the containment boundary deferred at every public build and
+// query entry point: it converts a panic escaping the index machinery into
+// a typed error assigned through errp. Checkpoint-cancellation sentinels
+// become ErrBuildCanceled; everything else — including panics recovered
+// inside par pool workers and re-raised on the caller goroutine — becomes
+// ErrIndexPanic with the originating stack preserved in the message.
+//
+//	func Build(...) (ix Index, err error) {
+//	    defer core.Recover(&err)
+//	    ...
+//	}
+func Recover(errp *error) {
+	if r := recover(); r != nil {
+		*errp = PanicError(r)
+	}
+}
+
+// PanicError maps a recovered panic value to the typed error Recover
+// assigns. Exposed so boundaries with extra bookkeeping (metrics counters)
+// can recover themselves and still classify identically.
+func PanicError(r any) error {
+	var stack []byte
+	// Unwrap panics transported across par pool goroutines; nested pools
+	// wrap repeatedly, the innermost stack is the interesting one.
+	for {
+		if wp, ok := r.(par.WorkerPanic); ok {
+			r, stack = wp.Value, wp.Stack
+			continue
+		}
+		break
+	}
+	if c, ok := r.(canceled); ok {
+		return fmt.Errorf("%w (checkpoint %s)", ErrBuildCanceled, c.site)
+	}
+	if stack == nil {
+		stack = debug.Stack()
+	}
+	return fmt.Errorf("%w: %v\n%s", ErrIndexPanic, r, stack)
+}

@@ -1,0 +1,178 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// robustness test suite. Builders, the worker pool, and graph I/O are
+// instrumented with named sites (faultinject.Hit / faultinject.HitErr);
+// with no plan activated every site is a single atomic pointer load, so
+// production builds pay essentially nothing.
+//
+// A Plan arms exactly one site and fires after a fixed number of hits, so
+// a failure found under a given (site, After) pair replays exactly. Plans
+// are derived from an integer seed via DerivePlan so the stress suite can
+// sweep a deterministic family of faults without hand-enumerating them.
+//
+// Three fault kinds cover the failure modes the hardening layer must
+// contain:
+//
+//   - Panic: the site panics with an Injected value — exercises the
+//     core.Recover boundary and the par pool's panic containment.
+//   - Cancel: the site invokes a caller-supplied cancel function (e.g. a
+//     context.CancelFunc) — exercises cooperative checkpoint cancellation
+//     at a precise point in a build ("cancel at checkpoint N").
+//   - Error: the site returns an *Injected error from HitErr — exercises
+//     error-path plumbing in functions that already return errors
+//     (graph.Read).
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kind selects what an armed site does when it fires.
+type Kind int
+
+const (
+	// Panic makes Hit panic with Injected{Site}.
+	Panic Kind = iota
+	// Cancel makes Hit invoke Plan.Cancel (once) and keep going; the
+	// surrounding code is expected to notice via its own checkpoint.
+	Cancel
+	// Error makes HitErr return an *Injected error. Hit ignores Error
+	// plans (a site that cannot return an error cannot inject one).
+	Error
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Cancel:
+		return "cancel"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injected is both the panic payload and the error value of a fired
+// injection, so tests can assert a surfaced failure really came from the
+// harness (errors.As / type assertion on recover()).
+type Injected struct {
+	Site string
+	Kind Kind
+}
+
+func (e *Injected) Error() string {
+	return "faultinject: injected " + e.Kind.String() + " at " + e.Site
+}
+
+// Plan arms one site. The zero value is inert (empty Site matches nothing).
+type Plan struct {
+	// Site names the injection point, e.g. "build/2hop" or "par/claim".
+	Site string
+	// After is how many hits of Site pass through before the fault fires;
+	// 0 fires on the first hit. Exactly one hit fires (subsequent hits
+	// pass through), so a fired plan cannot mask later behaviour.
+	After int
+	// Kind is what happens at the firing hit.
+	Kind Kind
+	// Cancel is invoked by a firing Cancel plan. Required for Kind ==
+	// Cancel, ignored otherwise.
+	Cancel func()
+
+	hits  atomic.Int64
+	fired atomic.Bool
+}
+
+// active is the armed plan; nil means injection is off (the fast path).
+var active atomic.Pointer[Plan]
+
+// Activate arms p globally. Only one plan is active at a time; activating
+// replaces any previous plan. Tests must Deactivate (typically via
+// t.Cleanup) so later tests run clean.
+func Activate(p *Plan) { active.Store(p) }
+
+// Deactivate disarms injection; every site reverts to a no-op.
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a plan is armed. Cheap: one atomic load.
+// Checkpoint constructors use it to stay allocated (and therefore
+// hittable) even when the caller passed no cancellable context.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit marks one pass through the named site. It panics with *Injected if
+// an armed Panic plan fires here, and invokes the plan's cancel function
+// if a Cancel plan fires here. No-op (one atomic load) when disarmed.
+func Hit(site string) {
+	p := active.Load()
+	if p == nil || p.Site != site {
+		return
+	}
+	switch p.Kind {
+	case Panic:
+		if p.take() {
+			panic(&Injected{Site: site, Kind: Panic})
+		}
+	case Cancel:
+		if p.take() && p.Cancel != nil {
+			p.Cancel()
+		}
+	}
+}
+
+// HitErr is Hit for sites that can surface an error instead of a panic:
+// it returns an *Injected error when an armed Error plan fires here, and
+// otherwise behaves exactly like Hit.
+func HitErr(site string) error {
+	p := active.Load()
+	if p == nil || p.Site != site {
+		return nil
+	}
+	if p.Kind == Error {
+		if p.take() {
+			return &Injected{Site: site, Kind: Error}
+		}
+		return nil
+	}
+	Hit(site)
+	return nil
+}
+
+// take consumes one hit and reports whether this is the firing one.
+func (p *Plan) take() bool {
+	n := p.hits.Add(1) - 1
+	return int(n) == p.After && p.fired.CompareAndSwap(false, true)
+}
+
+// Hits reports how many times the armed site has been passed. Useful for
+// calibrating After in stress sweeps (run once to count, then inject).
+func (p *Plan) Hits() int { return int(p.hits.Load()) }
+
+// Fired reports whether the plan's fault has been delivered.
+func (p *Plan) Fired() bool { return p.fired.Load() }
+
+// DerivePlan maps an integer seed to a deterministic (site, After, kind)
+// triple drawn from the given site list, splitmix64-style, so a stress
+// sweep over seeds covers sites, offsets, and fault kinds without
+// coordination. Cancel plans still need their Cancel func set by the
+// caller. maxAfter bounds the hit offset (After in [0, maxAfter)).
+func DerivePlan(seed int64, sites []string, kinds []Kind, maxAfter int) *Plan {
+	if len(sites) == 0 || len(kinds) == 0 || maxAfter < 1 {
+		return &Plan{}
+	}
+	x := uint64(seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	next := func() uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		x += 0x9e3779b97f4a7c15
+		return x
+	}
+	return &Plan{
+		Site:  sites[next()%uint64(len(sites))],
+		Kind:  kinds[next()%uint64(len(kinds))],
+		After: int(next() % uint64(maxAfter)),
+	}
+}

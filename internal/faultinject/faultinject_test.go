@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Deactivate()
+	if Enabled() {
+		t.Fatal("Enabled() with no plan")
+	}
+	Hit("anything")
+	if err := HitErr("anything"); err != nil {
+		t.Fatalf("HitErr disarmed: %v", err)
+	}
+}
+
+func TestPanicFiresOnceAtOffset(t *testing.T) {
+	p := &Plan{Site: "s", After: 2, Kind: Panic}
+	Activate(p)
+	defer Deactivate()
+
+	Hit("other") // wrong site: no hit consumed
+	Hit("s")
+	Hit("s")
+	func() {
+		defer func() {
+			r := recover()
+			inj, ok := r.(*Injected)
+			if !ok {
+				t.Fatalf("recover() = %v, want *Injected", r)
+			}
+			if inj.Site != "s" || inj.Kind != Panic {
+				t.Fatalf("bad payload %+v", inj)
+			}
+		}()
+		Hit("s") // third hit of "s": fires
+		t.Fatal("unreachable: Hit should have panicked")
+	}()
+	if !p.Fired() {
+		t.Fatal("plan not marked fired")
+	}
+	Hit("s") // already fired: passes through
+	if p.Hits() != 4 {
+		t.Fatalf("hits = %d, want 4", p.Hits())
+	}
+}
+
+func TestErrorKind(t *testing.T) {
+	Activate(&Plan{Site: "io", Kind: Error})
+	defer Deactivate()
+
+	Hit("io") // Hit ignores Error plans entirely (and consumes no hit)
+	err := HitErr("io")
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Site != "io" {
+		t.Fatalf("HitErr = %v, want *Injected at io", err)
+	}
+	if err := HitErr("io"); err != nil {
+		t.Fatalf("second HitErr = %v, want nil (fires once)", err)
+	}
+}
+
+func TestCancelKind(t *testing.T) {
+	called := 0
+	Activate(&Plan{Site: "chk", After: 1, Kind: Cancel, Cancel: func() { called++ }})
+	defer Deactivate()
+
+	Hit("chk")
+	Hit("chk")
+	Hit("chk")
+	if called != 1 {
+		t.Fatalf("cancel called %d times, want 1", called)
+	}
+}
+
+func TestDerivePlanDeterministic(t *testing.T) {
+	sites := []string{"a", "b", "c"}
+	kinds := []Kind{Panic, Cancel, Error}
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		p1 := DerivePlan(seed, sites, kinds, 100)
+		p2 := DerivePlan(seed, sites, kinds, 100)
+		if p1.Site != p2.Site || p1.Kind != p2.Kind || p1.After != p2.After {
+			t.Fatalf("seed %d not deterministic: %+v vs %+v", seed, p1, p2)
+		}
+		if p1.After < 0 || p1.After >= 100 {
+			t.Fatalf("After out of range: %d", p1.After)
+		}
+		seen[p1.Site+"/"+p1.Kind.String()] = true
+	}
+	// 64 seeds over 9 (site, kind) combos should cover several distinct ones.
+	if len(seen) < 4 {
+		t.Fatalf("poor plan diversity: %v", seen)
+	}
+}

@@ -80,6 +80,21 @@ func (b *Builder) LabelID(name string) Label {
 	return l
 }
 
+// TryLabelID is LabelID for untrusted input: instead of panicking when the
+// label universe would exceed MaxLabels it returns ErrTooManyLabels, so
+// parsers (graph.Read) can reject a hostile edge list with an error.
+func (b *Builder) TryLabelID(name string) (Label, error) {
+	if b.labelIDs != nil {
+		if l, ok := b.labelIDs[name]; ok {
+			return l, nil
+		}
+	}
+	if b.numLabels >= MaxLabels {
+		return 0, ErrTooManyLabels
+	}
+	return b.LabelID(name), nil
+}
+
 // ReserveLabels declares the label universe to contain at least k labels,
 // even if some never occur on edges (e.g. after condensing a labeled graph
 // whose rare labels only appeared inside SCCs).

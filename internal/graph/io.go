@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/faultinject"
 )
 
 // The exchange format is a line-oriented edge list:
@@ -36,12 +38,49 @@ func Write(w io.Writer, g *Digraph) error {
 	return bw.Flush()
 }
 
-// Read parses a graph in the edge-list exchange format.
+// Limits bounds what ReadLimited will accept before giving up on an edge
+// list. Both bounds exist because the format allows sparse numeric vertex
+// ids: a single hostile line like "0 4294967295" would otherwise commit
+// the reader to materializing a four-billion-vertex CSR.
+type Limits struct {
+	// MaxVertices caps the highest vertex id + 1 (and the number of named
+	// vertices). 0 selects DefaultLimits.MaxVertices.
+	MaxVertices int
+	// MaxEdges caps the number of edge lines. 0 selects
+	// DefaultLimits.MaxEdges.
+	MaxEdges int
+}
+
+// DefaultLimits is what Read enforces: generous for any graph this
+// library is realistically pointed at, small enough that a malformed or
+// adversarial edge list fails with an error instead of an allocation
+// blow-up.
+var DefaultLimits = Limits{MaxVertices: 1 << 26, MaxEdges: 1 << 27}
+
+// Read parses a graph in the edge-list exchange format, enforcing
+// DefaultLimits. Use ReadLimited to choose different bounds.
 func Read(r io.Reader) (*Digraph, error) {
+	return ReadLimited(r, DefaultLimits)
+}
+
+// ReadLimited parses a graph in the edge-list exchange format. Malformed
+// lines, oversized vertex ids, too many edges, too many labels, and
+// overlong lines all surface as errors — never panics or unbounded
+// allocation.
+func ReadLimited(r io.Reader, lim Limits) (*Digraph, error) {
+	if err := faultinject.HitErr("graph/read"); err != nil {
+		return nil, err
+	}
+	if lim.MaxVertices <= 0 {
+		lim.MaxVertices = DefaultLimits.MaxVertices
+	}
+	if lim.MaxEdges <= 0 {
+		lim.MaxEdges = DefaultLimits.MaxEdges
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	b := NewBuilder(0)
-	lineNo := 0
+	lineNo, edges := 0, 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -52,6 +91,9 @@ func Read(r io.Reader) (*Digraph, error) {
 		if len(f) != 2 && len(f) != 3 {
 			return nil, fmt.Errorf("graph: line %d: want 2 or 3 fields, got %d", lineNo, len(f))
 		}
+		if edges++; edges > lim.MaxEdges {
+			return nil, fmt.Errorf("graph: line %d: more than %d edges", lineNo, lim.MaxEdges)
+		}
 		u, err := parseVertex(b, f[0])
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
@@ -60,8 +102,19 @@ func Read(r io.Reader) (*Digraph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 		}
+		hi := u
+		if v > hi {
+			hi = v
+		}
+		if int(hi) >= lim.MaxVertices {
+			return nil, fmt.Errorf("graph: line %d: vertex id %d exceeds limit %d", lineNo, hi, lim.MaxVertices)
+		}
 		if len(f) == 3 {
-			b.AddLabeledEdge(u, v, b.LabelID(f[2]))
+			l, err := b.TryLabelID(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			b.AddLabeledEdge(u, v, l)
 		} else {
 			b.AddEdge(u, v)
 		}

@@ -35,30 +35,44 @@ type Index struct {
 	extra []graph.Edge // inserted labeled edges
 	gone  map[graph.Edge]bool
 
-	n     int
-	spls  []*labelset.Collection // s*n + t
+	n int
+	// spls[s] is the row of minimal-label-set collections from source s
+	// (indexed by target), or nil when s reaches nothing but itself. Rows
+	// are allocated per source as the build reaches them — never as one
+	// up-front n×n slab — so a canceled or panicked build has only paid
+	// for the rows it actually computed.
+	spls  [][]*labelset.Collection
 	stats core.Stats
 }
 
 // New builds the full GTC index of a labeled digraph.
-func New(g *graph.Digraph) *Index {
+func New(g *graph.Digraph) *Index { return NewChecked(g, nil) }
+
+// NewChecked is New under a cancellation checkpoint: ticks per source row
+// and per frontier pop of the Dijkstra-like single-source search, so the
+// quadratic materialization the survey warns about (§4.1.2) aborts after
+// a bounded amount of extra work when its context is canceled.
+func NewChecked(g *graph.Digraph, chk *core.Check) *Index {
 	start := time.Now()
 	ix := &Index{base: g, n: g.N(), gone: map[graph.Edge]bool{}}
-	ix.rebuild()
+	ix.rebuild(chk)
 	ix.stats.BuildTime = time.Since(start)
 	return ix
 }
 
-func (ix *Index) rebuild() {
+func (ix *Index) rebuild(chk *core.Check) {
 	n := ix.n
-	ix.spls = make([]*labelset.Collection, n*n)
+	ix.spls = make([][]*labelset.Collection, n)
 	for s := 0; s < n; s++ {
-		ix.singleSource(graph.V(s))
+		chk.Tick()
+		ix.spls[s] = ix.singleSource(graph.V(s), chk)
 	}
 	entries := 0
-	for _, c := range ix.spls {
-		if c != nil {
-			entries += c.Len()
+	for _, row := range ix.spls {
+		for _, c := range row {
+			if c != nil {
+				entries += c.Len()
+			}
 		}
 	}
 	ix.stats.Entries = entries
@@ -103,8 +117,10 @@ func (p *pq) Pop() interface{} {
 
 // singleSource runs the Dijkstra-like single-source GTC from s: the
 // frontier is ordered by the number of distinct labels, so a path-label
-// set is expanded only if no subset has been settled at its vertex.
-func (ix *Index) singleSource(s graph.V) {
+// set is expanded only if no subset has been settled at its vertex. It
+// returns the finished row for s, or nil when s reaches nothing but
+// itself (keeping fully isolated sources free).
+func (ix *Index) singleSource(s graph.V, chk *core.Check) []*labelset.Collection {
 	n := ix.n
 	at := make([]*labelset.Collection, n)
 	at[s] = &labelset.Collection{}
@@ -112,6 +128,7 @@ func (ix *Index) singleSource(s graph.V) {
 	var frontier pq
 	heap.Push(&frontier, pqItem{s, 0})
 	for frontier.Len() > 0 {
+		chk.Tick()
 		it := heap.Pop(&frontier).(pqItem)
 		if !at[it.v].Has(it.set) {
 			continue // superseded by a smaller set
@@ -126,11 +143,18 @@ func (ix *Index) singleSource(s graph.V) {
 			}
 		})
 	}
+	row := make([]*labelset.Collection, n)
+	any := false
 	for v := 0; v < n; v++ {
 		if v != int(s) && at[v] != nil && at[v].Len() > 0 {
-			ix.spls[int(s)*n+v] = at[v]
+			row[v] = at[v]
+			any = true
 		}
 	}
+	if !any {
+		return nil
+	}
+	return row
 }
 
 // Name implements core.LCRIndex.
@@ -141,14 +165,22 @@ func (ix *Index) ReachLC(s, t graph.V, allowed labelset.Set) bool {
 	if s == t {
 		return true
 	}
-	c := ix.spls[int(s)*ix.n+int(t)]
+	row := ix.spls[s]
+	if row == nil {
+		return false
+	}
+	c := row[t]
 	return c != nil && c.AnySubsetOf(allowed)
 }
 
 // SPLS exposes the minimal label sets from s to t (nil if unreachable);
 // the quickstart example prints these for the paper's Figure 1 claims.
 func (ix *Index) SPLS(s, t graph.V) *labelset.Collection {
-	return ix.spls[int(s)*ix.n+int(t)]
+	row := ix.spls[s]
+	if row == nil {
+		return nil
+	}
+	return row[t]
 }
 
 // Stats implements core.LCRIndex.
@@ -162,13 +194,13 @@ func (ix *Index) InsertEdge(u, v graph.V, l graph.Label) error {
 	} else {
 		ix.extra = append(ix.extra, e)
 	}
-	ix.rebuild()
+	ix.rebuild(nil)
 	return nil
 }
 
 // DeleteEdge removes a labeled edge and rebuilds the closure.
 func (ix *Index) DeleteEdge(u, v graph.V, l graph.Label) error {
 	ix.gone[graph.Edge{From: u, To: v, Label: l}] = true
-	ix.rebuild()
+	ix.rebuild(nil)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -134,11 +135,13 @@ type RouteKind int
 
 // Routing classes.
 const (
-	RoutePlain      RouteKind = iota // plain reachability (Reach, trivially-plain constraints)
-	RouteLCR                         // alternation constraints → LCR index (§4.1)
-	RouteRLC                         // concatenation constraints → RLC index (§4.2)
-	RouteRegistered                  // registered per-constraint index (§5)
-	RouteProduct                     // general constraints → product-automaton search (§2.3)
+	RoutePlain       RouteKind = iota // plain reachability (Reach, trivially-plain constraints)
+	RouteLCR                          // alternation constraints → LCR index (§4.1)
+	RouteRLC                          // concatenation constraints → RLC index (§4.2)
+	RouteRegistered                   // registered per-constraint index (§5)
+	RouteProduct                      // general constraints → product-automaton search (§2.3)
+	RouteDegradedLCR                  // alternation constraints served by online traversal (LCR index unavailable)
+	RouteDegradedRLC                  // concatenation constraints served by online traversal (RLC index unavailable)
 	NumRoutes
 )
 
@@ -154,6 +157,10 @@ func (k RouteKind) String() string {
 		return "registered"
 	case RouteProduct:
 		return "product"
+	case RouteDegradedLCR:
+		return "degraded-lcr"
+	case RouteDegradedRLC:
+		return "degraded-rlc"
 	}
 	return fmt.Sprintf("route(%d)", int(k))
 }
@@ -186,15 +193,18 @@ type RouteSnapshot struct {
 }
 
 // DBMetrics is the DB-level metrics root: build-phase spans, per-class
-// routing counters, per-index query metrics, and an error counter.
+// routing counters, per-index query metrics, and error/fault counters.
 type DBMetrics struct {
-	Build  Spans
-	Errors Counter
+	Build    Spans
+	Errors   Counter
+	Panics   Counter // index panics contained at the query boundary (ErrIndexPanic)
+	Canceled Counter // builds/queries abandoned via context cancellation
 
 	routes [NumRoutes]RouteMetrics
 
-	mu      sync.Mutex
-	indexes map[string]*IndexMetrics
+	mu       sync.Mutex
+	indexes  map[string]*IndexMetrics
+	degraded []string
 }
 
 // NewDBMetrics returns an empty metrics root.
@@ -204,6 +214,14 @@ func NewDBMetrics() *DBMetrics {
 
 // Route returns the metrics cell for one routing class.
 func (m *DBMetrics) Route(k RouteKind) *RouteMetrics { return &m.routes[k] }
+
+// SetDegraded records which serving routes run in degraded (index-free)
+// mode; the list appears verbatim in every later Snapshot.
+func (m *DBMetrics) SetDegraded(names []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.degraded = append([]string(nil), names...)
+}
 
 // Index returns (creating on first use) the metrics cell for the named
 // index. The returned pointer is stable and safe for concurrent recording.
@@ -220,25 +238,33 @@ func (m *DBMetrics) Index(name string) *IndexMetrics {
 
 // Snapshot is a point-in-time view of everything a DBMetrics recorded.
 type Snapshot struct {
-	Indexes map[string]IndexSnapshot `json:"indexes"`
-	Routes  map[string]RouteSnapshot `json:"routes"`
-	Build   []PhaseSpan              `json:"build,omitempty"`
-	Errors  int64                    `json:"errors"`
+	Indexes  map[string]IndexSnapshot `json:"indexes"`
+	Routes   map[string]RouteSnapshot `json:"routes"`
+	Build    []PhaseSpan              `json:"build,omitempty"`
+	Errors   int64                    `json:"errors"`
+	Panics   int64                    `json:"panics,omitempty"`
+	Canceled int64                    `json:"canceled,omitempty"`
+	Degraded []string                 `json:"degraded,omitempty"`
 }
 
 // Snapshot captures all metrics. It may run concurrently with recording;
 // every counter it reads is individually monotone.
 func (m *DBMetrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Indexes: make(map[string]IndexSnapshot),
-		Routes:  make(map[string]RouteSnapshot),
-		Build:   m.Build.Snapshot(),
-		Errors:  m.Errors.Load(),
+		Indexes:  make(map[string]IndexSnapshot),
+		Routes:   make(map[string]RouteSnapshot),
+		Build:    m.Build.Snapshot(),
+		Errors:   m.Errors.Load(),
+		Panics:   m.Panics.Load(),
+		Canceled: m.Canceled.Load(),
 	}
 	m.mu.Lock()
 	cells := make(map[string]*IndexMetrics, len(m.indexes))
 	for name, im := range m.indexes {
 		cells[name] = im
+	}
+	if len(m.degraded) > 0 {
+		s.Degraded = append([]string(nil), m.degraded...)
 	}
 	m.mu.Unlock()
 	for name, im := range cells {
@@ -301,8 +327,17 @@ func (s Snapshot) WriteText(w io.Writer) {
 				name, rs.Queries, rs.Positive, rs.Negative, rs.Latency.P50, rs.Latency.P99)
 		}
 	}
+	if len(s.Degraded) > 0 {
+		fmt.Fprintf(w, "degraded routes: %s\n", strings.Join(s.Degraded, ", "))
+	}
 	if s.Errors > 0 {
 		fmt.Fprintf(w, "errors: %d\n", s.Errors)
+	}
+	if s.Panics > 0 {
+		fmt.Fprintf(w, "panics: %d\n", s.Panics)
+	}
+	if s.Canceled > 0 {
+		fmt.Fprintf(w, "canceled: %d\n", s.Canceled)
 	}
 }
 

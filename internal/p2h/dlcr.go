@@ -31,8 +31,12 @@ type Dynamic struct {
 }
 
 // NewDynamic builds DLCR over a labeled digraph.
-func NewDynamic(g *graph.Digraph) *Dynamic {
-	ix := build(g, "DLCR")
+func NewDynamic(g *graph.Digraph) *Dynamic { return NewDynamicChecked(g, nil) }
+
+// NewDynamicChecked is NewDynamic under a cancellation checkpoint (the
+// initial labeling only; update repairs run unchecked).
+func NewDynamicChecked(g *graph.Digraph, chk *core.Check) *Dynamic {
+	ix := build(g, "DLCR", chk)
 	return &Dynamic{Index: ix, g: newLabeledDyn(g)}
 }
 

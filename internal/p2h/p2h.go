@@ -45,26 +45,36 @@ type Index struct {
 	// form an antichain of sets).
 	in, out [][]Entry
 	stats   core.Stats
+	chk     *core.Check // only set during the initial build
 }
 
 // New builds P2H+ over a labeled general digraph.
 func New(g *graph.Digraph) *Index {
-	return build(g, "P2H+")
+	return build(g, "P2H+", nil)
 }
 
-func build(g *graph.Digraph, name string) *Index {
+// NewChecked is New under a cancellation checkpoint: ticks per hub and
+// per label-set BFS dequeue. DLCR's incremental resumes run unchecked.
+func NewChecked(g *graph.Digraph, chk *core.Check) *Index {
+	return build(g, "P2H+", chk)
+}
+
+func build(g *graph.Digraph, name string, chk *core.Check) *Index {
 	start := time.Now()
 	n := g.N()
 	vs := order.ByDegreeDesc(g)
 	ix := &Index{
 		name: name, byRank: vs, rank: make([]uint32, n),
 		in: make([][]Entry, n), out: make([][]Entry, n),
+		chk: chk,
 	}
+	defer func() { ix.chk = nil }()
 	for i, v := range vs {
 		ix.rank[v] = uint32(i)
 	}
 	ag := immutable{g}
 	for i, v := range vs {
+		ix.chk.Tick()
 		ix.labelBFS(ag, v, uint32(i), true)
 		ix.labelBFS(ag, v, uint32(i), false)
 	}
@@ -133,6 +143,7 @@ func (ix *Index) labelBFSFrom(g graphLike, h graph.V, r uint32, forward bool, fr
 	at[from] = start
 	queue := []item{{from, init}}
 	for len(queue) > 0 {
+		ix.chk.Tick()
 		it := queue[0]
 		queue = queue[1:]
 		if !at[it.v].Has(it.set) {

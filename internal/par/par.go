@@ -16,9 +16,86 @@ package par
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
+
+// WorkerPanic transports a panic that occurred on a pool goroutine back to
+// the calling goroutine: workers recover, the first panic (and its stack)
+// is recorded, the pool drains, and the panic is re-raised at the call
+// site wrapped in this type. Without the re-raise a panicking work item
+// would crash the whole process — no recover boundary on the caller's
+// stack can see a bare goroutine's panic. core.PanicError unwraps it
+// (recursively, for nested pools) when classifying contained failures.
+type WorkerPanic struct {
+	Value any    // the original panic value
+	Stack []byte // the panicking worker's stack
+}
+
+func (p WorkerPanic) String() string {
+	return "panic on pool worker: " + stringify(p.Value)
+}
+
+func stringify(v any) string {
+	switch s := v.(type) {
+	case string:
+		return s
+	case error:
+		return s.Error()
+	case interface{ String() string }:
+		return s.String()
+	default:
+		return "(non-string panic value)"
+	}
+}
+
+// claimSite is the pool's fault-injection point: every chunk/item claim
+// passes through it, so the stress harness can panic an arbitrary work
+// item on a real pool goroutine and prove the containment path.
+const claimSite = "par/claim"
+
+// panicCell records the first panic seen by any worker of one pool run.
+// Later panics are dropped (the first is what a serial run would have
+// raised soonest); its flag doubles as a stop signal so workers quit
+// claiming work once the run is doomed.
+type panicCell struct {
+	failed atomic.Bool
+	mu     sync.Mutex
+	val    any
+	stack  []byte
+	has    bool
+}
+
+func (pc *panicCell) record(v any, stack []byte) {
+	pc.mu.Lock()
+	if !pc.has {
+		pc.has, pc.val, pc.stack = true, v, stack
+	}
+	pc.mu.Unlock()
+	pc.failed.Store(true)
+}
+
+// repanic re-raises the recorded panic on the caller goroutine, after the
+// pool has fully drained (so no worker still touches shared state).
+func (pc *panicCell) repanic() {
+	if pc.has {
+		panic(WorkerPanic{Value: pc.val, Stack: pc.stack})
+	}
+}
+
+// protect runs f and routes a panic into pc instead of letting it escape
+// the goroutine.
+func protect(pc *panicCell, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			pc.record(r, debug.Stack())
+		}
+	}()
+	f()
+}
 
 // Resolve maps a reach.Options.Workers value to an effective pool size:
 // 0 means GOMAXPROCS, anything below 1 clamps to serial.
@@ -45,6 +122,11 @@ func Do(workers, n int, f func(i int)) {
 
 // DoW is Do with the worker slot id (0..workers-1) passed alongside the
 // item index, so callers can maintain per-worker scratch without locking.
+//
+// A panic in f on the serial path propagates as usual. On the pooled path
+// it is contained: the pool stops claiming new items, drains, and the
+// first panic is re-raised on the calling goroutine as a WorkerPanic —
+// so a recover boundary at the public API still sees it.
 func DoW(workers, n int, f func(worker, i int)) {
 	workers = Resolve(workers)
 	if workers > n {
@@ -52,26 +134,32 @@ func DoW(workers, n int, f func(worker, i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			faultinject.Hit(claimSite)
 			f(0, i)
 		}
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var pc panicCell
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for !pc.failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(w, i)
+				protect(&pc, func() {
+					faultinject.Hit(claimSite)
+					f(w, i)
+				})
 			}
 		}(w)
 	}
 	wg.Wait()
+	pc.repanic()
 }
 
 // DoGrain is DoW stealing `grain` consecutive items per claim, for loops
@@ -87,17 +175,19 @@ func DoGrain(workers, n, grain int, f func(worker, lo, hi int)) {
 	}
 	if workers <= 1 {
 		if n > 0 {
+			faultinject.Hit(claimSite)
 			f(0, 0, n)
 		}
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var pc panicCell
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for !pc.failed.Load() {
 				c := int(next.Add(1)) - 1
 				if c >= chunks {
 					return
@@ -107,11 +197,15 @@ func DoGrain(workers, n, grain int, f func(worker, lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				f(w, lo, hi)
+				protect(&pc, func() {
+					faultinject.Hit(claimSite)
+					f(w, lo, hi)
+				})
 			}
 		}(w)
 	}
 	wg.Wait()
+	pc.repanic()
 }
 
 // sweepFanout is the level width below which a Sweep level runs inline:

@@ -129,3 +129,64 @@ func TestSubSeedDistinctAndStable(t *testing.T) {
 		t.Error("different seeds map to the same sub-seed stream head")
 	}
 }
+
+func TestDoWPanicContainment(t *testing.T) {
+	// A panic on a pool goroutine must re-surface on the caller goroutine
+	// (wrapped in WorkerPanic), not crash the process.
+	for _, workers := range []int{2, 8} {
+		var ran atomic.Int64
+		func() {
+			defer func() {
+				r := recover()
+				wp, ok := r.(WorkerPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recover() = %v, want WorkerPanic", workers, r)
+				}
+				if wp.Value != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want boom", workers, wp.Value)
+				}
+				if len(wp.Stack) == 0 {
+					t.Fatalf("workers=%d: empty worker stack", workers)
+				}
+			}()
+			DoW(workers, 1000, func(_, i int) {
+				ran.Add(1)
+				if i == 137 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: DoW returned without repanic", workers)
+		}()
+		if ran.Load() == 0 {
+			t.Fatalf("workers=%d: no items ran", workers)
+		}
+	}
+}
+
+func TestDoWSerialPanicPropagatesRaw(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "raw" {
+			t.Fatalf("recover() = %v, want raw panic value on serial path", r)
+		}
+	}()
+	DoW(1, 10, func(_, i int) {
+		if i == 3 {
+			panic("raw")
+		}
+	})
+	t.Fatal("unreachable")
+}
+
+func TestDoGrainPanicContainment(t *testing.T) {
+	defer func() {
+		if wp, ok := recover().(WorkerPanic); !ok || wp.Value != "grain" {
+			t.Fatalf("want WorkerPanic{grain}, got %v", wp)
+		}
+	}()
+	DoGrain(4, 640, 16, func(_, lo, hi int) {
+		if lo == 320 {
+			panic("grain")
+		}
+	})
+	t.Fatal("unreachable")
+}

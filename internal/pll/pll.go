@@ -42,6 +42,9 @@ type Options struct {
 	// Name overrides the reported index name (e.g. "DL", "TFL"); default
 	// derives from the order.
 	Name string
+	// Check is an optional cancellation checkpoint ticked once per BFS
+	// dequeue of the labeling passes; nil runs unchecked.
+	Check *core.Check
 }
 
 // Index is the pruned 2-hop label index.
@@ -108,6 +111,7 @@ func New(g *graph.Digraph, opts Options) *Index {
 		queue = append(queue, v)
 		stamp[v] = fs
 		for qi := 0; qi < len(queue); qi++ {
+			opts.Check.Tick()
 			u := queue[qi]
 			if u != v {
 				if ix.covered(v, u) {
@@ -128,6 +132,7 @@ func New(g *graph.Digraph, opts Options) *Index {
 		queue = append(queue, v)
 		stamp[v] = bs
 		for qi := 0; qi < len(queue); qi++ {
+			opts.Check.Tick()
 			u := queue[qi]
 			if u != v {
 				if ix.covered(u, v) {

@@ -28,6 +28,9 @@ import (
 type Options struct {
 	// MaxSeq is κ, the maximum indexed concatenation length. Default 2.
 	MaxSeq int
+	// Check is an optional cancellation checkpoint, ticked per enumerated
+	// unit sequence and per BFS dequeue of the phase-product labelings.
+	Check *core.Check
 }
 
 func (o *Options) defaults() {
@@ -65,7 +68,8 @@ func New(g *graph.Digraph, opts Options) *Index {
 	var enumerate func(depth int)
 	enumerate = func(depth int) {
 		if depth > 0 {
-			ix.products[encode(seq)] = buildProduct(g, seq)
+			opts.Check.Tick()
+			ix.products[encode(seq)] = buildProduct(g, seq, opts.Check)
 		}
 		if depth == opts.MaxSeq {
 			return
@@ -100,7 +104,7 @@ func encode(seq []graph.Label) string {
 
 // buildProduct constructs the phase product of g with the cyclic
 // automaton of seq and labels it with pruned 2-hop.
-func buildProduct(g *graph.Digraph, seq []graph.Label) *product {
+func buildProduct(g *graph.Digraph, seq []graph.Label, chk *core.Check) *product {
 	k := len(seq)
 	n := g.N()
 	b := graph.NewBuilder(n * k)
@@ -116,7 +120,7 @@ func buildProduct(g *graph.Digraph, seq []graph.Label) *product {
 	})
 	p := &product{k: k, hasEdges: edges > 0}
 	if p.hasEdges {
-		p.ix = pll.New(b.MustFreeze(), pll.Options{Name: "RLC-product"})
+		p.ix = pll.New(b.MustFreeze(), pll.Options{Name: "RLC-product", Check: chk})
 	}
 	return p
 }

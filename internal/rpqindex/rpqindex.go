@@ -38,11 +38,18 @@ type Index struct {
 
 // New compiles alpha against g's labels and builds the product labeling.
 func New(g *graph.Digraph, alpha string) (*Index, error) {
-	start := time.Now()
 	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(g))
 	if err != nil {
 		return nil, err
 	}
+	return NewFromAST(g, alpha, ast), nil
+}
+
+// NewFromAST is New for callers that already parsed alpha (DB.
+// RegisterConstraint validates the expression up front and hands the AST
+// through rather than parsing twice).
+func NewFromAST(g *graph.Digraph, alpha string, ast *regexpath.Node) *Index {
+	start := time.Now()
 	dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), g.Labels())
 	ns := dfa.NumStates()
 	b := graph.NewBuilder(g.N() * ns)
@@ -69,7 +76,7 @@ func New(g *graph.Digraph, alpha string) (*Index, error) {
 	}
 	st := idx.ix.Stats()
 	idx.stats = core.Stats{Entries: st.Entries, Bytes: st.Bytes, BuildTime: time.Since(start)}
-	return idx, nil
+	return idx
 }
 
 // Alpha returns the indexed constraint expression.

@@ -12,6 +12,7 @@ package tc
 
 import (
 	"repro/internal/bitset"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/labelset"
 	"repro/internal/order"
@@ -37,11 +38,20 @@ func NewClosure(g *graph.Digraph) *Closure { return NewClosureN(g, 1) }
 // rows within one level fill concurrently. The closure is exact at any
 // worker count.
 func NewClosureN(g *graph.Digraph, workers int) *Closure {
+	return NewClosureChecked(g, workers, nil)
+}
+
+// NewClosureChecked is NewClosureN under a cancellation checkpoint: one
+// tick per closure row, so a canceled closure build over a large
+// condensation aborts after a bounded number of row merges. A nil check
+// is free.
+func NewClosureChecked(g *graph.Digraph, workers int, chk *core.Check) *Closure {
 	cond := scc.Condense(g)
 	dag := cond.DAG
 	nc := dag.N()
 	mat := bitset.NewMatrix(nc, nc)
 	par.Sweep(workers, order.Reversed(order.LevelBuckets(dag)), func(_ int, v graph.V) {
+		chk.Tick()
 		mat.Set(int(v), int(v))
 		for _, w := range dag.Succ(v) {
 			mat.OrRow(int(v), int(w))
@@ -71,11 +81,18 @@ type GTC struct {
 
 // NewGTC computes the exact GTC of a labeled digraph by per-source
 // label-set BFS with antichain frontiers.
-func NewGTC(g *graph.Digraph) *GTC {
+func NewGTC(g *graph.Digraph) *GTC { return NewGTCChecked(g, nil) }
+
+// NewGTCChecked is NewGTC under a cancellation checkpoint: ticks per
+// source and per worklist expansion, so a build blowing up on label-set
+// combinatorics (the survey's GTC infeasibility warning) stays cancelable
+// mid-source.
+func NewGTCChecked(g *graph.Digraph, chk *core.Check) *GTC {
 	n := g.N()
 	t := &GTC{n: n, cols: make([]*labelset.Collection, n*n)}
 	for s := 0; s < n; s++ {
-		t.singleSource(g, graph.V(s))
+		chk.Tick()
+		t.singleSource(g, graph.V(s), chk)
 	}
 	return t
 }
@@ -83,7 +100,7 @@ func NewGTC(g *graph.Digraph) *GTC {
 // singleSource computes minimal label sets from s to every vertex by a
 // label-set Dijkstra/BFS hybrid: a worklist of (vertex, set) pairs, where a
 // pair is expanded only if its set is not dominated at that vertex.
-func (t *GTC) singleSource(g *graph.Digraph, s graph.V) {
+func (t *GTC) singleSource(g *graph.Digraph, s graph.V, chk *core.Check) {
 	n := g.N()
 	at := make([]*labelset.Collection, n)
 	type item struct {
@@ -95,6 +112,7 @@ func (t *GTC) singleSource(g *graph.Digraph, s graph.V) {
 	at[s].Add(0) // empty set reaches s
 	queue = append(queue, item{s, 0})
 	for len(queue) > 0 {
+		chk.Tick()
 		it := queue[0]
 		queue = queue[1:]
 		// Skip entries evicted by a smaller set discovered after they were

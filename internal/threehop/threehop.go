@@ -37,7 +37,11 @@ type Index struct {
 }
 
 // New builds the 3-hop index over a DAG.
-func New(dag *graph.Digraph) *Index {
+func New(dag *graph.Digraph) *Index { return NewChecked(dag, nil) }
+
+// NewChecked is New under a cancellation checkpoint: ticks per chain-head
+// vertex of the decomposition and per BFS dequeue of the labeling passes.
+func NewChecked(dag *graph.Digraph, chk *core.Check) *Index {
 	start := time.Now()
 	n := dag.N()
 	topo, _ := order.Topological(dag)
@@ -49,6 +53,7 @@ func New(dag *graph.Digraph) *Index {
 	var chains [][]graph.V
 	assigned := make([]bool, n)
 	for _, v := range topo {
+		chk.Tick()
 		if assigned[v] {
 			continue
 		}
@@ -93,6 +98,7 @@ func New(dag *graph.Digraph) *Index {
 			stamp[target] = stampID
 			queue = append(queue[:0], target)
 			for qi := 0; qi < len(queue); qi++ {
+				chk.Tick()
 				u := queue[qi]
 				// Skip the label when u sits on chain c itself at an
 				// earlier position — the chain edges already certify it.
@@ -117,6 +123,7 @@ func New(dag *graph.Digraph) *Index {
 			stamp[src] = stampID
 			queue = append(queue[:0], src)
 			for qi := 0; qi < len(queue); qi++ {
+				chk.Tick()
 				u := queue[qi]
 				if u != src && !(ix.chain[u] == c && ix.pos[u] >= uint32(p)) {
 					ix.in[u] = append(ix.in[u], entry{chain: c, pos: uint32(p)})

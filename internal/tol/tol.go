@@ -34,13 +34,20 @@ type Index struct {
 	stamp   []uint64
 	stampID uint64
 	stats   core.Stats
+	chk     *core.Check // only set during the initial build
 }
 
 // New builds TOL over g using the in-degree × out-degree total order.
-func New(g *graph.Digraph) *Index {
+func New(g *graph.Digraph) *Index { return NewChecked(g, nil) }
+
+// NewChecked is New under a cancellation checkpoint: one tick per BFS
+// dequeue of the rank-ordered labeling. Incremental updates after the
+// build run unchecked (they are bounded by the repair frontier).
+func NewChecked(g *graph.Digraph, chk *core.Check) *Index {
 	start := time.Now()
 	n := g.N()
-	ix := &Index{g: core.NewDynGraph(g), stamp: make([]uint64, n)}
+	ix := &Index{g: core.NewDynGraph(g), stamp: make([]uint64, n), chk: chk}
+	defer func() { ix.chk = nil }()
 	key := func(v graph.V) int { return (g.InDegree(v) + 1) * (g.OutDegree(v) + 1) }
 	vs := make([]graph.V, n)
 	for i := range vs {
@@ -95,6 +102,7 @@ func (ix *Index) prunedBFS(h graph.V, r uint32, from graph.V, forward bool) {
 	queue := []graph.V{from}
 	ix.stamp[from] = id
 	for qi := 0; qi < len(queue); qi++ {
+		ix.chk.Tick()
 		u := queue[qi]
 		if u != h {
 			// Pruning is only sound on certificates from strictly

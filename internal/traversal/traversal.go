@@ -11,6 +11,8 @@
 package traversal
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/scratch"
@@ -241,6 +243,69 @@ func ProductBFS(g *graph.Digraph, s, t graph.V, dfa DFAIface) bool {
 		}
 	}
 	return false
+}
+
+// productPollStride is how many product-state dequeues pass between
+// context polls in ProductBFSCtx: coarse enough that the poll is free,
+// fine enough that a canceled query over a huge product space (|V| × DFA
+// states) stops within microseconds.
+const productPollStride = 256
+
+// ProductBFSCtx is ProductBFS under a context: the search polls
+// ctx.Done() on a fixed stride of product-state expansions and aborts
+// with ctx.Err() when the context is canceled or past its deadline. The
+// product space is |V| × |DFA| — the one query route whose work is not
+// bounded by an index — which is why the DB's query deadline threads to
+// exactly this loop.
+func ProductBFSCtx(ctx context.Context, g *graph.Digraph, s, t graph.V, dfa DFAIface) (bool, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if done == nil {
+		return ProductBFS(g, s, t, dfa), nil
+	}
+	start := dfa.Start()
+	if s == t && dfa.Accepting(start) {
+		return true, nil
+	}
+	ns := dfa.NumStates()
+	sc := scratch.Get(g.N() * ns)
+	defer scratch.Put(sc)
+	visited := sc.Visited()
+	id := func(v graph.V, q int) int { return int(v)*ns + q }
+	visited.Set(id(s, start))
+	type state struct {
+		v graph.V
+		q int
+	}
+	queue := []state{{s, start}}
+	for qi := 0; qi < len(queue); qi++ {
+		if qi%productPollStride == 0 {
+			select {
+			case <-done:
+				return false, ctx.Err()
+			default:
+			}
+		}
+		cur := queue[qi]
+		succ := g.Succ(cur.v)
+		labs := g.SuccLabels(cur.v)
+		for i, w := range succ {
+			nq := dfa.Step(cur.q, labs[i])
+			if nq < 0 {
+				continue
+			}
+			if w == t && dfa.Accepting(nq) {
+				return true, nil
+			}
+			if !visited.Test(id(w, nq)) {
+				visited.Set(id(w, nq))
+				queue = append(queue, state{w, nq})
+			}
+		}
+	}
+	return false, nil
 }
 
 // CountVisitedBFS runs a full BFS from s and returns how many vertices were

@@ -27,16 +27,24 @@ type Index struct {
 }
 
 // New builds the greedy 2-hop labeling of g (general digraph).
-func New(g *graph.Digraph) *Index {
+func New(g *graph.Digraph) *Index { return NewChecked(g, nil) }
+
+// NewChecked is New under a cancellation checkpoint. 2-hop is the
+// catalogue's most expensive build (O(n⁴) greedy cover on the
+// materialized TC), which makes prompt cancellation matter most here:
+// ticks are placed per closure row, per vertex of the anc/desc
+// materialization, and per candidate hop of every cover round.
+func NewChecked(g *graph.Digraph, chk *core.Check) *Index {
 	start := time.Now()
 	n := g.N()
-	closure := tc.NewClosure(g)
+	closure := tc.NewClosureChecked(g, 1, chk)
 
 	// anc[w] = vertices that reach w (incl. w); desc[w] = vertices w
 	// reaches (incl. w). Materialized from the closure.
 	anc := make([]*bitset.Set, n)
 	desc := make([]*bitset.Set, n)
 	for w := 0; w < n; w++ {
+		chk.Tick()
 		anc[w], desc[w] = bitset.New(n), bitset.New(n)
 		for x := 0; x < n; x++ {
 			if closure.Reach(graph.V(x), graph.V(w)) {
@@ -52,6 +60,7 @@ func New(g *graph.Digraph) *Index {
 	uncovered := make([]*bitset.Set, n)
 	remaining := 0
 	for u := 0; u < n; u++ {
+		chk.Tick()
 		uncovered[u] = bitset.New(n)
 		desc[u].ForEach(func(v int) bool {
 			if v != u {
@@ -67,6 +76,7 @@ func New(g *graph.Digraph) *Index {
 		// Pick the hop w covering the most uncovered pairs u→w→v.
 		bestW, bestCover := -1, 0
 		for w := 0; w < n; w++ {
+			chk.Tick()
 			cover := 0
 			anc[w].ForEach(func(u int) bool {
 				// Count uncovered[u] ∩ desc[w].

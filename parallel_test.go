@@ -109,14 +109,20 @@ func TestBatchReachWorkStealing(t *testing.T) {
 	for i, q := range qs {
 		pairs[i] = reach.Pair{S: q.S, T: q.T}
 	}
-	want := reach.BatchReach(ix, pairs, 1)
+	want, err := reach.BatchReach(ix, g, pairs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, q := range qs {
 		if want[i] != q.Want {
 			t.Fatalf("serial batch wrong at %d", i)
 		}
 	}
 	for _, workers := range []int{-1, 0, 2, 3, 8} {
-		got := reach.BatchReach(ix, pairs, workers)
+		got, err := reach.BatchReach(ix, g, pairs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d: slot %d diverges", workers, i)

@@ -29,6 +29,7 @@
 package reach
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -77,6 +78,8 @@ type (
 	Label = graph.Label
 	// GraphEdge is a directed, optionally labeled edge.
 	GraphEdge = graph.Edge
+	// GraphLimits bounds what ReadGraphLimited accepts from untrusted input.
+	GraphLimits = graph.Limits
 	// Index answers plain reachability queries.
 	Index = core.Index
 	// PartialIndex exposes lookup-only answers (TryReach).
@@ -110,8 +113,11 @@ var (
 	NewBuilder = graph.NewBuilder
 	// NewLabeledBuilder returns a builder for an edge-labeled digraph.
 	NewLabeledBuilder = graph.NewLabeledBuilder
-	// ReadGraph parses the edge-list exchange format.
+	// ReadGraph parses the edge-list exchange format under DefaultLimits.
 	ReadGraph = graph.Read
+	// ReadGraphLimited parses the edge-list format under explicit size
+	// limits (malformed or oversized input yields an error, never a panic).
+	ReadGraphLimited = graph.ReadLimited
 	// WriteGraph serializes a graph in the edge-list exchange format.
 	WriteGraph = graph.Write
 	// Fig1Plain builds the paper's Figure 1(a) plain graph.
@@ -224,7 +230,23 @@ func timedN(spans *obs.Spans, workers int, build func() Index) Index {
 // are lifted to general graphs through SCC condensation automatically
 // (§3.1); techniques accepting general graphs run on g directly. With
 // Options.Spans set, construction phases are recorded as named spans.
+//
+// Invalid options yield ErrBadOptions; a panic inside an index
+// implementation is contained and reported as ErrIndexPanic.
 func Build(k Kind, g *Graph, opt Options) (Index, error) {
+	return BuildCtx(context.Background(), k, g, opt)
+}
+
+// BuildCtx is Build under a context: the expensive builders poll ctx at
+// cooperative checkpoints and a canceled context abandons the
+// construction with ErrBuildCanceled after a bounded amount of extra
+// work. A nil or never-canceled context costs nothing on the build path.
+func BuildCtx(ctx context.Context, k Kind, g *Graph, opt Options) (ix Index, err error) {
+	if err := checkBuild(ctx, g, opt); err != nil {
+		return nil, err
+	}
+	defer core.Recover(&err)
+	chk := core.NewCheck(ctx, "build/"+string(k))
 	sp := opt.Spans
 	switch k {
 	case KindTreeCover:
@@ -250,25 +272,27 @@ func Build(k Kind, g *Graph, opt Options) (Index, error) {
 			return dagger.New(d, dagger.Options{K: opt.K, Seed: opt.Seed})
 		}), nil
 	case KindTwoHop:
-		return timed(sp, func() Index { return twohop.New(g) }), nil
+		return timed(sp, func() Index { return twohop.NewChecked(g, chk) }), nil
 	case KindThreeHop:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return threehop.New(d) }), nil
+		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return threehop.NewChecked(d, chk) }), nil
 	case KindPathHop:
 		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return pathhop.New(d) }), nil
 	case KindTFL:
 		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
-			return pll.New(d, pll.Options{Order: pll.OrderTopological})
+			return pll.New(d, pll.Options{Order: pll.OrderTopological, Check: chk})
 		}), nil
 	case KindDL:
-		return timed(sp, func() Index { return pll.New(g, pll.Options{Order: pll.OrderDegree, Name: "DL"}) }), nil
+		return timed(sp, func() Index {
+			return pll.New(g, pll.Options{Order: pll.OrderDegree, Name: "DL", Check: chk})
+		}), nil
 	case KindPLL:
-		return timed(sp, func() Index { return pll.New(g, pll.Options{Order: pll.OrderDegree}) }), nil
+		return timed(sp, func() Index { return pll.New(g, pll.Options{Order: pll.OrderDegree, Check: chk}) }), nil
 	case KindHL:
 		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
-			return pll.New(d, pll.Options{Order: pll.OrderDegreeProduct, Name: "HL"})
+			return pll.New(d, pll.Options{Order: pll.OrderDegreeProduct, Name: "HL", Check: chk})
 		}), nil
 	case KindTOL:
-		return timed(sp, func() Index { return tol.New(g) }), nil
+		return timed(sp, func() Index { return tol.NewChecked(g, chk) }), nil
 	case KindDBL:
 		return timedN(sp, par.Resolve(opt.Workers), func() Index {
 			return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed, Workers: opt.Workers})
@@ -304,7 +328,11 @@ func Instrument(ix Index, g *Graph, m *IndexMetrics) Index {
 // BuildDynamic constructs a dynamic plain index (TOL, DAGGER, DBL). Note
 // the dynamic indexes operate on the graph as given (no SCC adapter): the
 // DAG-only DAGGER requires a DAG start, and updates that respect it.
-func BuildDynamic(k Kind, g *Graph, opt Options) (DynamicIndex, error) {
+func BuildDynamic(k Kind, g *Graph, opt Options) (ix DynamicIndex, err error) {
+	if err := checkBuild(nil, g, opt); err != nil {
+		return nil, err
+	}
+	defer core.Recover(&err)
 	switch k {
 	case KindTOL:
 		return tol.New(g), nil
@@ -341,28 +369,32 @@ func LCRKinds() []LCRKind {
 // BuildLCR constructs the requested alternation-constraint index. With
 // Options.Spans set, construction is recorded as an "lcr/build" span.
 func BuildLCR(k LCRKind, g *Graph, opt Options) (LCRIndex, error) {
-	if !g.Labeled() {
-		return nil, fmt.Errorf("reach: LCR index %q needs an edge-labeled graph", k)
-	}
-	ix, err := buildLCR(k, g, opt)
-	if err != nil {
-		return nil, err
-	}
-	return ix, nil
+	return BuildLCRCtx(context.Background(), k, g, opt)
 }
 
-func buildLCR(k LCRKind, g *Graph, opt Options) (LCRIndex, error) {
+// BuildLCRCtx is BuildLCR under a context; the GTC and 2-hop LCR builds
+// (the quadratic ones the survey warns about) poll ctx at cooperative
+// checkpoints and abandon with ErrBuildCanceled.
+func BuildLCRCtx(ctx context.Context, k LCRKind, g *Graph, opt Options) (ix LCRIndex, err error) {
+	if err := checkBuild(ctx, g, opt); err != nil {
+		return nil, err
+	}
+	if !g.Labeled() {
+		return nil, fmt.Errorf("%w: LCR index %q needs an edge-labeled graph", ErrBadOptions, k)
+	}
+	defer core.Recover(&err)
+	chk := core.NewCheck(ctx, "build/lcr/"+string(k))
 	end := opt.Spans.Start("lcr/build")
 	defer end()
 	switch k {
 	case LCRZouGTC:
-		return lcrgtc.New(g), nil
+		return lcrgtc.NewChecked(g, chk), nil
 	case LCRLandmark:
 		return lcrlandmark.New(g, lcrlandmark.Options{K: opt.K, Workers: opt.Workers}), nil
 	case LCRP2H:
-		return p2h.New(g), nil
+		return p2h.NewChecked(g, chk), nil
 	case LCRDLCR:
-		return p2h.NewDynamic(g), nil
+		return p2h.NewDynamicChecked(g, chk), nil
 	case LCRJinTree:
 		return lcrtree.New(g), nil
 	case LCRDecomp:
@@ -376,13 +408,23 @@ func buildLCR(k LCRKind, g *Graph, opt Options) (LCRIndex, error) {
 // BuildRLC constructs the concatenation-constraint (RLC) index. With
 // Options.Spans set, construction is recorded as an "rlc/build" span.
 func BuildRLC(g *Graph, opt Options) (RLCIndex, error) {
-	if !g.Labeled() {
-		return nil, fmt.Errorf("reach: the RLC index needs an edge-labeled graph")
+	return BuildRLCCtx(context.Background(), g, opt)
+}
+
+// BuildRLCCtx is BuildRLC under a context: the per-sequence phase-product
+// labelings poll ctx and abandon with ErrBuildCanceled.
+func BuildRLCCtx(ctx context.Context, g *Graph, opt Options) (ix RLCIndex, err error) {
+	if err := checkBuild(ctx, g, opt); err != nil {
+		return nil, err
 	}
+	if !g.Labeled() {
+		return nil, fmt.Errorf("%w: the RLC index needs an edge-labeled graph", ErrBadOptions)
+	}
+	defer core.Recover(&err)
+	chk := core.NewCheck(ctx, "build/rlc")
 	end := opt.Spans.Start("rlc/build")
-	ix := rlc.New(g, rlc.Options{MaxSeq: opt.MaxSeq})
-	end()
-	return ix, nil
+	defer end()
+	return rlc.New(g, rlc.Options{MaxSeq: opt.MaxSeq, Check: chk}), nil
 }
 
 // ConstraintIndex answers Qr(s, t, α) for one fixed α by pure lookups —
@@ -392,9 +434,13 @@ type ConstraintIndex = rpqindex.Index
 // BuildConstraint builds a dedicated product-labeling index for the fixed
 // path-constraint expression alpha. Any expression of the §2.2 grammar is
 // accepted; queries then cost 2-hop lookups instead of product traversal.
-func BuildConstraint(g *Graph, alpha string) (*ConstraintIndex, error) {
-	if !g.Labeled() {
-		return nil, fmt.Errorf("reach: constraint indexes need an edge-labeled graph")
+func BuildConstraint(g *Graph, alpha string) (ix *ConstraintIndex, err error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadOptions)
 	}
+	if !g.Labeled() {
+		return nil, fmt.Errorf("%w: constraint indexes need an edge-labeled graph", ErrBadOptions)
+	}
+	defer core.Recover(&err)
 	return rpqindex.New(g, alpha)
 }
