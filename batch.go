@@ -1,9 +1,13 @@
 package reach
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/labelset"
 	"repro/internal/par"
+	"repro/internal/scratch"
+	"repro/internal/traversal"
 )
 
 // labelSetOf adapts a raw 64-bit mask to the internal label-set type.
@@ -46,11 +50,47 @@ const batchGrain = 16
 // are embarrassingly parallel; this helper is the §5 parallel-computation
 // direction applied to the query side. A panic inside the index on any
 // worker stops the batch and surfaces as ErrIndexPanic.
+//
+// A nil index selects the index-free bit-parallel path: the batch is cut
+// into blocks of 64 pairs and each block is answered by ONE multi-source
+// BFS sweep (traversal.MultiSourceReach) in which every pair owns one bit
+// of a per-vertex frontier word — ~len(pairs)/64 graph sweeps instead of
+// len(pairs) separate searches. This is how to evaluate a batch when no
+// index has been built (ad-hoc analytics, or validating a build), and it
+// is exact on general graphs.
 func BatchReach(ix Index, g *Graph, pairs []Pair, workers int) (out []bool, err error) {
+	return BatchReachCtx(nil, ix, g, pairs, workers)
+}
+
+// BatchReachCtx is BatchReach under a context: workers poll ctx between
+// work claims (one grain of queries, or one 64-pair block on the nil-index
+// path) and the batch returns ctx.Err() with no partial results when the
+// context is canceled or past its deadline. A nil ctx never cancels.
+func BatchReachCtx(ctx context.Context, ix Index, g *Graph, pairs []Pair, workers int) (out []bool, err error) {
 	n := g.N()
 	for _, p := range pairs {
 		if err := core.CheckPair(n, p.S, p.T); err != nil {
 			return nil, err
+		}
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		done = ctx.Done()
+	}
+	// stop is the workers' cooperative poll: claims already running finish,
+	// no further ones start, and the batch reports ctx.Err().
+	stop := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
 		}
 	}
 	if bo, ok := ix.(batchObserver); ok {
@@ -61,11 +101,45 @@ func BatchReach(ix Index, g *Graph, pairs []Pair, workers int) (out []bool, err 
 	}
 	defer core.Recover(&err)
 	out = make([]bool, len(pairs))
-	par.DoGrain(workers, len(pairs), batchGrain, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = ix.Reach(pairs[i].S, pairs[i].T)
+	if ix == nil {
+		blocks := (len(pairs) + traversal.WordSources - 1) / traversal.WordSources
+		par.Do(workers, blocks, func(b int) {
+			if stop() {
+				return
+			}
+			lo := b * traversal.WordSources
+			hi := lo + traversal.WordSources
+			if hi > len(pairs) {
+				hi = len(pairs)
+			}
+			sc := scratch.Get(0)
+			defer scratch.Put(sc)
+			words := sc.Words(n)
+			srcs := sc.Aux[:0]
+			for i := lo; i < hi; i++ {
+				srcs = append(srcs, pairs[i].S)
+			}
+			sc.Aux = srcs
+			traversal.MultiSourceReach(g, srcs, words)
+			for i := lo; i < hi; i++ {
+				out[i] = words[pairs[i].T]&(1<<uint(i-lo)) != 0
+			}
+		})
+	} else {
+		par.DoGrain(workers, len(pairs), batchGrain, func(_, lo, hi int) {
+			if stop() {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				out[i] = ix.Reach(pairs[i].S, pairs[i].T)
+			}
+		})
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-	})
+	}
 	return out, nil
 }
 

@@ -511,3 +511,72 @@ func BenchmarkFig1_RouterQuery(b *testing.B) {
 		}
 	}
 }
+
+// --- E14: query-path acceleration ----------------------------------------
+//
+// The BatchReach pair compares the index-free batch path's bit-parallel
+// kernel (64 sources per sweep) against answering the same pairs with one
+// early-exit BFS each. The kernel's win scales with how much the sources'
+// reachable sets overlap, so the workload is a dense DAG (10 edges/vertex,
+// sharing ratio ~17); see BenchmarkMultiSourceReach in internal/traversal
+// for the sharing-ratio sweep. The DB pair measures the sharded result
+// cache on a hot-pair workload (every query repeats a small working set).
+
+var (
+	onceE14  sync.Once
+	e14DAG   *reach.Graph
+	e14Pairs []reach.Pair
+)
+
+func e14Workload() (*reach.Graph, []reach.Pair) {
+	onceE14.Do(func() {
+		e14DAG = gen.RandomDAG(gen.Config{N: 50000, M: 500000, Seed: 8})
+		qs := gen.Queries(e14DAG, 2048, 14)
+		e14Pairs = make([]reach.Pair, len(qs))
+		for i, q := range qs {
+			e14Pairs[i] = reach.Pair{S: q.S, T: q.T}
+		}
+	})
+	return e14DAG, e14Pairs
+}
+
+func BenchmarkE14_BatchReach_BitParallel(b *testing.B) {
+	g, pairs := e14Workload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reach.BatchReach(nil, g, pairs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14_BatchReach_PerPairBFS(b *testing.B) {
+	g, pairs := e14Workload()
+	out := make([]bool, len(pairs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range pairs {
+			out[j] = traversal.BFS(g, p.S, p.T)
+		}
+	}
+	_ = out
+}
+
+func benchDBHotPairs(b *testing.B, cacheSize int) {
+	g, qs, _ := dagWorkload()
+	db, err := reach.NewDB(g, reach.DBConfig{CacheSize: cacheSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot := qs[:64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := hot[i%len(hot)]
+		if _, err := db.Reach(q.S, q.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14_DBHotPairs_Uncached(b *testing.B) { benchDBHotPairs(b, 0) }
+func BenchmarkE14_DBHotPairs_Cached(b *testing.B)   { benchDBHotPairs(b, 4096) }

@@ -8,6 +8,7 @@ import (
 
 	reach "repro"
 	"repro/internal/gen"
+	"repro/internal/traversal"
 )
 
 // benchReport is the machine-readable benchmark schema consumed by CI and
@@ -16,13 +17,34 @@ import (
 // scaling limits make them infeasible at the workload size carry a skip
 // reason instead of numbers.
 type benchReport struct {
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Workers    int         `json:"workers"`
-	N          int         `json:"n"`
-	M          int         `json:"m"`
-	Seed       int64       `json:"seed"`
-	Queries    int         `json:"queries"`
-	Kinds      []benchKind `json:"kinds"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	N          int          `json:"n"`
+	M          int          `json:"m"`
+	Seed       int64        `json:"seed"`
+	Queries    int          `json:"queries"`
+	Kinds      []benchKind  `json:"kinds"`
+	Accel      *accelReport `json:"accel,omitempty"`
+}
+
+// accelReport records the query-path acceleration measurements: the
+// index-free batch kernel against a sequential per-pair BFS loop over the
+// same pairs (CI gates on batch_speedup >= 1), and the DB result cache
+// against an uncached DB on a hot-pair workload. The batch workload is a
+// denser DAG than the per-kind one above — the kernel's win is the overlap
+// of the sources' reachable sets, which a 4-edges/vertex DAG barely has.
+type accelReport struct {
+	BatchN            int     `json:"batch_n"`
+	BatchM            int     `json:"batch_m"`
+	BatchPairs        int     `json:"batch_pairs"`
+	BatchKernelNs     int64   `json:"batch_kernel_ns"`
+	BatchSequentialNs int64   `json:"batch_sequential_ns"`
+	BatchSpeedup      float64 `json:"batch_speedup"`
+	DBCachedNsOp      float64 `json:"db_cached_ns_op"`
+	DBUncachedNsOp    float64 `json:"db_uncached_ns_op"`
+	DBCacheSpeedup    float64 `json:"db_cache_speedup"`
+	DBCacheHitRate    float64 `json:"db_cache_hit_rate"`
+	CondenseMemoHits  int64   `json:"condense_memo_hits"`
 }
 
 type benchKind struct {
@@ -104,6 +126,8 @@ func writeBenchJSON(path string, scale int, seed int64, workers int) error {
 		})
 	}
 
+	rep.Accel = measureAccel(scale, seed)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -115,4 +139,74 @@ func writeBenchJSON(path string, scale int, seed int64, workers int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// measureAccel runs the query-path acceleration measurements for the
+// accel section of the report.
+func measureAccel(scale int, seed int64) *accelReport {
+	n := 10000 * scale
+	g := gen.RandomDAG(gen.Config{N: n, M: 10 * n, Seed: seed + 7})
+	qs := gen.Queries(g, 2048, seed+8)
+	pairs := make([]reach.Pair, len(qs))
+	for i, q := range qs {
+		pairs[i] = reach.Pair{S: q.S, T: q.T}
+	}
+	a := &accelReport{BatchN: g.N(), BatchM: g.M(), BatchPairs: len(pairs)}
+
+	// Warm the scratch pool so neither side pays first-use allocations.
+	reach.BatchReach(nil, g, pairs[:64], 1)
+	start := time.Now()
+	kernelOut, err := reach.BatchReach(nil, g, pairs, 1)
+	a.BatchKernelNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	for i, p := range pairs {
+		if traversal.BFS(g, p.S, p.T) != kernelOut[i] {
+			panic("batch kernel diverged from per-pair BFS")
+		}
+	}
+	a.BatchSequentialNs = time.Since(start).Nanoseconds()
+	a.BatchSpeedup = float64(a.BatchSequentialNs) / float64(a.BatchKernelNs)
+
+	hot := qs[:64]
+	const rounds = 200
+	sweep := func(db *reach.DB) time.Duration {
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			for _, q := range hot {
+				if _, err := db.Reach(q.S, q.T); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return time.Since(start)
+	}
+	queries := float64(rounds * len(hot))
+	udb, err := reach.NewDB(g, reach.DBConfig{})
+	if err != nil {
+		panic(err)
+	}
+	a.DBUncachedNsOp = float64(sweep(udb).Nanoseconds()) / queries
+	cdb, err := reach.NewDB(g, reach.DBConfig{CacheSize: 4096})
+	if err != nil {
+		panic(err)
+	}
+	a.DBCachedNsOp = float64(sweep(cdb).Nanoseconds()) / queries
+	a.DBCacheSpeedup = a.DBUncachedNsOp / a.DBCachedNsOp
+	if snap, ok := cdb.CacheStats(); ok && snap.Hits+snap.Misses > 0 {
+		a.DBCacheHitRate = float64(snap.Hits) / float64(snap.Hits+snap.Misses)
+	}
+
+	mdb, err := reach.NewDB(g, reach.DBConfig{
+		Plain:      reach.KindBFL,
+		ExtraPlain: []reach.Kind{reach.KindFeline, reach.KindPReaCH},
+		Options:    reach.Options{Bits: 256, Seed: seed},
+	})
+	if err != nil {
+		panic(err)
+	}
+	a.CondenseMemoHits = mdb.Prepared().Hits()
+	return a
 }

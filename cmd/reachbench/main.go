@@ -33,7 +33,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "size multiplier for experiment graphs")
 	seed := flag.Int64("seed", 1, "workload seed")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,fig1,e1..e13")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,fig1,e1..e14")
 	metrics := flag.Bool("metrics", false, "run an instrumented workload for -index and dump its metrics instead of the experiment suite")
 	indexKind := flag.String("index", "bfl", "plain index kind for the -metrics run")
 	workers := flag.Int("workers", 0, "worker pool for parallel build phases (0 = GOMAXPROCS, 1 = serial)")
@@ -128,8 +128,9 @@ func main() {
 		"e11":    func(w io.Writer) { experiments.E11(w, sc, *seed) },
 		"e12":    func(w io.Writer) { experiments.E12(w, sc, *seed) },
 		"e13":    func(w io.Writer) { experiments.E13(w, sc, *seed) },
+		"e14":    func(w io.Writer) { experiments.E14(w, sc, *seed) },
 	}
-	order := []string{"table1", "table2", "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+	order := []string{"table1", "table2", "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
 
 	selected := order
 	if *only != "" {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/labelset"
 	"repro/internal/obs"
+	"repro/internal/qcache"
 	"repro/internal/regexpath"
 	"repro/internal/rpqindex"
 	"repro/internal/tc"
@@ -25,10 +26,11 @@ import (
 // contains panics escaping an index implementation (ErrIndexPanic), so a
 // broken or partially built index can fail a query but never the process.
 type DB struct {
-	g     *Graph
-	plain Index
-	lcr   LCRIndex
-	rlc   RLCIndex
+	g         *Graph
+	plain     Index
+	plainKind Kind
+	lcr       LCRIndex
+	rlc       RLCIndex
 	// lcrErr/rlcErr are non-nil when the corresponding build failed and
 	// DBConfig.Degraded kept the DB serving: the route runs index-free
 	// (online traversal) and Stats/DegradedRoutes expose the cause.
@@ -36,9 +38,52 @@ type DB struct {
 	// registered holds dedicated indexes for hot constraints (§5's
 	// query-log-driven scenario), keyed by normalized expression.
 	registered map[string]*ConstraintIndex
+	// extra holds the additional plain indexes of DBConfig.ExtraPlain,
+	// built over the shared preprocessing memo.
+	extra map[Kind]Index
+	// prep is the DB's shared preprocessing memo: every DAG-only index the
+	// DB builds draws its SCC condensation from here, so the condensation
+	// runs exactly once per NewDB no matter how many indexes want it.
+	prep *PreparedGraph
+	// cache is the sharded query-result cache, nil unless
+	// DBConfig.CacheSize enabled it (every qcache method is nil-safe).
+	cache *qcache.Cache
 	// metrics is non-nil when DBConfig.Metrics enabled observability:
 	// routing counters, per-index query metrics, and build-phase spans.
 	metrics *obs.DBMetrics
+}
+
+// CacheSnapshot re-exports the query-result cache counters; see
+// DB.CacheStats and OBSERVABILITY.md.
+type CacheSnapshot = obs.CacheSnapshot
+
+// Cache key route tags. Only routes whose (route, s, t, extra) tuple fully
+// determines the answer are cached: plain reachability, alternation star
+// and plus (extra = label mask), and short concatenation sequences (extra
+// = packed sequence). Product-automaton and registered-constraint queries
+// are keyed by an expression string, which does not fit an exact fixed
+// key, so they are never cached. Degraded routes ARE cached — the online
+// fallback is exact, just slow, which makes it the route that profits most.
+const (
+	cacheRoutePlain uint8 = iota + 1
+	cacheRouteLCRStar
+	cacheRouteLCRPlus
+	cacheRouteRLC
+)
+
+// packSeq packs a short concatenation sequence into a cache-key word:
+// length in the top 16 bits, labels (uint16) in the low three lanes.
+// Sequences longer than three labels do not fit an exact key and report
+// ok = false, which skips caching for them.
+func packSeq(seq []Label) (extra uint64, ok bool) {
+	if len(seq) > 3 {
+		return 0, false
+	}
+	extra = uint64(len(seq)) << 48
+	for i, l := range seq {
+		extra |= uint64(l) << (16 * i)
+	}
+	return extra, true
 }
 
 // DBConfig selects the indexes a DB builds.
@@ -67,6 +112,18 @@ type DBConfig struct {
 	// plain-index failures always fail NewDB — there is nothing sensible
 	// to degrade to. Default false: any build failure fails NewDB.
 	Degraded bool
+	// ExtraPlain builds additional plain indexes alongside Plain (e.g. a
+	// fast-but-big index next to a compact one for comparison serving).
+	// All of them share the DB's preprocessing memo, so the SCC
+	// condensation runs once regardless of how many kinds are listed.
+	// Query them via PlainIndex; duplicates of Plain are skipped.
+	ExtraPlain []Kind
+	// CacheSize enables the sharded query-result cache with room for this
+	// many entries (0 disables it, the default). Cached routes are the
+	// ones whose key determines the answer exactly — plain reachability,
+	// alternation masks, short concatenation sequences — including their
+	// degraded fallbacks; see OBSERVABILITY.md for the cache/* counters.
+	CacheSize int
 }
 
 // NewDB builds a DB over g. For unlabeled graphs only the plain index is
@@ -90,19 +147,42 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 	if cfg.LCR == "" {
 		cfg.LCR = LCRP2H
 	}
-	db := &DB{g: g}
+	db := &DB{g: g, plainKind: cfg.Plain, cache: qcache.New(cfg.CacheSize)}
 	if cfg.Metrics {
 		db.metrics = obs.NewDBMetrics()
 		if cfg.Options.Spans == nil {
 			cfg.Options.Spans = &db.metrics.Build
 		}
+		if db.cache != nil {
+			db.metrics.SetCacheSource(db.cache.Stats)
+		}
 	}
+	// One preprocessing memo for every index the DB builds: the first
+	// DAG-only build condenses, the rest hit the memo (visible as
+	// cached=true "scc/condense" spans when metrics are on).
+	if cfg.Options.Prepared == nil {
+		cfg.Options.Prepared = Prepare(g)
+	}
+	db.prep = cfg.Options.Prepared
 	var err error
 	if db.plain, err = BuildCtx(ctx, cfg.Plain, g, cfg.Options); err != nil {
 		return nil, err
 	}
 	if db.metrics != nil {
 		db.plain = core.Instrument(db.plain, g, db.metrics.Index(db.plain.Name()))
+	}
+	for _, kind := range cfg.ExtraPlain {
+		if kind == cfg.Plain || db.extra[kind] != nil {
+			continue
+		}
+		ix, err := BuildCtx(ctx, kind, g, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		if db.extra == nil {
+			db.extra = make(map[Kind]Index, len(cfg.ExtraPlain))
+		}
+		db.extra[kind] = ix
 	}
 	if g.Labeled() {
 		if db.lcr, err = BuildLCRCtx(ctx, cfg.LCR, g, cfg.Options); err != nil {
@@ -158,6 +238,31 @@ func (db *DB) countBuildFault(err error) {
 
 // Graph returns the underlying graph.
 func (db *DB) Graph() *Graph { return db.g }
+
+// Prepared returns the DB's shared preprocessing memo. Tests and callers
+// building further indexes over the same graph can pass it through
+// Options.Prepared to keep sharing the condensation.
+func (db *DB) Prepared() *PreparedGraph { return db.prep }
+
+// PlainIndex returns the plain index built for kind: the primary one when
+// kind is the configured Plain, otherwise the matching ExtraPlain entry.
+// ok is false when no index of that kind was built.
+func (db *DB) PlainIndex(kind Kind) (ix Index, ok bool) {
+	if kind == db.plainKind {
+		return db.plain, true
+	}
+	ix, ok = db.extra[kind]
+	return ix, ok
+}
+
+// CacheStats snapshots the query-result cache counters; ok is false when
+// DBConfig.CacheSize left the cache disabled.
+func (db *DB) CacheStats() (snap CacheSnapshot, ok bool) {
+	if db.cache == nil {
+		return CacheSnapshot{}, false
+	}
+	return db.cache.Stats(), true
+}
 
 // DegradedRoutes reports the serving routes running index-free after a
 // tolerated build failure, keyed "lcr"/"rlc", with the build error as the
@@ -241,12 +346,19 @@ func (db *DB) ReachCtx(ctx context.Context, s, t V) (res bool, err error) {
 		}
 	}
 	defer db.boundary(&err)
-	if db.metrics == nil {
-		return db.plain.Reach(s, t), nil
+	var start time.Time
+	if db.metrics != nil {
+		start = time.Now()
 	}
-	start := time.Now()
-	res = db.plain.Reach(s, t)
-	db.metrics.Route(obs.RoutePlain).Observe(res, time.Since(start))
+	key := qcache.Key{Route: cacheRoutePlain, S: s, T: t}
+	res, hit := db.cache.Get(key)
+	if !hit {
+		res = db.plain.Reach(s, t)
+		db.cache.Put(key, res)
+	}
+	if db.metrics != nil {
+		db.metrics.Route(obs.RoutePlain).Observe(res, time.Since(start))
+	}
 	return res, nil
 }
 
@@ -358,22 +470,51 @@ func (db *DB) rlcRoute() obs.RouteKind {
 	return obs.RouteRLC
 }
 
-// reachLC answers the alternation-star query through the LCR index, or —
-// on a degraded DB — by a label-constrained BFS on the graph itself.
+// reachLC answers the alternation-star query through the result cache,
+// the LCR index, or — on a degraded DB — a label-constrained BFS on the
+// graph itself. The label mask is the cache key's extra word, so distinct
+// masks over one vertex pair cache independently.
 func (db *DB) reachLC(s, t V, allowed labelset.Set) (bool, obs.RouteKind) {
-	if db.lcr != nil {
-		return db.lcr.ReachLC(s, t, allowed), obs.RouteLCR
+	key := qcache.Key{Route: cacheRouteLCRStar, S: s, T: t, Extra: uint64(allowed)}
+	if res, ok := db.cache.Get(key); ok {
+		return res, db.lcrRoute()
 	}
-	return traversal.LabelConstrainedBFS(db.g, s, t, uint64(allowed)), obs.RouteDegradedLCR
+	var res bool
+	route := obs.RouteLCR
+	if db.lcr != nil {
+		res = db.lcr.ReachLC(s, t, allowed)
+	} else {
+		res = traversal.LabelConstrainedBFS(db.g, s, t, uint64(allowed))
+		route = obs.RouteDegradedLCR
+	}
+	db.cache.Put(key, res)
+	return res, route
 }
 
-// reachRLC answers the concatenation-star query through the RLC index, or
-// — on a degraded DB — by the online phase-tracking search.
+// reachRLC answers the concatenation-star query through the result cache,
+// the RLC index, or — on a degraded DB — the online phase-tracking
+// search. Only sequences short enough to pack into the key's extra word
+// exactly (≤ 3 labels) are cached; longer ones always compute.
 func (db *DB) reachRLC(s, t V, seq []Label) (bool, obs.RouteKind) {
-	if db.rlc != nil {
-		return db.rlc.ReachRLC(s, t, seq), obs.RouteRLC
+	extra, packable := packSeq(seq)
+	key := qcache.Key{Route: cacheRouteRLC, S: s, T: t, Extra: extra}
+	if packable {
+		if res, ok := db.cache.Get(key); ok {
+			return res, db.rlcRoute()
+		}
 	}
-	return tc.RLCReach(db.g, s, t, seq, false), obs.RouteDegradedRLC
+	var res bool
+	route := obs.RouteRLC
+	if db.rlc != nil {
+		res = db.rlc.ReachRLC(s, t, seq)
+	} else {
+		res = tc.RLCReach(db.g, s, t, seq, false)
+		route = obs.RouteDegradedRLC
+	}
+	if packable {
+		db.cache.Put(key, res)
+	}
+	return res, route
 }
 
 // queryUnlabeled serves path-constrained queries on an unlabeled graph
@@ -412,7 +553,15 @@ func (db *DB) queryUnlabeled(s, t V, alpha string) (bool, error) {
 
 // plusAlternation answers (l1|l2|...)+ — at least one edge — by stepping
 // through every allowed out-edge of s and finishing with the star query.
+// Plus queries cache under their own route tag: (mask)+ and (mask)* give
+// different answers on the same pair (s == t, or t only reachable via the
+// empty path), so the two must never share a key.
 func (db *DB) plusAlternation(s, t V, allowed labelset.Set) bool {
+	key := qcache.Key{Route: cacheRouteLCRPlus, S: s, T: t, Extra: uint64(allowed)}
+	if res, ok := db.cache.Get(key); ok {
+		return res
+	}
+	res := false
 	succ := db.g.Succ(s)
 	labs := db.g.SuccLabels(s)
 	for i, w := range succ {
@@ -420,13 +569,16 @@ func (db *DB) plusAlternation(s, t V, allowed labelset.Set) bool {
 			continue
 		}
 		if w == t {
-			return true
+			res = true
+			break
 		}
-		if res, _ := db.reachLC(w, t, allowed); res {
-			return true
+		if r, _ := db.reachLC(w, t, allowed); r {
+			res = true
+			break
 		}
 	}
-	return false
+	db.cache.Put(key, res)
+	return res
 }
 
 // RegisterConstraint builds a dedicated index for the fixed constraint
@@ -519,6 +671,9 @@ func (db *DB) QueryAllowed(s, t V, labels ...Label) (res bool, err error) {
 // footprint, so operators see at a glance which class lost its index.
 func (db *DB) Stats() map[string]Stats {
 	out := map[string]Stats{db.plain.Name(): db.plain.Stats()}
+	for _, ix := range db.extra {
+		out[ix.Name()] = ix.Stats()
+	}
 	if db.lcr != nil {
 		out[db.lcr.Name()] = db.lcr.Stats()
 	} else if db.lcrErr != nil {

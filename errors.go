@@ -45,6 +45,17 @@ func (o Options) validate() error {
 	return nil
 }
 
+// checkPrepared rejects a preprocessing memo bound to a different graph —
+// reusing another graph's condensation would answer queries against the
+// wrong component structure, so the mismatch fails fast as a
+// configuration error.
+func checkPrepared(g *Graph, opt Options) error {
+	if opt.Prepared != nil && opt.Prepared.Graph() != g {
+		return fmt.Errorf("%w: Options.Prepared is bound to a different graph", ErrBadOptions)
+	}
+	return nil
+}
+
 // checkBuild is the shared precondition gate of the Build* family: a
 // usable graph, valid options, and a context that is still live. A
 // context already canceled before any work maps to ErrBuildCanceled just
@@ -54,6 +65,9 @@ func checkBuild(ctx context.Context, g *Graph, opt Options) error {
 		return fmt.Errorf("%w: nil graph", ErrBadOptions)
 	}
 	if err := opt.validate(); err != nil {
+		return err
+	}
+	if err := checkPrepared(g, opt); err != nil {
 		return err
 	}
 	if ctx != nil {

@@ -32,15 +32,30 @@ func ForGeneralSpans(g *graph.Digraph, spans *obs.Spans, build DAGBuilder) Index
 // count as its `workers` attribute. The SCC condensation itself (Tarjan)
 // is inherently sequential and always runs serial.
 func ForGeneralSpansN(g *graph.Digraph, spans *obs.Spans, workers int, build DAGBuilder) Index {
+	return ForGeneralPrepared(g, spans, workers, nil, build)
+}
+
+// ForGeneralPrepared is ForGeneralSpansN with the condensation drawn from
+// a shared preprocessing memo: when prep is non-nil (and bound to g), the
+// SCC condensation is computed at most once across every index built over
+// the same graph, and the "scc/condense" span records whether this build
+// hit the memo as its `cached` attribute. A nil prep recomputes per build,
+// which is the pre-memo behavior the one-off Build path keeps.
+func ForGeneralPrepared(g *graph.Digraph, spans *obs.Spans, workers int, prep *Prepared, build DAGBuilder) Index {
 	// Phase-level fault-injection points: every index lifted through the
 	// condensation adapter (most of the catalogue) is panickable here by
 	// the stress harness even if its builder has no checkpoint of its own.
 	faultinject.Hit("core/scc-condense")
-	end := spans.Start("scc/condense")
-	cond := scc.Condense(g)
-	end()
+	var cond *scc.Condensation
+	if prep != nil && prep.Graph() == g {
+		cond = prep.CondenseSpans(spans)
+	} else {
+		endCond := spans.Start("scc/condense")
+		cond = scc.Condense(g)
+		endCond()
+	}
 	faultinject.Hit("core/index-build")
-	end = spans.StartN("index/build", workers)
+	end := spans.StartN("index/build", workers)
 	inner := build(cond.DAG)
 	end()
 	c := &condensed{cond: cond, inner: inner}

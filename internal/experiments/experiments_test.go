@@ -63,6 +63,7 @@ func TestExperimentsSmoke(t *testing.T) {
 	E10(&buf, sc, 1)
 	E12(&buf, sc, 1)
 	E13(&buf, sc, 1)
+	E14(&buf, sc, 1)
 	out := buf.String()
 	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12", "E13"} {
 		if !strings.Contains(out, id+" —") {
@@ -79,6 +80,13 @@ func TestExperimentsSmoke(t *testing.T) {
 	for _, want := range []string{"GOMAXPROCS", "speedup@4", "BFS (pooled)", "BFS (unpooled)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("E13 output missing %q", want)
+		}
+	}
+	// E14's three acceleration layers: batch kernel, result cache,
+	// shared condensation.
+	for _, want := range []string{"bit-parallel kernel", "hit rate", "memo hits = 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E14 output missing %q", want)
 		}
 	}
 }

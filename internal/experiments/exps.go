@@ -425,4 +425,6 @@ func All(w io.Writer, sc Scale, seed int64) {
 	E10(w, sc, seed)
 	E11(w, sc, seed)
 	E12(w, sc, seed)
+	E13(w, sc, seed)
+	E14(w, sc, seed)
 }

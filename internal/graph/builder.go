@@ -3,7 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Builder accumulates vertices and edges and produces an immutable Digraph.
@@ -142,6 +142,28 @@ func (b *Builder) ensure(v V) {
 // than MaxLabels labels.
 var ErrTooManyLabels = errors.New("graph: label universe exceeds 64 labels")
 
+// cmpEdge orders edges by (From, To, Label) — the CSR layout order.
+func cmpEdge(a, b Edge) int {
+	switch {
+	case a.From != b.From:
+		if a.From < b.From {
+			return -1
+		}
+		return 1
+	case a.To != b.To:
+		if a.To < b.To {
+			return -1
+		}
+		return 1
+	case a.Label != b.Label:
+		if a.Label < b.Label {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // Freeze sorts, deduplicates and lays out the accumulated edges as an
 // immutable CSR Digraph.
 func (b *Builder) Freeze() (*Digraph, error) {
@@ -149,15 +171,13 @@ func (b *Builder) Freeze() (*Digraph, error) {
 		return nil, ErrTooManyLabels
 	}
 	es := b.edges
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].From != es[j].From {
-			return es[i].From < es[j].From
-		}
-		if es[i].To != es[j].To {
-			return es[i].To < es[j].To
-		}
-		return es[i].Label < es[j].Label
-	})
+	// SortFunc works on the concrete []Edge — no per-comparison interface
+	// dispatch the reflect-based sort.Slice paid — and the IsSortedFunc
+	// pre-check makes re-freezing an already-ordered edge list (Mutate of a
+	// frozen graph, order-preserving RemoveEdge) a linear scan.
+	if !slices.IsSortedFunc(es, cmpEdge) {
+		slices.SortFunc(es, cmpEdge)
+	}
 	// Deduplicate identical (from, to, label) triples.
 	dedup := es[:0]
 	for i, e := range es {
@@ -260,12 +280,14 @@ func Mutate(g *Digraph) *Builder {
 }
 
 // RemoveEdge deletes one occurrence of the exact edge e from the builder.
-// It reports whether the edge was present.
+// It reports whether the edge was present. The removal preserves edge
+// order (no swap-with-last), so a builder loaded from a frozen graph
+// (Mutate) keeps its sorted edge list and the next Freeze skips sorting
+// entirely instead of re-sorting to repair the one displaced element.
 func (b *Builder) RemoveEdge(e Edge) bool {
 	for i := range b.edges {
 		if b.edges[i] == e {
-			b.edges[i] = b.edges[len(b.edges)-1]
-			b.edges = b.edges[:len(b.edges)-1]
+			b.edges = slices.Delete(b.edges, i, i+1)
 			return true
 		}
 	}

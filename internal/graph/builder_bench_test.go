@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// BenchmarkFreeze measures the builder's freeze path — dominated by the
+// edge sort — on a shuffled edge list (full sort) and on an already-sorted
+// one (the IsSortedFunc fast path that Mutate + order-preserving
+// RemoveEdge workflows hit).
+func BenchmarkFreeze(b *testing.B) {
+	const n, m = 20000, 100000
+	rng := rand.New(rand.NewSource(7))
+	shuffled := make([]Edge, m)
+	for i := range shuffled {
+		shuffled[i] = Edge{From: V(rng.Intn(n)), To: V(rng.Intn(n))}
+	}
+	sorted := slices.Clone(shuffled)
+	slices.SortFunc(sorted, cmpEdge)
+	run := func(b *testing.B, edges []Edge) {
+		scratch := make([]Edge, m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(scratch, edges) // Freeze sorts in place; restore per iteration
+			bu := NewBuilder(n)
+			bu.edges = scratch
+			if _, err := bu.Freeze(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("shuffled", func(b *testing.B) { run(b, shuffled) })
+	b.Run("presorted", func(b *testing.B) { run(b, sorted) })
+}
+
+// TestRemoveEdgePreservesOrder pins the order-preserving removal contract:
+// deleting from a sorted edge list must leave it sorted, so Freeze's
+// sorted-input fast path stays valid across Mutate/RemoveEdge cycles.
+func TestRemoveEdgePreservesOrder(t *testing.T) {
+	g := FromEdges(5, [][2]V{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	bu := Mutate(g)
+	if !bu.RemoveEdge(Edge{From: 1, To: 3}) {
+		t.Fatal("edge (1,3) should be present")
+	}
+	if !slices.IsSortedFunc(bu.edges, cmpEdge) {
+		t.Fatalf("edge list unsorted after RemoveEdge: %v", bu.edges)
+	}
+	if bu.RemoveEdge(Edge{From: 1, To: 3}) {
+		t.Fatal("edge (1,3) was already removed")
+	}
+	g2 := bu.MustFreeze()
+	if g2.M() != g.M()-1 {
+		t.Fatalf("edge count after removal = %d, want %d", g2.M(), g.M()-1)
+	}
+	if r := (&adj{g2}).has(1, 3); r {
+		t.Fatal("removed edge still present in frozen graph")
+	}
+}
+
+// adj is a tiny helper for edge membership in tests.
+type adj struct{ g *Digraph }
+
+func (a *adj) has(u, v V) bool {
+	for _, w := range a.g.Succ(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

@@ -192,6 +192,20 @@ type RouteSnapshot struct {
 	Latency  HistSnapshot `json:"latency"`
 }
 
+// CacheSnapshot is a point-in-time view of the DB's query-result cache
+// (see DBConfig.CacheSize): the cache/* counters of OBSERVABILITY.md.
+type CacheSnapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// HitRate is the fraction of cache lookups answered without touching an
+// index or traversal.
+func (s CacheSnapshot) HitRate() float64 { return rate(s.Hits, s.Hits+s.Misses) }
+
 // DBMetrics is the DB-level metrics root: build-phase spans, per-class
 // routing counters, per-index query metrics, and error/fault counters.
 type DBMetrics struct {
@@ -205,6 +219,7 @@ type DBMetrics struct {
 	mu       sync.Mutex
 	indexes  map[string]*IndexMetrics
 	degraded []string
+	cacheFn  func() CacheSnapshot
 }
 
 // NewDBMetrics returns an empty metrics root.
@@ -221,6 +236,15 @@ func (m *DBMetrics) SetDegraded(names []string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.degraded = append([]string(nil), names...)
+}
+
+// SetCacheSource installs the query-result cache's stats provider; every
+// later Snapshot carries its point-in-time CacheSnapshot. A nil source
+// (the default) omits the cache section entirely.
+func (m *DBMetrics) SetCacheSource(f func() CacheSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheFn = f
 }
 
 // Index returns (creating on first use) the metrics cell for the named
@@ -241,6 +265,7 @@ type Snapshot struct {
 	Indexes  map[string]IndexSnapshot `json:"indexes"`
 	Routes   map[string]RouteSnapshot `json:"routes"`
 	Build    []PhaseSpan              `json:"build,omitempty"`
+	Cache    *CacheSnapshot           `json:"cache,omitempty"`
 	Errors   int64                    `json:"errors"`
 	Panics   int64                    `json:"panics,omitempty"`
 	Canceled int64                    `json:"canceled,omitempty"`
@@ -266,7 +291,12 @@ func (m *DBMetrics) Snapshot() Snapshot {
 	if len(m.degraded) > 0 {
 		s.Degraded = append([]string(nil), m.degraded...)
 	}
+	cacheFn := m.cacheFn
 	m.mu.Unlock()
+	if cacheFn != nil {
+		cs := cacheFn()
+		s.Cache = &cs
+	}
 	for name, im := range cells {
 		s.Indexes[name] = im.Snapshot()
 	}
@@ -326,6 +356,11 @@ func (s Snapshot) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "  %-14s queries=%d (+%d/-%d) p50=%v p99=%v\n",
 				name, rs.Queries, rs.Positive, rs.Negative, rs.Latency.P50, rs.Latency.P99)
 		}
+	}
+	if s.Cache != nil {
+		fmt.Fprintf(w, "cache: hits=%d misses=%d hit-rate=%.1f%% evictions=%d entries=%d/%d\n",
+			s.Cache.Hits, s.Cache.Misses, 100*s.Cache.HitRate(),
+			s.Cache.Evictions, s.Cache.Entries, s.Cache.Capacity)
 	}
 	if len(s.Degraded) > 0 {
 		fmt.Fprintf(w, "degraded routes: %s\n", strings.Join(s.Degraded, ", "))

@@ -17,6 +17,11 @@ type PhaseSpan struct {
 	// of a parallelizable phase, n > 1 for a pool of n (see
 	// reach.Options.Workers and OBSERVABILITY.md).
 	Workers int `json:"workers,omitempty"`
+	// Cached marks a phase answered from a shared preprocessing cache
+	// (core.Prepared) instead of being recomputed: the span is emitted so
+	// the build timeline stays complete, but its duration is the cache
+	// lookup, not the phase's real cost.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Spans records hierarchical build-phase spans. Start/end pairs must nest
@@ -42,12 +47,25 @@ func (s *Spans) Start(name string) func() {
 // additionally records the resolved worker-pool size (its `workers`
 // attribute). Pass 1 when a parallelizable phase ran serially.
 func (s *Spans) StartN(name string, workers int) func() {
+	return s.start(PhaseSpan{Name: name, Workers: workers})
+}
+
+// StartCached is Start for a phase that may be served from a shared
+// preprocessing cache: the span records whether the result was memoized
+// (its `cached` attribute) so operators can tell a 50µs cache hit from a
+// 50µs recomputation.
+func (s *Spans) StartCached(name string, cached bool) func() {
+	return s.start(PhaseSpan{Name: name, Cached: cached})
+}
+
+func (s *Spans) start(span PhaseSpan) func() {
 	if s == nil {
 		return func() {}
 	}
 	s.mu.Lock()
 	idx := len(s.spans)
-	s.spans = append(s.spans, PhaseSpan{Name: name, Depth: s.depth, Workers: workers})
+	span.Depth = s.depth
+	s.spans = append(s.spans, span)
 	s.depth++
 	s.mu.Unlock()
 	t0 := time.Now()

@@ -1,0 +1,179 @@
+// Package qcache is the DB's sharded query-result cache: a fixed-capacity
+// map from fully-deciding query keys (route, source, target, extra
+// constraint word) to boolean answers, evicting with the CLOCK
+// second-chance policy. Reachability answers over an immutable graph never
+// go stale, so the cache needs no invalidation — only bounded memory and
+// low contention, which sharding by key hash provides: concurrent queries
+// for different keys almost always lock different shards.
+//
+// The cache stores only keys whose answer is a pure function of the key
+// (the DB decides which routes qualify); it is a plain (key → bool) memo
+// with no knowledge of query semantics.
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Key identifies one cacheable query exactly. Route separates query
+// classes that share vertex pairs (plain vs. label-constrained vs.
+// concatenation); Extra carries the route's constraint — a label mask for
+// alternation queries, a packed label sequence for concatenation queries,
+// zero for plain reachability.
+type Key struct {
+	Route uint8
+	S, T  graph.V
+	Extra uint64
+}
+
+// shardCount is the fixed power-of-two shard fan-out. Sixteen mutexes is
+// plenty for the worker counts this repository runs (contention is per
+// colliding key hash, not per query), and keeps the per-shard CLOCK rings
+// long enough that second-chance has history to work with.
+const shardCount = 16
+
+type entry struct {
+	key Key
+	val bool
+	ref bool // CLOCK reference bit: set on hit, cleared by the sweeping hand
+}
+
+type shard struct {
+	mu   sync.Mutex
+	idx  map[Key]int // key → position in ring
+	ring []entry     // CLOCK ring, grows to cap then recycles
+	hand int
+	cap  int
+}
+
+// Cache is a sharded CLOCK cache of query answers. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	shards    [shardCount]shard
+	capacity  int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns a cache holding at most capacity entries across all shards
+// (rounded up to a multiple of the shard count, minimum one entry per
+// shard). Capacity <= 0 returns nil, which every method accepts as a
+// disabled cache — callers need no nil checks of their own.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + shardCount - 1) / shardCount
+	c := &Cache{capacity: per * shardCount}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].idx = make(map[Key]int, per)
+	}
+	return c
+}
+
+// hash mixes the key into a shard selector (splitmix64-style finalizer —
+// the same mixer par.SubSeed uses). Route and the vertex pair land in one
+// word; Extra is folded in with a distinct odd multiplier so a label mask
+// cannot alias a vertex pair.
+func hash(k Key) uint64 {
+	x := uint64(k.S)<<33 ^ uint64(k.T)<<1 ^ uint64(k.Route)
+	x ^= k.Extra * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Get reports the cached answer for k and whether one was present.
+func (c *Cache) Get(k Key) (val, ok bool) {
+	if c == nil {
+		return false, false
+	}
+	sh := &c.shards[hash(k)&(shardCount-1)]
+	sh.mu.Lock()
+	if i, found := sh.idx[k]; found {
+		sh.ring[i].ref = true
+		val = sh.ring[i].val
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return val, true
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return false, false
+}
+
+// Put records the answer for k, evicting a second-chance victim if the
+// key's shard is full. Re-putting an existing key refreshes its value and
+// reference bit.
+func (c *Cache) Put(k Key, val bool) {
+	if c == nil {
+		return
+	}
+	sh := &c.shards[hash(k)&(shardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if i, found := sh.idx[k]; found {
+		sh.ring[i].val = val
+		sh.ring[i].ref = true
+		return
+	}
+	// New entries enter unreferenced — only an actual Get sets the bit.
+	// This is the scan-resistant CLOCK variant: a burst of one-shot keys
+	// cannot saturate every reference bit and push a constantly-hit entry
+	// out (with insert-referenced CLOCK a full shard of fresh entries
+	// degenerates to FIFO and evicts the hottest key first).
+	if len(sh.ring) < sh.cap {
+		sh.idx[k] = len(sh.ring)
+		sh.ring = append(sh.ring, entry{key: k, val: val})
+		return
+	}
+	// CLOCK sweep: give referenced entries a second chance, evict the
+	// first unreferenced one. Bounded: one full lap clears every ref bit,
+	// so the second lap must stop at the first slot.
+	for {
+		e := &sh.ring[sh.hand]
+		if e.ref {
+			e.ref = false
+			sh.hand = (sh.hand + 1) % sh.cap
+			continue
+		}
+		delete(sh.idx, e.key)
+		c.evictions.Add(1)
+		*e = entry{key: k, val: val}
+		sh.idx[k] = sh.hand
+		sh.hand = (sh.hand + 1) % sh.cap
+		return
+	}
+}
+
+// Stats snapshots the cache counters. Entries walks the shards under
+// their locks; the totals are mutually consistent only approximately
+// under concurrent load, which is all a monitoring surface needs. A nil
+// cache reports all zeros.
+func (c *Cache) Stats() obs.CacheSnapshot {
+	if c == nil {
+		return obs.CacheSnapshot{}
+	}
+	s := obs.CacheSnapshot{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Capacity:  c.capacity,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.ring)
+		sh.mu.Unlock()
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package qcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(Key{S: 1, T: 2}); ok {
+		t.Fatal("nil cache must miss")
+	}
+	c.Put(Key{S: 1, T: 2}, true)
+	if s := c.Stats(); s != (c.Stats()) || s.Capacity != 0 {
+		t.Fatalf("nil cache stats = %+v, want zeros", s)
+	}
+	if New(0) != nil || New(-3) != nil {
+		t.Fatal("non-positive capacity must return the nil (disabled) cache")
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(128)
+	keys := []Key{
+		{Route: 1, S: 3, T: 9},
+		{Route: 2, S: 3, T: 9, Extra: 0b101}, // same pair, different route/extra
+		{Route: 1, S: 9, T: 3},
+	}
+	vals := []bool{true, false, true}
+	for i, k := range keys {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("key %d present before Put", i)
+		}
+		c.Put(k, vals[i])
+	}
+	for i, k := range keys {
+		got, ok := c.Get(k)
+		if !ok || got != vals[i] {
+			t.Fatalf("key %d: got (%v,%v), want (%v,true)", i, got, ok, vals[i])
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 3 || s.Entries != 3 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 3 hits / 3 misses / 3 entries / 0 evictions", s)
+	}
+	// Re-putting refreshes the value in place.
+	c.Put(keys[0], false)
+	if got, _ := c.Get(keys[0]); got != false {
+		t.Fatal("re-Put did not refresh value")
+	}
+	if s := c.Stats(); s.Entries != 3 {
+		t.Fatalf("re-Put grew the cache: %+v", s)
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	c := New(1) // rounds up to one entry per shard
+	if got := c.Stats().Capacity; got != shardCount {
+		t.Fatalf("capacity = %d, want %d", got, shardCount)
+	}
+	c = New(100)
+	if got := c.Stats().Capacity; got%shardCount != 0 || got < 100 {
+		t.Fatalf("capacity = %d, want multiple of %d covering 100", got, shardCount)
+	}
+}
+
+func TestEvictionBounded(t *testing.T) {
+	c := New(64)
+	for i := 0; i < 10000; i++ {
+		c.Put(Key{S: uint32(i), T: uint32(i >> 3)}, i%2 == 0)
+	}
+	s := c.Stats()
+	if s.Entries > s.Capacity {
+		t.Fatalf("entries %d exceed capacity %d", s.Entries, s.Capacity)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("10000 puts through 64 slots must evict")
+	}
+	// Stored answers must survive eviction pressure intact.
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if v, ok := c.Get(Key{S: uint32(i), T: uint32(i >> 3)}); ok {
+			hits++
+			if v != (i%2 == 0) {
+				t.Fatalf("key %d returned the wrong value after evictions", i)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("everything was evicted including the newest entries")
+	}
+}
+
+// TestClockSecondChance pins the CLOCK property: a key that keeps getting
+// hit survives a stream of one-shot keys through the same shard.
+func TestClockSecondChance(t *testing.T) {
+	c := New(shardCount * 4) // 4 slots per shard
+	hot := Key{Route: 7, S: 42, T: 43}
+	c.Put(hot, true)
+	for i := 0; i < 1000; i++ {
+		c.Put(Key{Route: 7, S: uint32(i), T: uint32(i + 1)}, false)
+		if _, ok := c.Get(hot); ok {
+			continue
+		}
+		// The hot key can be evicted only if its shard saw enough cold
+		// traffic to sweep twice without an intervening hit — with a Get
+		// after every Put that means it was never re-referenced, a bug.
+		t.Fatalf("hot key evicted at i=%d despite constant hits", i)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{Route: uint8(w % 3), S: uint32(i % 97), T: uint32(i % 89)}
+				if v, ok := c.Get(k); ok {
+					want := (int(k.S)+int(k.T)+int(k.Route))%2 == 0
+					if v != want {
+						t.Errorf("corrupted value for %+v", k)
+						return
+					}
+				} else {
+					c.Put(k, (int(k.S)+int(k.T)+int(k.Route))%2 == 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != 8*2000 {
+		t.Fatalf("hits+misses = %d, want %d", s.Hits+s.Misses, 8*2000)
+	}
+}

@@ -33,6 +33,7 @@ import (
 type T struct {
 	visited  *bitset.Set
 	visited2 *bitset.Set
+	words    []uint64
 
 	// Queue doubles as BFS queue and DFS stack. Queue2 and Aux serve
 	// bidirectional searches (second frontier, next-frontier build
@@ -72,4 +73,19 @@ func (s *T) Visited() *bitset.Set { return s.visited }
 func (s *T) Visited2(n int) *bitset.Set {
 	s.visited2.EnsureClear(n)
 	return s.visited2
+}
+
+// Words returns the arena's per-vertex word array (one uint64 per
+// vertex), zeroed, of length n — the reach-mask storage of the
+// bit-parallel multi-source kernel (traversal.MultiSourceReach). Like
+// the visited sets it is cleared lazily, reuses its grown backing, and
+// must not be retained past Put.
+func (s *T) Words(n int) []uint64 {
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	} else {
+		s.words = s.words[:n]
+		clear(s.words)
+	}
+	return s.words
 }

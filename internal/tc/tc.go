@@ -11,13 +11,16 @@
 package tc
 
 import (
+	"math/bits"
+
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/labelset"
-	"repro/internal/order"
 	"repro/internal/par"
 	"repro/internal/scc"
+	"repro/internal/scratch"
+	"repro/internal/traversal"
 )
 
 // Closure is the full transitive closure of a digraph. Reach(s, t) answers
@@ -31,30 +34,55 @@ type Closure struct {
 // are condensed first). Serial; see NewClosureN for the parallel variant.
 func NewClosure(g *graph.Digraph) *Closure { return NewClosureN(g, 1) }
 
-// NewClosureN is NewClosure with the per-source bitset-row merges fanned
-// out over a worker pool (0 = GOMAXPROCS, 1 = serial): rows are filled in
-// a level-synchronized sweep, deepest level first, so all successor rows
-// of a vertex are complete before they are OR-ed into its own row and
-// rows within one level fill concurrently. The closure is exact at any
-// worker count.
+// NewClosureN is NewClosure with the row computation fanned out over a
+// worker pool (0 = GOMAXPROCS, 1 = serial): the component sources are cut
+// into blocks of 64 and each block is closed by one bit-parallel sweep of
+// the condensation (traversal.MultiSourceSweep) — 64 rows per pass over
+// the DAG's edges instead of one OR per edge endpoint per row. Blocks own
+// disjoint row ranges of the closure matrix and the topological order is
+// shared read-only, so the closure is exact and identical at any worker
+// count.
 func NewClosureN(g *graph.Digraph, workers int) *Closure {
 	return NewClosureChecked(g, workers, nil)
 }
 
 // NewClosureChecked is NewClosureN under a cancellation checkpoint: one
 // tick per closure row, so a canceled closure build over a large
-// condensation aborts after a bounded number of row merges. A nil check
+// condensation aborts after a bounded number of block sweeps. A nil check
 // is free.
 func NewClosureChecked(g *graph.Digraph, workers int, chk *core.Check) *Closure {
 	cond := scc.Condense(g)
 	dag := cond.DAG
 	nc := dag.N()
 	mat := bitset.NewMatrix(nc, nc)
-	par.Sweep(workers, order.Reversed(order.LevelBuckets(dag)), func(_ int, v graph.V) {
-		chk.Tick()
-		mat.Set(int(v), int(v))
-		for _, w := range dag.Succ(v) {
-			mat.OrRow(int(v), int(w))
+	// Tarjan assigns component ids in reverse topological order (if a
+	// reaches b then id(a) > id(b)), so descending ids ARE a topological
+	// order of the condensation — no level bucketing needed.
+	ord := make([]graph.V, nc)
+	for i := range ord {
+		ord[i] = graph.V(nc - 1 - i)
+	}
+	blocks := (nc + traversal.WordSources - 1) / traversal.WordSources
+	par.Do(workers, blocks, func(b int) {
+		base := b * traversal.WordSources
+		hi := base + traversal.WordSources
+		if hi > nc {
+			hi = nc
+		}
+		sc := scratch.Get(0)
+		defer scratch.Put(sc)
+		words := sc.Words(nc)
+		for s := base; s < hi; s++ {
+			chk.Tick()
+			words[s] |= 1 << uint(s-base) // source reaches itself
+		}
+		traversal.MultiSourceSweep(dag, ord, words)
+		for v, wv := range words {
+			for wv != 0 {
+				j := bits.TrailingZeros64(wv)
+				mat.Set(base+j, v)
+				wv &= wv - 1
+			}
 		}
 	})
 	return &Closure{comp: cond.Comp, mat: mat}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package traversal_test
+
+const raceEnabled = false

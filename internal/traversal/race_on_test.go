@@ -1,0 +1,9 @@
+//go:build race
+
+package traversal_test
+
+// Under the race detector sync.Pool deliberately drops a fraction of Puts
+// (to flush out retain-after-Put bugs), so the steady-state zero-alloc
+// guarantee does not hold there by construction (same flag as
+// internal/scratch).
+const raceEnabled = true

@@ -119,10 +119,18 @@ func BiBFS(g *graph.Digraph, s, t graph.V) bool {
 }
 
 // ReachableFrom returns the set of vertices reachable from s (including s).
-// The returned set is freshly allocated (callers retain it); only the DFS
-// stack comes from the scratch pool.
+// The returned set is freshly allocated because callers (the O'Reach index)
+// retain it; query paths that only inspect the set transiently should use
+// ReachableFromInto with a pooled set instead.
 func ReachableFrom(g *graph.Digraph, s graph.V) *bitset.Set {
-	visited := bitset.New(g.N())
+	return ReachableFromInto(g, s, bitset.New(g.N()))
+}
+
+// ReachableFromInto computes the forward reachable set of s into visited,
+// which must already be cleared with capacity for bits [0, g.N()) — pass a
+// scratch arena's Visited() for an allocation-free traversal. It returns
+// visited for convenience; the set belongs to the caller.
+func ReachableFromInto(g *graph.Digraph, s graph.V, visited *bitset.Set) *bitset.Set {
 	visited.Set(int(s))
 	sc := scratch.Get(0)
 	defer scratch.Put(sc)
@@ -141,9 +149,16 @@ func ReachableFrom(g *graph.Digraph, s graph.V) *bitset.Set {
 }
 
 // Reaching returns the set of vertices that can reach t (including t). The
-// returned set is freshly allocated; only the DFS stack is pooled.
+// returned set is freshly allocated (retained by the O'Reach index); use
+// ReachingInto with a pooled set for transient lookups.
 func Reaching(g *graph.Digraph, t graph.V) *bitset.Set {
-	visited := bitset.New(g.N())
+	return ReachingInto(g, t, bitset.New(g.N()))
+}
+
+// ReachingInto computes the backward reachable set of t into visited, which
+// must already be cleared with capacity for bits [0, g.N()). It returns
+// visited for convenience; the set belongs to the caller.
+func ReachingInto(g *graph.Digraph, t graph.V, visited *bitset.Set) *bitset.Set {
 	visited.Set(int(t))
 	sc := scratch.Get(0)
 	defer scratch.Put(sc)
@@ -309,7 +324,11 @@ func ProductBFSCtx(ctx context.Context, g *graph.Digraph, s, t graph.V, dfa DFAI
 }
 
 // CountVisitedBFS runs a full BFS from s and returns how many vertices were
-// visited; used by the benchmark harness to report traversal work.
+// visited; used by the benchmark harness to report traversal work. The
+// visited set is pooled (nothing is retained), so a steady-state call
+// allocates nothing.
 func CountVisitedBFS(g *graph.Digraph, s graph.V) int {
-	return ReachableFrom(g, s).Count()
+	sc := scratch.Get(g.N())
+	defer scratch.Put(sc)
+	return ReachableFromInto(g, s, sc.Visited()).Count()
 }

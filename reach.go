@@ -92,6 +92,9 @@ type (
 	RLCIndex = core.RLCIndex
 	// Stats describes an index footprint.
 	Stats = core.Stats
+	// PreparedGraph memoizes per-graph preprocessing (SCC condensation)
+	// shared across index builds over the same graph; see Prepare.
+	PreparedGraph = core.Prepared
 
 	// BuildSpans records named build-phase durations (see OBSERVABILITY.md).
 	BuildSpans = obs.Spans
@@ -125,6 +128,13 @@ var (
 	// Fig1Labeled builds the paper's Figure 1(b) edge-labeled graph.
 	Fig1Labeled = graph.Fig1Labeled
 )
+
+// Prepare returns a preprocessing memo for g: pass it as Options.Prepared
+// to every Build over the same graph and the SCC condensation every
+// DAG-only technique needs (§3.1) is computed exactly once and shared.
+// The memo is lazy (a graph whose indexes all accept general input never
+// condenses) and safe for concurrent builds.
+func Prepare(g *Graph) *PreparedGraph { return core.NewPrepared(g) }
 
 // Kind names a plain reachability indexing technique (a Table 1 row).
 type Kind string
@@ -201,6 +211,15 @@ type Options struct {
 	// with Workers == 0 selects GOMAXPROCS, which is also what
 	// Workers == 0 alone selects, so the field is now redundant.
 	Parallel bool
+	// Prepared, when non-nil, supplies the shared preprocessing memo of
+	// Prepare(g): every DAG-only build drawing from it reuses one SCC
+	// condensation instead of recomputing it per kind, and the build's
+	// "scc/condense" span records the memo hit as its `cached` attribute.
+	// The memo must be bound to the graph being built over (ErrBadOptions
+	// otherwise). NewDB threads one through all of its builds
+	// automatically; set this only when calling Build* directly for
+	// several kinds over one graph. Nil keeps the per-build condensation.
+	Prepared *PreparedGraph
 	// Spans, when non-nil, receives named build-phase durations from
 	// Build/BuildLCR/BuildRLC (SCC condensation, order computation, filter
 	// passes, ...); see OBSERVABILITY.md for the span-name schema. Nil
@@ -250,35 +269,35 @@ func BuildCtx(ctx context.Context, k Kind, g *Graph, opt Options) (ix Index, err
 	sp := opt.Spans
 	switch k {
 	case KindTreeCover:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return treecover.New(d) }), nil
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index { return treecover.New(d) }), nil
 	case KindTreeSSPI:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return sspi.New(d) }), nil
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index { return sspi.New(d) }), nil
 	case KindDualLabel:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return duallabel.New(d) }), nil
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index { return duallabel.New(d) }), nil
 	case KindGRIPP:
 		return timed(sp, func() Index { return gripp.New(g) }), nil
 	case KindPathTree:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return pathtree.New(d) }), nil
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index { return pathtree.New(d) }), nil
 	case KindGRAIL:
-		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+		return core.ForGeneralPrepared(g, sp, par.Resolve(opt.Workers), opt.Prepared, func(d *Graph) Index {
 			return grail.New(d, grail.Options{K: opt.K, Seed: opt.Seed, Workers: opt.Workers})
 		}), nil
 	case KindFerrari:
-		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+		return core.ForGeneralPrepared(g, sp, par.Resolve(opt.Workers), opt.Prepared, func(d *Graph) Index {
 			return ferrari.New(d, ferrari.Options{K: opt.K, Workers: opt.Workers})
 		}), nil
 	case KindDAGGER:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index {
 			return dagger.New(d, dagger.Options{K: opt.K, Seed: opt.Seed})
 		}), nil
 	case KindTwoHop:
 		return timed(sp, func() Index { return twohop.NewChecked(g, chk) }), nil
 	case KindThreeHop:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return threehop.NewChecked(d, chk) }), nil
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index { return threehop.NewChecked(d, chk) }), nil
 	case KindPathHop:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return pathhop.New(d) }), nil
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index { return pathhop.New(d) }), nil
 	case KindTFL:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index {
 			return pll.New(d, pll.Options{Order: pll.OrderTopological, Check: chk})
 		}), nil
 	case KindDL:
@@ -288,7 +307,7 @@ func BuildCtx(ctx context.Context, k Kind, g *Graph, opt Options) (ix Index, err
 	case KindPLL:
 		return timed(sp, func() Index { return pll.New(g, pll.Options{Order: pll.OrderDegree, Check: chk}) }), nil
 	case KindHL:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index {
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index {
 			return pll.New(d, pll.Options{Order: pll.OrderDegreeProduct, Name: "HL", Check: chk})
 		}), nil
 	case KindTOL:
@@ -298,21 +317,21 @@ func BuildCtx(ctx context.Context, k Kind, g *Graph, opt Options) (ix Index, err
 			return dbl.New(g, dbl.Options{K: opt.K, Bits: opt.Bits, Seed: opt.Seed, Workers: opt.Workers})
 		}), nil
 	case KindOReach:
-		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+		return core.ForGeneralPrepared(g, sp, par.Resolve(opt.Workers), opt.Prepared, func(d *Graph) Index {
 			return oreach.New(d, oreach.Options{K: opt.K, Workers: opt.Workers})
 		}), nil
 	case KindIP:
-		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+		return core.ForGeneralPrepared(g, sp, par.Resolve(opt.Workers), opt.Prepared, func(d *Graph) Index {
 			return ip.New(d, ip.Options{K: opt.K, Seed: opt.Seed, Workers: opt.Workers})
 		}), nil
 	case KindBFL:
-		return core.ForGeneralSpansN(g, sp, par.Resolve(opt.Workers), func(d *Graph) Index {
+		return core.ForGeneralPrepared(g, sp, par.Resolve(opt.Workers), opt.Prepared, func(d *Graph) Index {
 			return bfl.New(d, bfl.Options{Bits: opt.Bits, Seed: opt.Seed, Spans: sp, Workers: opt.Workers})
 		}), nil
 	case KindFeline:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return feline.New(d) }), nil
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index { return feline.New(d) }), nil
 	case KindPReaCH:
-		return core.ForGeneralSpans(g, sp, func(d *Graph) Index { return preach.New(d) }), nil
+		return core.ForGeneralPrepared(g, sp, 0, opt.Prepared, func(d *Graph) Index { return preach.New(d) }), nil
 	}
 	return nil, fmt.Errorf("reach: unknown index kind %q", k)
 }
