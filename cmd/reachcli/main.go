@@ -7,6 +7,7 @@
 //	reachcli -graph g.txt -index bfl -q "0 15"           # plain query
 //	reachcli -graph g.txt -q "alice bob (knows|likes)*"  # constrained
 //	echo "0 1\n0 2" | reachcli -graph g.txt              # batch on stdin
+//	reachcli -graph g.txt -json -q "0 15"                # JSON result lines
 //	reachcli stats -graph g.txt -index bfl -queries 5000 # observability
 //
 // Query lines hold "s t" for plain reachability or "s t α" for a
@@ -22,6 +23,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -48,6 +50,7 @@ func main() {
 	workers := flag.Int("workers", 0, "build worker cap; 0 = GOMAXPROCS")
 	maxseq := flag.Int("maxseq", 0, "RLC max concatenation length κ; 0 = default")
 	timeout := flag.Duration("timeout", 0, "abort index construction after this long; 0 = no limit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per query result instead of plain text")
 	flag.Parse()
 
 	if *list {
@@ -97,34 +100,50 @@ func main() {
 		}
 	}
 
+	// emit prints one result. Plain mode writes the historical true/false
+	// lines; -json writes one object per query, machine-splittable with
+	// line-oriented tools (jq, scripts piping stdin batches).
+	emit := func(res queryResult) {
+		if *jsonOut {
+			b, _ := json.Marshal(res)
+			fmt.Println(string(b))
+			return
+		}
+		if res.Error != "" {
+			fmt.Printf("error: %s\n", res.Error)
+			return
+		}
+		fmt.Println(*res.Reachable)
+	}
 	answer := func(line string) {
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			fmt.Printf("error: want 's t' or 's t α', got %q\n", line)
+			emit(queryResult{Query: line, Error: fmt.Sprintf("want 's t' or 's t α', got %q", line)})
 			return
 		}
+		res := queryResult{Query: line, S: fields[0], T: fields[1]}
 		s, ok1 := vertex(g, fields[0])
 		t, ok2 := vertex(g, fields[1])
 		if !ok1 || !ok2 {
-			fmt.Printf("error: unknown vertex in %q\n", line)
+			res.Error = fmt.Sprintf("unknown vertex in %q", line)
+			emit(res)
 			return
 		}
+		var got bool
+		var err error
 		if len(fields) == 2 {
-			got, err := db.Reach(s, t)
-			if err != nil {
-				fmt.Printf("error: %v\n", firstLine(err))
-				return
-			}
-			fmt.Println(got)
-			return
+			got, err = db.Reach(s, t)
+		} else {
+			res.Alpha = strings.Join(fields[2:], " ")
+			got, err = db.Query(s, t, res.Alpha)
 		}
-		alpha := strings.Join(fields[2:], " ")
-		got, err := db.Query(s, t, alpha)
 		if err != nil {
-			fmt.Printf("error: %v\n", firstLine(err))
+			res.Error = firstLine(err)
+			emit(res)
 			return
 		}
-		fmt.Println(got)
+		res.Reachable = &got
+		emit(res)
 	}
 
 	if *query != "" {
@@ -205,6 +224,18 @@ func runStats(args []string) {
 		*graphPath, g.N(), g.M(), g.Labels(), *queries)
 	snap, _ := db.MetricsSnapshot()
 	snap.WriteText(os.Stdout)
+}
+
+// queryResult is one -json output line. Reachable is a pointer so the
+// field is present exactly when the query produced an answer; on errors
+// the object carries the echoed query and the error instead.
+type queryResult struct {
+	Query     string `json:"query"`
+	S         string `json:"s,omitempty"`
+	T         string `json:"t,omitempty"`
+	Alpha     string `json:"alpha,omitempty"`
+	Reachable *bool  `json:"reachable,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 func vertex(g *reach.Graph, tok string) (reach.V, bool) {

@@ -1,0 +1,220 @@
+// Command reachserve serves reachability queries over HTTP/JSON (see
+// internal/server and DESIGN.md, "Serving").
+//
+// Usage:
+//
+//	reachserve -graph g.txt                         # serve on :8080
+//	reachserve -demo -addr 127.0.0.1:0 -addrfile a  # demo graph, random port
+//	reachserve -graph g.txt -snapshot g.idx         # warm-start when g.idx exists
+//
+// Endpoints: /v1/reach?s=&t=, /v1/query?s=&t=&alpha=, /v1/allowed?s=&t=&labels=,
+// POST /v1/batch, /v1/path?s=&t=[&alpha=], /healthz, /readyz, /metrics,
+// /debug/vars, /admin/stats, POST /admin/reload.
+//
+// SIGTERM or SIGINT drains gracefully: /readyz flips to 503, in-flight
+// requests finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	reach "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file (for port-0 scripting)")
+	graphPath := flag.String("graph", "", "graph file (edge-list exchange format)")
+	demo := flag.Bool("demo", false, "serve the paper's Figure 1(b) demo graph instead of -graph")
+	indexKind := flag.String("index", "bfl", "plain index kind")
+	lcrKind := flag.String("lcr", "p2h", "LCR index kind for labeled graphs")
+	k := flag.Int("k", 0, "per-technique budget; 0 = default")
+	bits := flag.Int("bits", 0, "Bloom filter width (BFL/DBL); 0 = default")
+	maxseq := flag.Int("maxseq", 0, "RLC max concatenation length κ; 0 = default")
+	workers := flag.Int("workers", 0, "build worker cap; 0 = GOMAXPROCS")
+	cache := flag.Int("cache", 0, "query-result cache entries; 0 disables")
+	metrics := flag.Bool("metrics", true, "enable the observability layer")
+	degraded := flag.Bool("degraded", false, "keep serving when an optional index build fails")
+	snapshot := flag.String("snapshot", "", "plain-index snapshot file: load when present, write after a fresh build (BFL only)")
+	maxInFlight := flag.Int("max-inflight", 256, "max concurrently executing query requests")
+	maxQueue := flag.Int("max-queue", 0, "max queued query requests; 0 = same as -max-inflight")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "max time a request waits for an admission slot")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; negative disables")
+	buildTimeout := flag.Duration("build-timeout", 0, "abort index construction after this long; 0 = no limit")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
+	flag.Parse()
+
+	lg := log.New(os.Stderr, "reachserve: ", log.LstdFlags)
+	if *demo == (*graphPath != "") {
+		lg.Fatal("need exactly one of -graph or -demo")
+	}
+
+	cfg := reach.DBConfig{
+		Plain:    reach.Kind(*indexKind),
+		LCR:      reach.LCRKind(*lcrKind),
+		Options:  reach.Options{K: *k, Bits: *bits, Workers: *workers, MaxSeq: *maxseq},
+		Metrics:  *metrics,
+		Degraded: *degraded,
+		CacheSize: func() int {
+			if *cache < 0 {
+				return 0
+			}
+			return *cache
+		}(),
+	}
+
+	buildDB := func(ctx context.Context) (*reach.DB, error) {
+		return openDB(ctx, *graphPath, *demo, *snapshot, cfg, lg)
+	}
+
+	ctx := context.Background()
+	if *buildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *buildTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	db, err := buildDB(ctx)
+	if err != nil {
+		lg.Fatalf("build: %v", err)
+	}
+	g := db.Graph()
+	lg.Printf("serving %d vertices, %d edges, %d labels (index %s, ready in %v)",
+		g.N(), g.M(), g.Labels(), *indexKind, time.Since(start).Round(time.Millisecond))
+
+	srv, err := server.New(server.Config{
+		DB:             db,
+		Rebuild:        buildDB,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RequestTimeout: *reqTimeout,
+		ReloadTimeout:  *buildTimeout,
+		ExpvarName:     "reach_db",
+		Log:            lg,
+	})
+	if err != nil {
+		lg.Fatalf("server: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		lg.Fatalf("listen: %v", err)
+	}
+	lg.Printf("listening on %s", l.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(l.Addr().String()+"\n"), 0o644); err != nil {
+			lg.Fatalf("addrfile: %v", err)
+		}
+	}
+
+	// Serve until SIGTERM/SIGINT, then drain: the signal flips /readyz,
+	// Shutdown closes the listener and waits for in-flight requests.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		lg.Printf("signal %v: draining", sig)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			lg.Fatalf("drain: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			lg.Fatalf("serve: %v", err)
+		}
+		lg.Printf("drained cleanly (%d requests completed during drain)",
+			srv.Metrics().Drained.Load())
+	case err := <-errc:
+		lg.Fatalf("serve: %v", err)
+	}
+}
+
+// openDB loads the graph and constructs the DB, warm-starting the plain
+// index from snapPath when that file exists and writing a fresh snapshot
+// there when it does not. Reload paths re-enter here, so editing the
+// graph file and POSTing /admin/reload picks the new graph up; a stale
+// snapshot that no longer matches the graph fails the build with a typed
+// error rather than serving wrong answers.
+func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, cfg reach.DBConfig, lg *log.Logger) (*reach.DB, error) {
+	var g *reach.Graph
+	if demo {
+		g = reach.Fig1Labeled()
+	} else {
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		var perr error
+		g, perr = reach.ReadGraph(f)
+		f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("parse %s: %w", graphPath, perr)
+		}
+	}
+
+	warm := false
+	if snapPath != "" {
+		if f, err := os.Open(snapPath); err == nil {
+			cfg.PlainSnapshot = f
+			warm = true
+			defer f.Close()
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("snapshot %s: %w", snapPath, err)
+		}
+	}
+	db, err := reach.NewDBCtx(ctx, g, cfg)
+	if err != nil {
+		if warm {
+			return nil, fmt.Errorf("warm-start from %s: %w (delete the snapshot to rebuild)", snapPath, err)
+		}
+		return nil, err
+	}
+	if warm {
+		lg.Printf("warm-started plain index from %s", snapPath)
+	} else if snapPath != "" {
+		if err := writeSnapshot(snapPath, db); err != nil {
+			lg.Printf("snapshot save failed (serving anyway): %v", err)
+		} else {
+			lg.Printf("saved plain-index snapshot to %s", snapPath)
+		}
+	}
+	return db, nil
+}
+
+// writeSnapshot persists the DB's plain index atomically: write to a
+// temp file in the same directory, fsync-free rename over the target, so
+// a crash mid-write never leaves a torn snapshot for the next start.
+func writeSnapshot(path string, db *reach.DB) error {
+	ix, ok := db.PlainIndex(reach.KindBFL)
+	if !ok {
+		return fmt.Errorf("no %s index built (snapshot supports -index bfl)", reach.KindBFL)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := reach.SaveIndex(tmp, ix); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

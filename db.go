@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -124,6 +125,15 @@ type DBConfig struct {
 	// alternation masks, short concatenation sequences — including their
 	// degraded fallbacks; see OBSERVABILITY.md for the cache/* counters.
 	CacheSize int
+	// PlainSnapshot, when non-nil, warm-starts the plain index from a
+	// snapshot previously written with SaveIndex instead of building it:
+	// the load is a linear deserialization recorded as an "index/load"
+	// span (a warm-started DB's build timeline has no "index/build"
+	// phase). The snapshot must pair with g and with Plain — KindBFL, the
+	// default, is the only snapshottable kind today; a kind or graph
+	// mismatch fails NewDB with a typed error. LCR/RLC indexes are always
+	// built fresh.
+	PlainSnapshot io.Reader
 }
 
 // NewDB builds a DB over g. For unlabeled graphs only the plain index is
@@ -165,7 +175,15 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 	}
 	db.prep = cfg.Options.Prepared
 	var err error
-	if db.plain, err = BuildCtx(ctx, cfg.Plain, g, cfg.Options); err != nil {
+	if cfg.PlainSnapshot != nil {
+		if cfg.Plain != KindBFL {
+			return nil, fmt.Errorf("%w: PlainSnapshot warm-start supports Plain == %q only, not %q", ErrBadOptions, KindBFL, cfg.Plain)
+		}
+		db.plain, err = LoadIndex(cfg.PlainSnapshot, g, cfg.Options)
+	} else {
+		db.plain, err = BuildCtx(ctx, cfg.Plain, g, cfg.Options)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if db.metrics != nil {
@@ -425,7 +443,7 @@ func (db *DB) query(ctx context.Context, s, t V, alpha string) (bool, obs.RouteK
 	}
 	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
 	if err != nil {
-		return false, obs.RouteProduct, err
+		return false, obs.RouteProduct, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if ix, ok := db.registered[ast.String()]; ok {
 		return ix.Reach(s, t), obs.RouteRegistered, nil
@@ -526,15 +544,15 @@ func (db *DB) reachRLC(s, t V, seq []Label) (bool, obs.RouteKind) {
 func (db *DB) queryUnlabeled(s, t V, alpha string) (bool, error) {
 	ast, err := regexpath.Parse(alpha, regexpath.AnyResolver())
 	if err != nil {
-		return false, err
+		return false, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	cl := regexpath.Classify(ast)
 	plain := cl.Class == regexpath.ClassAlternation ||
 		(cl.Class == regexpath.ClassConcatenation && len(cl.Sequence) == 1)
 	if !plain {
 		return false, fmt.Errorf(
-			"reach: graph is unlabeled and constraint %q depends on edge labels; only label-insensitive constraints (e.g. (a|b)*) are answerable — use Reach for plain queries",
-			alpha)
+			"%w: graph is unlabeled and constraint %q depends on edge labels; only label-insensitive constraints (e.g. (a|b)*) are answerable — use Reach for plain queries",
+			ErrBadQuery, alpha)
 	}
 	if s == t && !cl.PlusOnly {
 		return true, nil
@@ -588,11 +606,11 @@ func (db *DB) plusAlternation(s, t V, allowed labelset.Set) bool {
 // hot constraint.
 func (db *DB) RegisterConstraint(alpha string) (err error) {
 	if !db.g.Labeled() {
-		return fmt.Errorf("reach: graph is unlabeled")
+		return fmt.Errorf("%w: graph is unlabeled", ErrBadQuery)
 	}
 	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	defer db.boundary(&err)
 	// The expression was parsed once above for validation and map keying;
@@ -627,11 +645,11 @@ func (db *DB) QueryPath(s, t V, alpha string) (edges []GraphEdge, err error) {
 		return nil, err
 	}
 	if !db.g.Labeled() {
-		return nil, fmt.Errorf("reach: graph is unlabeled")
+		return nil, fmt.Errorf("%w: graph is unlabeled", ErrBadQuery)
 	}
 	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	defer db.boundary(&err)
 	dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), db.g.Labels())
@@ -646,7 +664,7 @@ func (db *DB) QueryAllowed(s, t V, labels ...Label) (res bool, err error) {
 		return false, err
 	}
 	if !db.g.Labeled() {
-		return false, fmt.Errorf("reach: no LCR index (graph unlabeled)")
+		return false, fmt.Errorf("%w: no LCR index (graph unlabeled)", ErrBadQuery)
 	}
 	defer db.boundary(&err)
 	if db.metrics == nil {

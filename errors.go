@@ -7,6 +7,7 @@ package reach
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -21,6 +22,10 @@ var (
 	// ErrBadOptions reports invalid build options or an unusable input
 	// graph (nil, or unlabeled where labels are required).
 	ErrBadOptions = core.ErrBadOptions
+	// ErrBadQuery reports a malformed path-constraint expression, or a
+	// constraint that cannot be answered on this graph (a genuinely
+	// labeled constraint over an unlabeled graph).
+	ErrBadQuery = core.ErrBadQuery
 	// ErrBuildCanceled reports a build abandoned at a cooperative
 	// checkpoint because its context was canceled.
 	ErrBuildCanceled = core.ErrBuildCanceled
@@ -54,6 +59,35 @@ func checkPrepared(g *Graph, opt Options) error {
 		return fmt.Errorf("%w: Options.Prepared is bound to a different graph", ErrBadOptions)
 	}
 	return nil
+}
+
+// StatusCode maps an error from this package's query and build entry
+// points to the HTTP status the serving layer (internal/server) reports:
+//
+//	nil                        → 200
+//	ErrVertexRange, ErrBadQuery,
+//	ErrBadOptions              → 400 (caller error; retrying is pointless)
+//	context.DeadlineExceeded,
+//	ErrBuildCanceled           → 504 (the per-request deadline fired)
+//	context.Canceled           → 499 (client went away; nobody is reading)
+//	ErrIndexPanic, anything else → 500
+//
+// Degraded-mode serving never reaches this table: a DB built with
+// DBConfig.Degraded answers its degraded routes with nil errors (exact,
+// index-free), so those requests stay 200.
+func StatusCode(err error) int {
+	switch {
+	case err == nil:
+		return 200
+	case errors.Is(err, ErrVertexRange), errors.Is(err, ErrBadQuery), errors.Is(err, ErrBadOptions):
+		return 400
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrBuildCanceled):
+		return 504
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return 500
+	}
 }
 
 // checkBuild is the shared precondition gate of the Build* family: a

@@ -1,0 +1,101 @@
+package bfl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/persist"
+)
+
+// Snapshots use the shared internal/persist container (format "bfl",
+// version 1) with three sections:
+//
+//	meta      — vertex count n, filter width in 64-bit words
+//	intervals — DFS post[n] and min[n] (the definite-positive test)
+//	filters   — out filters then in filters, n*words words each
+//
+// BFL is a partial index: the guided-DFS fallback needs the graph the
+// labels were computed over, so Read re-binds the snapshot to a caller
+// supplied DAG. Pairing a snapshot with the right graph is the caller's
+// responsibility (a vertex-count mismatch is detected, other mismatches
+// are not — as with any external index file in a DBMS).
+const (
+	persistFormat  = "bfl"
+	persistVersion = 1
+)
+
+// WriteTo serializes the index. It returns the number of bytes written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	pw := persist.NewWriter(w, persistFormat, persistVersion)
+	pw.Section("meta", func(e *persist.Encoder) {
+		e.U32(uint32(len(ix.post)))
+		e.U32(uint32(ix.words))
+	})
+	pw.Section("intervals", func(e *persist.Encoder) {
+		e.U32s(ix.post)
+		e.U32s(ix.min)
+	})
+	pw.Section("filters", func(e *persist.Encoder) {
+		e.U64s(ix.out)
+		e.U64s(ix.in)
+	})
+	return pw.Close()
+}
+
+// Read deserializes an index previously written with WriteTo and binds it
+// to dag — the same DAG the snapshot was built over (for a general graph,
+// the SCC condensation the builder ran on). The filter-guided fallback
+// traverses dag, so answers are only correct over the original graph.
+func Read(r io.Reader, dag *graph.Digraph) (*Index, error) {
+	pr, err := persist.NewReader(r, persistFormat, persistVersion)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := pr.Section("meta")
+	if err != nil {
+		return nil, err
+	}
+	n := meta.U32()
+	words := meta.U32()
+	if err := meta.Close(); err != nil {
+		return nil, err
+	}
+	if int(n) != dag.N() {
+		return nil, fmt.Errorf("bfl: snapshot has %d vertices, graph has %d (snapshot built over a different graph?)", n, dag.N())
+	}
+	if words == 0 || words > 1<<20 {
+		return nil, fmt.Errorf("bfl: implausible filter width %d words", words)
+	}
+	ix := &Index{g: dag, words: int(words)}
+	iv, err := pr.Section("intervals")
+	if err != nil {
+		return nil, err
+	}
+	ix.post = iv.U32s()
+	ix.min = iv.U32s()
+	if err := iv.Close(); err != nil {
+		return nil, err
+	}
+	if len(ix.post) != int(n) || len(ix.min) != int(n) {
+		return nil, fmt.Errorf("bfl: interval sections have %d/%d entries, want %d", len(ix.post), len(ix.min), n)
+	}
+	fl, err := pr.Section("filters")
+	if err != nil {
+		return nil, err
+	}
+	ix.out = fl.U64s()
+	ix.in = fl.U64s()
+	if err := fl.Close(); err != nil {
+		return nil, err
+	}
+	if len(ix.out) != int(n)*int(words) || len(ix.in) != int(n)*int(words) {
+		return nil, fmt.Errorf("bfl: filter sections have %d/%d words, want %d", len(ix.out), len(ix.in), int(n)*int(words))
+	}
+	ix.stats = core.Stats{
+		Entries: 2 * int(n),
+		Bytes:   2*int(n)*int(words)*8 + 2*int(n)*4,
+	}
+	return ix, nil
+}

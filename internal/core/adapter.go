@@ -58,6 +58,37 @@ func ForGeneralPrepared(g *graph.Digraph, spans *obs.Spans, workers int, prep *P
 	end := spans.StartN("index/build", workers)
 	inner := build(cond.DAG)
 	end()
+	return newCondensed(cond, inner)
+}
+
+// ForGeneralLoaded is the warm-start twin of ForGeneralPrepared: instead
+// of building the DAG index it loads one from a snapshot via load, and
+// records the (much cheaper) deserialization as an "index/load" span —
+// so a warm-started build timeline is distinguishable from a fresh one
+// by span name alone. The condensation still runs (or comes from the
+// prep memo): it is derived from the immutable graph, deterministic, and
+// orders of magnitude cheaper than the filter passes it replaces.
+func ForGeneralLoaded(g *graph.Digraph, spans *obs.Spans, prep *Prepared, load func(dag *graph.Digraph) (Index, error)) (Index, error) {
+	var cond *scc.Condensation
+	if prep != nil && prep.Graph() == g {
+		cond = prep.CondenseSpans(spans)
+	} else {
+		endCond := spans.Start("scc/condense")
+		cond = scc.Condense(g)
+		endCond()
+	}
+	end := spans.Start("index/load")
+	inner, err := load(cond.DAG)
+	end()
+	if err != nil {
+		return nil, err
+	}
+	return newCondensed(cond, inner), nil
+}
+
+// newCondensed wraps a DAG index in the condensation adapter, binding the
+// partial/counting fast paths once.
+func newCondensed(cond *scc.Condensation, inner Index) *condensed {
 	c := &condensed{cond: cond, inner: inner}
 	if rc, ok := inner.(ReachCounter); ok {
 		c.rc = rc

@@ -22,6 +22,10 @@ var (
 	// request (negative K/Bits/MaxSeq/Workers, unknown kind, LCR build
 	// on an unlabeled graph, out-of-range labels).
 	ErrBadOptions = errors.New("bad options")
+	// ErrBadQuery reports a malformed path-constraint expression, or a
+	// constraint that cannot be answered on this graph (a genuinely
+	// labeled constraint over an unlabeled graph).
+	ErrBadQuery = errors.New("bad query")
 	// ErrBuildCanceled reports a build aborted by its context at a
 	// cooperative checkpoint.
 	ErrBuildCanceled = errors.New("build canceled")

@@ -1,128 +1,99 @@
 package pll
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 )
 
-// The on-disk format is a little-endian binary stream:
+// Snapshots use the shared internal/persist container (format "pll",
+// version 1) with three sections:
 //
-//	magic "PLL1" | name len+bytes | n | rank[n] |
-//	per vertex: len(in) + in entries | len(out) + out entries
+//	meta   — index name, vertex count n
+//	rank   — the total order, rank[n]
+//	labels — per vertex: in-label ranks, out-label ranks
 //
 // Labels are positional 2-hop facts about a specific graph; the caller is
-// responsible for pairing a label file with the graph it was built from
+// responsible for pairing a snapshot with the graph it was built from
 // (as with any external index file in a DBMS).
-
-var persistMagic = [4]byte{'P', 'L', 'L', '1'}
+const (
+	persistFormat  = "pll"
+	persistVersion = 1
+)
 
 // WriteTo serializes the index. It returns the number of bytes written.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var written int64
-	put := func(data interface{}) error {
-		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
-			return err
+	pw := persist.NewWriter(w, persistFormat, persistVersion)
+	pw.Section("meta", func(e *persist.Encoder) {
+		e.String(ix.name)
+		e.U32(uint32(len(ix.rank)))
+	})
+	pw.Section("rank", func(e *persist.Encoder) {
+		e.U32s(ix.rank)
+	})
+	pw.Section("labels", func(e *persist.Encoder) {
+		for v := range ix.rank {
+			e.U32s(ix.in[v])
+			e.U32s(ix.out[v])
 		}
-		written += int64(binary.Size(data))
-		return nil
-	}
-	if err := put(persistMagic); err != nil {
-		return written, err
-	}
-	name := []byte(ix.name)
-	if err := put(uint32(len(name))); err != nil {
-		return written, err
-	}
-	if err := put(name); err != nil {
-		return written, err
-	}
-	n := uint32(len(ix.rank))
-	if err := put(n); err != nil {
-		return written, err
-	}
-	if err := put(ix.rank); err != nil {
-		return written, err
-	}
-	for v := 0; v < int(n); v++ {
-		for _, list := range [][]uint32{ix.in[v], ix.out[v]} {
-			if err := put(uint32(len(list))); err != nil {
-				return written, err
-			}
-			if len(list) > 0 {
-				if err := put(list); err != nil {
-					return written, err
-				}
-			}
-		}
-	}
-	return written, bw.Flush()
+	})
+	return pw.Close()
 }
 
 // Read deserializes an index previously written with WriteTo.
 func Read(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
-	get := func(data interface{}) error {
-		return binary.Read(br, binary.LittleEndian, data)
-	}
-	var magic [4]byte
-	if err := get(&magic); err != nil {
-		return nil, fmt.Errorf("pll: read magic: %w", err)
-	}
-	if magic != persistMagic {
-		return nil, fmt.Errorf("pll: bad magic %q", magic[:])
-	}
-	var nameLen uint32
-	if err := get(&nameLen); err != nil {
+	pr, err := persist.NewReader(r, persistFormat, persistVersion)
+	if err != nil {
 		return nil, err
 	}
-	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("pll: implausible name length %d", nameLen)
-	}
-	name := make([]byte, nameLen)
-	if err := get(&name); err != nil {
+	meta, err := pr.Section("meta")
+	if err != nil {
 		return nil, err
 	}
-	var n uint32
-	if err := get(&n); err != nil {
+	name := meta.String()
+	n := meta.U32()
+	if err := meta.Close(); err != nil {
 		return nil, err
 	}
 	if n > 1<<30 {
 		return nil, fmt.Errorf("pll: implausible vertex count %d", n)
 	}
 	ix := &Index{
-		name: string(name),
-		rank: make([]uint32, n),
+		name: name,
 		in:   make([][]uint32, n),
 		out:  make([][]uint32, n),
 	}
-	if err := get(&ix.rank); err != nil {
+	rank, err := pr.Section("rank")
+	if err != nil {
+		return nil, err
+	}
+	ix.rank = rank.U32s()
+	if err := rank.Close(); err != nil {
+		return nil, err
+	}
+	if uint32(len(ix.rank)) != n {
+		return nil, fmt.Errorf("pll: rank section has %d entries, want %d", len(ix.rank), n)
+	}
+	labels, err := pr.Section("labels")
+	if err != nil {
 		return nil, err
 	}
 	entries := 0
 	for v := 0; v < int(n); v++ {
-		for li, dst := range []*[][]uint32{&ix.in, &ix.out} {
-			_ = li
-			var l uint32
-			if err := get(&l); err != nil {
-				return nil, err
-			}
-			if l > n {
-				return nil, fmt.Errorf("pll: label list longer than n")
-			}
-			list := make([]uint32, l)
-			if l > 0 {
-				if err := get(&list); err != nil {
-					return nil, err
-				}
-			}
-			(*dst)[v] = list
-			entries += int(l)
+		ix.in[v] = labels.U32s()
+		ix.out[v] = labels.U32s()
+		if labels.Err() != nil {
+			return nil, labels.Err()
 		}
+		if uint32(len(ix.in[v])) > n || uint32(len(ix.out[v])) > n {
+			return nil, fmt.Errorf("pll: label list longer than n")
+		}
+		entries += len(ix.in[v]) + len(ix.out[v])
+	}
+	if err := labels.Close(); err != nil {
+		return nil, err
 	}
 	ix.stats = core.Stats{Entries: entries, Bytes: entries*4 + int(n)*4}
 	return ix, nil

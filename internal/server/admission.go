@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// admission is the query-path admission controller: a counting semaphore
+// (slots) bounds requests executing concurrently, and a second semaphore
+// (waiters) bounds requests parked waiting for a slot. Everything beyond
+// MaxInFlight+MaxQueue — or anything queued longer than QueueWait — is
+// rejected immediately, so one burst cannot pile unbounded goroutines
+// onto the scratch pools; the 429 the caller sends is the backpressure
+// signal. Channel semaphores keep this allocation-free per request.
+type admission struct {
+	slots   chan struct{} // capacity MaxInFlight: held while executing
+	waiters chan struct{} // capacity MaxQueue: held while queued
+	wait    time.Duration
+	metrics *obs.ServerMetrics
+}
+
+// admitResult is the outcome of one admission attempt.
+type admitResult int
+
+const (
+	admitOK       admitResult = iota // slot held; caller must release()
+	admitRejected                    // over capacity → 429 + Retry-After
+	admitGone                        // caller's context ended while queued
+)
+
+// acquire tries to claim an execution slot, queueing for at most wait
+// when all slots are busy.
+func (a *admission) acquire(ctx context.Context) admitResult {
+	select {
+	case a.slots <- struct{}{}:
+		return admitOK
+	default:
+	}
+	// All slots busy: take a queue ticket or reject on a full queue.
+	select {
+	case a.waiters <- struct{}{}:
+	default:
+		return admitRejected
+	}
+	a.metrics.Queued.Add(1)
+	defer func() {
+		a.metrics.Queued.Add(-1)
+		<-a.waiters
+	}()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return admitOK
+	case <-timer.C:
+		return admitRejected
+	case <-ctx.Done():
+		return admitGone
+	}
+}
+
+// release returns an execution slot claimed by acquire.
+func (a *admission) release() { <-a.slots }

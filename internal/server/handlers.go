@@ -1,0 +1,474 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	reach "repro"
+	"repro/internal/obs"
+)
+
+// statusClientGone is the nginx-convention status for "client closed the
+// request before the response was written". Nobody reads it off the
+// wire; it exists so access logs and route counters classify these apart
+// from real failures.
+const statusClientGone = 499
+
+// maxBatchBody bounds the /v1/batch request body; combined with
+// Config.MaxBatch it keeps one request from ballooning server memory.
+const maxBatchBody = 16 << 20
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	// Query endpoints go through the admission controller; ops surfaces
+	// bypass it — health checks and metric scrapes must answer even (and
+	// especially) when the query path is saturated.
+	mux.Handle("/v1/reach", s.admit(s.handleReach))
+	mux.Handle("/v1/query", s.admit(s.handleQuery))
+	mux.Handle("/v1/allowed", s.admit(s.handleAllowed))
+	mux.Handle("POST /v1/batch", s.admit(s.handleBatch))
+	mux.Handle("/v1/path", s.admit(s.handlePath))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /admin/stats", s.handleStats)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// admit wraps a query handler in the admission controller, the in-flight
+// accounting, and the per-request deadline.
+func (s *Server) admit(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch s.adm.acquire(r.Context()) {
+		case admitRejected:
+			s.metrics.Rejected.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.cfg.RetryAfter)))
+			writeErr(w, http.StatusTooManyRequests, "server overloaded; retry later")
+			return
+		case admitGone:
+			writeErr(w, statusClientGone, "client closed request while queued")
+			return
+		}
+		s.metrics.Accepted.Inc()
+		s.metrics.InFlight.Add(1)
+		defer func() {
+			s.metrics.InFlight.Add(-1)
+			if s.draining.Load() {
+				s.metrics.Drained.Inc()
+			}
+			s.adm.release()
+		}()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if hook := s.testHookAdmitted; hook != nil {
+			hook(r)
+		}
+		h(w, r)
+	})
+}
+
+func retrySeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// --- query endpoints ---------------------------------------------------
+
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	db := s.DB()
+	sv, tv, ok := s.pair(w, r, db.Graph())
+	if !ok {
+		return
+	}
+	res, err := db.ReachCtx(r.Context(), sv, tv)
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reachResponse{Reachable: res})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	db := s.DB()
+	sv, tv, ok := s.pair(w, r, db.Graph())
+	if !ok {
+		return
+	}
+	alpha := r.FormValue("alpha")
+	if alpha == "" {
+		writeErr(w, http.StatusBadRequest, "missing alpha (the path-constraint expression)")
+		return
+	}
+	res, err := db.QueryCtx(r.Context(), sv, tv, alpha)
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reachResponse{Reachable: res})
+}
+
+func (s *Server) handleAllowed(w http.ResponseWriter, r *http.Request) {
+	db := s.DB()
+	g := db.Graph()
+	sv, tv, ok := s.pair(w, r, g)
+	if !ok {
+		return
+	}
+	raw := r.FormValue("labels")
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, "missing labels (comma-separated label names or ids)")
+		return
+	}
+	var labels []reach.Label
+	for _, tok := range strings.Split(raw, ",") {
+		l, err := labelOf(g, strings.TrimSpace(tok))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		labels = append(labels, l)
+	}
+	res, err := db.QueryAllowed(sv, tv, labels...)
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reachResponse{Reachable: res})
+}
+
+// batchRequest is the /v1/batch body: {"pairs":[{"s":0,"t":"G"},...]}.
+// Vertices are JSON numbers (ids) or strings (ids or names).
+type batchRequest struct {
+	Pairs []struct {
+		S vertexRef `json:"s"`
+		T vertexRef `json:"t"`
+	} `json:"pairs"`
+}
+
+type batchResponse struct {
+	Results []bool `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	db := s.DB()
+	g := db.Graph()
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch has %d pairs, limit is %d", len(req.Pairs), s.cfg.MaxBatch))
+		return
+	}
+	pairs := make([]reach.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		sv, err := p.S.resolve(g)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("pair %d: %v", i, err))
+			return
+		}
+		tv, err := p.T.resolve(g)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("pair %d: %v", i, err))
+			return
+		}
+		pairs[i] = reach.Pair{S: sv, T: tv}
+	}
+	// A nil index selects BatchReachCtx's bit-parallel path: blocks of 64
+	// pairs share one multi-source BFS sweep each — the batch kernel —
+	// instead of len(pairs) point lookups.
+	out, err := reach.BatchReachCtx(r.Context(), nil, g, pairs, 0)
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: out})
+}
+
+type pathResponse struct {
+	Found bool       `json:"found"`
+	Path  []reach.V  `json:"path,omitempty"`
+	Edges []pathEdge `json:"edges,omitempty"`
+}
+
+type pathEdge struct {
+	From  reach.V `json:"from"`
+	To    reach.V `json:"to"`
+	Label string  `json:"label,omitempty"`
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	db := s.DB()
+	g := db.Graph()
+	sv, tv, ok := s.pair(w, r, g)
+	if !ok {
+		return
+	}
+	if alpha := r.FormValue("alpha"); alpha != "" {
+		edges, err := db.QueryPath(sv, tv, alpha)
+		if err != nil {
+			s.writeQueryErr(w, r, err)
+			return
+		}
+		resp := pathResponse{Found: edges != nil}
+		for _, e := range edges {
+			resp.Edges = append(resp.Edges, pathEdge{From: e.From, To: e.To, Label: g.LabelName(e.Label)})
+		}
+		// QueryPath returns empty-but-non-nil edges for the s == t empty
+		// path; a nil slice means no satisfying path exists.
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	path, err := db.ReachPath(sv, tv)
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pathResponse{Found: path != nil, Path: path})
+}
+
+// --- ops surfaces ------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.Snapshot().WriteText(w)
+	db := s.DB()
+	if snap, ok := db.MetricsSnapshot(); ok {
+		snap.WriteText(w)
+	} else {
+		fmt.Fprintln(w, "db metrics disabled (start with -metrics)")
+	}
+}
+
+// statsResponse is the /admin/stats JSON document.
+type statsResponse struct {
+	Graph struct {
+		Vertices int `json:"vertices"`
+		Edges    int `json:"edges"`
+		Labels   int `json:"labels"`
+	} `json:"graph"`
+	Indexes   map[string]reach.Stats `json:"indexes"`
+	Degraded  map[string]string      `json:"degraded,omitempty"`
+	Cache     *reach.CacheSnapshot   `json:"cache,omitempty"`
+	Server    obs.ServerSnapshot     `json:"server"`
+	Draining  bool                   `json:"draining,omitempty"`
+	Reloading bool                   `json:"reloading,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	db := s.DB()
+	g := db.Graph()
+	resp := statsResponse{
+		Indexes:   db.Stats(),
+		Server:    s.metrics.Snapshot(),
+		Draining:  s.draining.Load(),
+		Reloading: s.reloading.Load(),
+	}
+	resp.Graph.Vertices = g.N()
+	resp.Graph.Edges = g.M()
+	resp.Graph.Labels = g.Labels()
+	if dr := db.DegradedRoutes(); len(dr) > 0 {
+		resp.Degraded = make(map[string]string, len(dr))
+		for route, err := range dr {
+			resp.Degraded[route] = firstLine(err)
+		}
+	}
+	if cs, ok := db.CacheStats(); ok {
+		resp.Cache = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type reloadResponse struct {
+	Reloaded   bool   `json:"reloaded"`
+	DurationMS int64  `json:"duration_ms"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	Error      string `json:"error,omitempty"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	ctx, cancel := s.reloadCtx()
+	defer cancel()
+	start := time.Now()
+	err := s.Reload(ctx)
+	switch {
+	case errors.Is(err, ErrReloadInProgress):
+		writeJSON(w, http.StatusConflict, reloadResponse{Error: err.Error()})
+		return
+	case err != nil:
+		status := reach.StatusCode(err)
+		if status == http.StatusBadRequest {
+			// A rebuild failing on its own configuration is a server-side
+			// fault from the client's point of view.
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, reloadResponse{Error: firstLine(err)})
+		return
+	}
+	db := s.DB()
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Reloaded:   true,
+		DurationMS: time.Since(start).Milliseconds(),
+		Vertices:   db.Graph().N(),
+		Edges:      db.Graph().M(),
+	})
+}
+
+// --- request plumbing --------------------------------------------------
+
+type reachResponse struct {
+	Reachable bool `json:"reachable"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) // nothing sensible to do with a write error: client owns the conn
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeQueryErr maps a DB error to its status. The request context is
+// consulted first: once it is done, the interesting classification is
+// why (client gone → 499, deadline → 504) rather than which checkpoint
+// or index surfaced the cancellation.
+func (s *Server) writeQueryErr(w http.ResponseWriter, r *http.Request, err error) {
+	status := reach.StatusCode(err)
+	if ctxErr := r.Context().Err(); ctxErr != nil && status != http.StatusBadRequest {
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		} else {
+			status = statusClientGone
+		}
+	}
+	writeErr(w, status, firstLine(err))
+}
+
+// pair parses the s and t request parameters against g, writing the 400
+// itself when either is missing or unresolvable.
+func (s *Server) pair(w http.ResponseWriter, r *http.Request, g *reach.Graph) (sv, tv reach.V, ok bool) {
+	var err error
+	if sv, err = vertexOf(g, r.FormValue("s")); err != nil {
+		writeErr(w, http.StatusBadRequest, "s: "+err.Error())
+		return 0, 0, false
+	}
+	if tv, err = vertexOf(g, r.FormValue("t")); err != nil {
+		writeErr(w, http.StatusBadRequest, "t: "+err.Error())
+		return 0, 0, false
+	}
+	return sv, tv, true
+}
+
+// vertexOf resolves a request token to a vertex: a decimal id, or a
+// vertex name from the graph file.
+func vertexOf(g *reach.Graph, tok string) (reach.V, error) {
+	if tok == "" {
+		return 0, errors.New("missing vertex")
+	}
+	if n, err := strconv.ParseUint(tok, 10, 32); err == nil {
+		if int(n) >= g.N() {
+			return 0, fmt.Errorf("vertex %d out of range (graph has %d vertices)", n, g.N())
+		}
+		return reach.V(n), nil
+	}
+	if v, ok := g.VertexByName(tok); ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown vertex %q", tok)
+}
+
+// labelOf resolves a label token: a decimal label id, or a label name.
+func labelOf(g *reach.Graph, tok string) (reach.Label, error) {
+	if tok == "" {
+		return 0, errors.New("empty label")
+	}
+	if n, err := strconv.ParseUint(tok, 10, 16); err == nil && int(n) < g.Labels() {
+		return reach.Label(n), nil
+	}
+	for l := 0; l < g.Labels(); l++ {
+		if g.LabelName(reach.Label(l)) == tok {
+			return reach.Label(l), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown label %q", tok)
+}
+
+// vertexRef is a JSON vertex reference: a number (id) or a string (id or
+// name).
+type vertexRef struct {
+	raw string
+}
+
+func (v *vertexRef) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v.raw = s
+		return nil
+	}
+	var n json.Number
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	v.raw = n.String()
+	return nil
+}
+
+func (v vertexRef) resolve(g *reach.Graph) (reach.V, error) {
+	return vertexOf(g, v.raw)
+}
+
+// firstLine trims an error to its first line: contained-panic errors
+// carry the originating goroutine stack in their message, which belongs
+// in server logs, not on the wire.
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " ..."
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package reach
+
+// Index snapshots: persist a built index and warm-start from it instead
+// of rebuilding on every process start. Rebuild cost dominates at scale
+// (the FERRARI line of work budgets index size precisely because of it),
+// so the serving layer (cmd/reachserve) saves its plain index after a
+// fresh build and loads it on the next start — the load is a linear
+// deserialization, visible in build spans as "index/load" instead of
+// "index/build".
+//
+// Snapshots are positional facts about one specific graph. Pairing a
+// snapshot with the graph it was built from is the caller's
+// responsibility, as with any external index file in a DBMS; a
+// vertex-count mismatch is detected and reported, deeper mismatches are
+// not.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bfl"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// SaveIndex writes a portable snapshot of ix. Today the snapshottable
+// kind is KindBFL — the DB's default plain index — whether queried
+// directly or through the SCC-condensation adapter (the adapter is
+// unwrapped; only the DAG-level labels are persisted, the condensation
+// is recomputed at load). Other kinds report ErrBadOptions.
+func SaveIndex(w io.Writer, ix Index) error {
+	if ix == nil {
+		return fmt.Errorf("%w: nil index", ErrBadOptions)
+	}
+	inner := ix
+	for {
+		iw, ok := inner.(interface{ Inner() Index })
+		if !ok {
+			break
+		}
+		inner = iw.Inner()
+	}
+	b, ok := inner.(*bfl.Index)
+	if !ok {
+		return fmt.Errorf("%w: index %q has no snapshot format (only %q snapshots today)", ErrBadOptions, ix.Name(), KindBFL)
+	}
+	_, err := b.WriteTo(w)
+	return err
+}
+
+// LoadIndex reads a snapshot written by SaveIndex and re-binds it to g —
+// the same graph the saved index was built over. The SCC condensation is
+// recomputed (or drawn from Options.Prepared, exactly like a build) and
+// the deserialization is recorded as an "index/load" span, so a
+// warm-started timeline never shows an "index/build" phase. Corrupt,
+// truncated, or mismatched input yields an error, never a panic.
+func LoadIndex(r io.Reader, g *Graph, opt Options) (ix Index, err error) {
+	if err := checkBuild(nil, g, opt); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, fmt.Errorf("%w: nil snapshot reader", ErrBadOptions)
+	}
+	defer core.Recover(&err)
+	return core.ForGeneralLoaded(g, opt.Spans, opt.Prepared, func(dag *graph.Digraph) (Index, error) {
+		return bfl.Read(r, dag)
+	})
+}

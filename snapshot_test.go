@@ -1,0 +1,174 @@
+package reach
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// snapshotOf saves ix into a fresh buffer.
+func snapshotOf(t *testing.T, ix Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, ix); err != nil {
+		t.Fatalf("SaveIndex: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotEquivalenceFig1 checks a loaded BFL answers exactly like the
+// index it was saved from, on every one of Figure 1's 81 vertex pairs.
+func TestSnapshotEquivalenceFig1(t *testing.T) {
+	g := Fig1Plain()
+	fresh, err := Build(KindBFL, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotOf(t, fresh)
+	loaded, err := LoadIndex(bytes.NewReader(raw), g, Options{})
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	for s := 0; s < g.N(); s++ {
+		for tv := 0; tv < g.N(); tv++ {
+			want := fresh.Reach(V(s), V(tv))
+			if got := loaded.Reach(V(s), V(tv)); got != want {
+				t.Errorf("loaded.Reach(%d,%d) = %v, fresh says %v", s, tv, got, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotEquivalenceGenerated does the same over a generated cyclic
+// graph big enough (12k vertices) that the SCC condensation and the
+// multi-word Bloom filters are all exercised, on a sampled pair workload.
+func TestSnapshotEquivalenceGenerated(t *testing.T) {
+	g := gen.ErdosRenyi(gen.Config{N: 12_000, M: 36_000, Seed: 7})
+	fresh, err := Build(KindBFL, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotOf(t, fresh)
+	loaded, err := LoadIndex(bytes.NewReader(raw), g, Options{})
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5_000; i++ {
+		s := V(rng.Intn(g.N()))
+		tv := V(rng.Intn(g.N()))
+		want := fresh.Reach(s, tv)
+		if got := loaded.Reach(s, tv); got != want {
+			t.Fatalf("loaded.Reach(%d,%d) = %v, fresh says %v", s, tv, got, want)
+		}
+	}
+}
+
+// TestSnapshotWarmStartSpans verifies the acceptance criterion that a
+// warm-started DB's build timeline shows "index/load" and no
+// "index/build" — the observable proof that the build phase was skipped.
+func TestSnapshotWarmStartSpans(t *testing.T) {
+	g := Fig1Plain()
+	cold, err := NewDB(g, DBConfig{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := cold.PlainIndex(KindBFL)
+	raw := snapshotOf(t, ix) // through Instrumented+condensed wrappers
+
+	warm, err := NewDB(g, DBConfig{Metrics: true, PlainSnapshot: bytes.NewReader(raw)})
+	if err != nil {
+		t.Fatalf("warm NewDB: %v", err)
+	}
+	snap, ok := warm.MetricsSnapshot()
+	if !ok {
+		t.Fatal("metrics disabled")
+	}
+	var sawLoad, sawBuild bool
+	for _, span := range snap.Build {
+		switch span.Name {
+		case "index/load":
+			sawLoad = true
+		case "index/build":
+			sawBuild = true
+		}
+	}
+	if !sawLoad || sawBuild {
+		t.Fatalf("warm-start spans = %+v, want index/load present and index/build absent", snap.Build)
+	}
+
+	// And the warm DB answers like the cold one.
+	for s := 0; s < g.N(); s++ {
+		for tv := 0; tv < g.N(); tv++ {
+			want, _ := cold.Reach(V(s), V(tv))
+			if got, err := warm.Reach(V(s), V(tv)); err != nil || got != want {
+				t.Fatalf("warm.Reach(%d,%d) = %v, %v; want %v", s, tv, got, err, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotWarmStartWrongKind(t *testing.T) {
+	g := Fig1Plain()
+	ix, err := Build(KindBFL, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotOf(t, ix)
+	_, err = NewDB(g, DBConfig{Plain: KindPLL, PlainSnapshot: bytes.NewReader(raw)})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("warm-start with Plain=pll: err = %v, want ErrBadOptions", err)
+	}
+}
+
+func TestSaveIndexUnsupportedKind(t *testing.T) {
+	ix, err := Build(KindPLL, Fig1Plain(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = SaveIndex(&buf, ix)
+	if !errors.Is(err, ErrBadOptions) || !strings.Contains(err.Error(), "no snapshot format") {
+		t.Fatalf("SaveIndex(PLL) = %v, want ErrBadOptions", err)
+	}
+}
+
+// TestLoadIndexGraphMismatch pairs a Figure 1 snapshot with a graph of a
+// different size; the vertex-count check must reject it.
+func TestLoadIndexGraphMismatch(t *testing.T) {
+	ix, err := Build(KindBFL, Fig1Plain(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotOf(t, ix)
+	other := gen.RandomDAG(gen.Config{N: 50, M: 100, Seed: 1})
+	if _, err := LoadIndex(bytes.NewReader(raw), other, Options{}); err == nil || !strings.Contains(err.Error(), "different graph") {
+		t.Fatalf("graph mismatch: err = %v, want different-graph error", err)
+	}
+}
+
+// TestLoadIndexTruncationNeverPanics loads every strict prefix of a valid
+// snapshot; all must fail with an error, none may panic.
+func TestLoadIndexTruncationNeverPanics(t *testing.T) {
+	g := Fig1Plain()
+	ix, err := Build(KindBFL, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := snapshotOf(t, ix)
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := LoadIndex(bytes.NewReader(raw[:cut]), g, Options{}); err == nil {
+			t.Fatalf("prefix of %d bytes (full is %d) loaded without error", cut, len(raw))
+		}
+	}
+	// The full snapshot with trailing garbage appended still loads: the
+	// reader consumes exactly the sections it wrote (extra bytes belong to
+	// whatever container the caller embedded the snapshot in).
+	if _, err := LoadIndex(bytes.NewReader(append(raw[:len(raw):len(raw)], 0xAA)), g, Options{}); err != nil {
+		t.Fatalf("trailing byte after snapshot: %v", err)
+	}
+}
