@@ -6,12 +6,15 @@
 package reach_test
 
 import (
+	"context"
+	"io"
 	"sync"
 	"testing"
 
 	reach "repro"
 	"repro/internal/gen"
 	"repro/internal/labelset"
+	"repro/internal/obs"
 	"repro/internal/tc"
 	"repro/internal/traversal"
 )
@@ -580,3 +583,84 @@ func benchDBHotPairs(b *testing.B, cacheSize int) {
 
 func BenchmarkE14_DBHotPairs_Uncached(b *testing.B) { benchDBHotPairs(b, 0) }
 func BenchmarkE14_DBHotPairs_Cached(b *testing.B)   { benchDBHotPairs(b, 4096) }
+
+// --- Tracing overhead (OBSERVABILITY.md, "Tracing") ---------------------
+
+// benchTraceDB builds a DB over the shared DAG workload with the given
+// tracing setting; queries run through ReachCtx like server traffic.
+func benchTraceDB(b *testing.B, tracing bool) (*reach.DB, []gen.Query) {
+	g, qs, _ := dagWorkload()
+	db, err := reach.NewDB(g, reach.DBConfig{Tracing: tracing})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, qs
+}
+
+// Tracing disabled: the per-query cost over an untraced DB is one bool
+// comparison — the PR 1 "disabled observability is ~free" bar.
+func BenchmarkTrace_ReachCtx_Disabled(b *testing.B) {
+	db, qs := benchTraceDB(b, false)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if got, _ := db.ReachCtx(ctx, q.S, q.T); got != q.Want {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+// Tracing enabled but the context carries no trace (e.g. a non-HTTP
+// caller): pays the context lookup, records nothing.
+func BenchmarkTrace_ReachCtx_EnabledNoTrace(b *testing.B) {
+	db, qs := benchTraceDB(b, true)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if got, _ := db.ReachCtx(ctx, q.S, q.T); got != q.Want {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+// Fully traced: pooled Trace per query, phase Begin/End around the index
+// probe, ring insertion at Finish — the whole per-request pipeline.
+func BenchmarkTrace_ReachCtx_Traced(b *testing.B) {
+	db, qs := benchTraceDB(b, true)
+	tracer := obs.NewTracer(128, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		tr := tracer.Start("")
+		ctx := obs.WithTrace(context.Background(), tr)
+		got, _ := db.ReachCtx(ctx, q.S, q.T)
+		tracer.Finish(tr)
+		if got != q.Want {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+// Workload capture on the same path: one record append per query.
+func BenchmarkTrace_ReachCtx_Recorded(b *testing.B) {
+	g, qs, _ := dagWorkload()
+	rec := reach.NewWorkloadRecorder(io.Discard)
+	db, err := reach.NewDB(g, reach.DBConfig{RecordWorkload: rec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if got, _ := db.ReachCtx(ctx, q.S, q.T); got != q.Want {
+			b.Fatal("wrong answer")
+		}
+	}
+	b.StopTimer()
+	if err := rec.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

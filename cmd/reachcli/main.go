@@ -9,6 +9,7 @@
 //	echo "0 1\n0 2" | reachcli -graph g.txt              # batch on stdin
 //	reachcli -graph g.txt -json -q "0 15"                # JSON result lines
 //	reachcli stats -graph g.txt -index bfl -queries 5000 # observability
+//	reachcli replay -graph g.txt -workload w.rec -index pll
 //
 // Query lines hold "s t" for plain reachability or "s t α" for a
 // path-constrained query; vertices may be ids or names from the file.
@@ -18,6 +19,11 @@
 // metrics snapshot: per-index positive/negative counts, TryReach
 // decided-rate, guided-traversal fallback volume, latency percentiles,
 // and named build-phase durations (see OBSERVABILITY.md).
+//
+// The replay subcommand re-runs a workload captured with `reachserve
+// -record` against any index kind and reports per-route latency deltas
+// versus the capture plus the replay index's decided rate — the tool for
+// asking "would a different index have served this traffic better?".
 package main
 
 import (
@@ -37,6 +43,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stats" {
 		runStats(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		runReplay(os.Args[2:])
 		return
 	}
 	graphPath := flag.String("graph", "", "graph file (edge-list exchange format)")

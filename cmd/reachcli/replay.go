@@ -1,0 +1,156 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	reach "repro"
+)
+
+// runReplay implements `reachcli replay`: re-run a workload captured by
+// `reachserve -record` against a freshly built index (any kind) and
+// report, per capture route, how replay latency compares to capture
+// latency, plus the replay index's decided rate — the experiment behind
+// "would index X have served this traffic better?".
+func runReplay(args []string) {
+	fs := flag.NewFlagSet("reachcli replay", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file the workload was captured against")
+	workloadPath := fs.String("workload", "", "capture file written by reachserve -record")
+	indexKind := fs.String("index", "bfl", "plain index kind to replay against")
+	lcrKind := fs.String("lcr", "p2h", "LCR index kind for labeled graphs")
+	k := fs.Int("k", 0, "per-technique budget; 0 = default")
+	bits := fs.Int("bits", 0, "Bloom filter width (BFL/DBL); 0 = default")
+	maxseq := fs.Int("maxseq", 0, "RLC max concatenation length κ; 0 = default")
+	workers := fs.Int("workers", 0, "build worker cap; 0 = GOMAXPROCS")
+	verbose := fs.Bool("v", false, "also print the replay DB's full metrics snapshot")
+	fs.Parse(args)
+	if *graphPath == "" || *workloadPath == "" {
+		fmt.Fprintln(os.Stderr, "reachcli replay: need -graph and -workload")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	wf, err := os.Open(*workloadPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	records, err := reach.ReadWorkload(wf)
+	wf.Close()
+	if err != nil {
+		fail("read workload %s: %v", *workloadPath, err)
+	}
+	if len(records) == 0 {
+		fail("workload %s holds no records", *workloadPath)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	g, err := reach.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		fail("parse %s: %v", *graphPath, err)
+	}
+
+	buildStart := time.Now()
+	db, err := reach.NewDB(g, reach.DBConfig{
+		Plain:   reach.Kind(*indexKind),
+		LCR:     reach.LCRKind(*lcrKind),
+		Options: reach.Options{K: *k, Bits: *bits, Workers: *workers, MaxSeq: *maxseq},
+		Metrics: true,
+	})
+	if err != nil {
+		fail("build: %v", firstLine(err))
+	}
+	fmt.Printf("replaying %d records from %s against index %s (built in %v)\n",
+		len(records), *workloadPath, *indexKind, time.Since(buildStart).Round(time.Millisecond))
+
+	// Per capture route: how the same queries fared on the replay index.
+	type routeAgg struct {
+		n          int
+		captureNS  int64
+		replayNS   int64
+		mismatches int
+		errors     int
+	}
+	byRoute := map[string]*routeAgg{}
+	n := g.N()
+	for _, rec := range records {
+		agg := byRoute[rec.Route]
+		if agg == nil {
+			agg = &routeAgg{}
+			byRoute[rec.Route] = agg
+		}
+		agg.n++
+		agg.captureNS += rec.Latency.Nanoseconds()
+		if int(rec.S) >= n || int(rec.T) >= n {
+			// The capture came from a different (or since-edited) graph;
+			// count it rather than aborting a long replay midway.
+			agg.errors++
+			continue
+		}
+		s, t := reach.V(rec.S), reach.V(rec.T)
+		var (
+			got  bool
+			qerr error
+		)
+		t0 := time.Now()
+		switch {
+		case len(rec.Labels) > 0:
+			labels := make([]reach.Label, len(rec.Labels))
+			for i, l := range rec.Labels {
+				labels[i] = reach.Label(l)
+			}
+			got, qerr = db.QueryAllowed(s, t, labels...)
+		case rec.Alpha != "":
+			got, qerr = db.Query(s, t, rec.Alpha)
+		default:
+			got, qerr = db.Reach(s, t)
+		}
+		agg.replayNS += time.Since(t0).Nanoseconds()
+		switch {
+		case qerr != nil:
+			agg.errors++
+		case got != rec.Outcome:
+			agg.mismatches++
+		}
+	}
+
+	routes := make([]string, 0, len(byRoute))
+	for r := range byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	fmt.Printf("%-16s %8s %12s %12s %9s %10s %7s\n",
+		"route", "queries", "capture", "replay", "delta", "mismatch", "errors")
+	for _, r := range routes {
+		a := byRoute[r]
+		cap0 := time.Duration(a.captureNS / int64(a.n))
+		rep := time.Duration(a.replayNS / int64(a.n))
+		delta := "n/a"
+		if a.captureNS > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*float64(a.replayNS-a.captureNS)/float64(a.captureNS))
+		}
+		fmt.Printf("%-16s %8d %12v %12v %9s %10d %7d\n",
+			r, a.n, cap0, rep, delta, a.mismatches, a.errors)
+	}
+
+	// Decided rate of the replay index: the fraction of plain queries it
+	// settled without guided traversal (capture-side decided rates live in
+	// the capture server's /metrics, not the workload file).
+	if snap, ok := db.MetricsSnapshot(); ok {
+		for name, ix := range snap.Indexes {
+			if ix.Queries > 0 {
+				fmt.Printf("replay index %s: decided %.1f%% of %d queries (%d fallbacks)\n",
+					name, 100*ix.DecidedRate(), ix.Queries, ix.Fallback)
+			}
+		}
+		if *verbose {
+			snap.WriteText(os.Stdout)
+		}
+	}
+}

@@ -8,8 +8,14 @@
 //	reachserve -graph g.txt -snapshot g.idx         # warm-start when g.idx exists
 //
 // Endpoints: /v1/reach?s=&t=, /v1/query?s=&t=&alpha=, /v1/allowed?s=&t=&labels=,
-// POST /v1/batch, /v1/path?s=&t=[&alpha=], /healthz, /readyz, /metrics,
-// /debug/vars, /admin/stats, POST /admin/reload.
+// POST /v1/batch, /v1/path?s=&t=[&alpha=], /healthz, /readyz, /metrics
+// (Prometheus exposition via Accept or ?format=prometheus), /debug/vars,
+// /debug/traces, /debug/pprof/ (with -pprof), /admin/stats,
+// POST /admin/reload.
+//
+// Logs are structured (log/slog); -log-format json switches the sink to
+// JSON lines, -log-level sets the floor. -record captures the query
+// workload to a file replayable with `reachcli replay`.
 //
 // SIGTERM or SIGINT drains gracefully: /readyz flips to 503, in-flight
 // requests finish, then the process exits 0.
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	reach "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -54,19 +62,53 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; negative disables")
 	buildTimeout := flag.Duration("build-timeout", 0, "abort index construction after this long; 0 = no limit")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
+	traceBuf := flag.Int("trace-buffer", 256, "recent-trace ring size for /debug/traces; 0 disables tracing")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "log and retain traces of requests slower than this; 0 disables the slow log")
+	record := flag.String("record", "", "capture the query workload to this file (replay with `reachcli replay`)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	accessLog := flag.Bool("access-log", true, "log one structured line per request")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
-	lg := log.New(os.Stderr, "reachserve: ", log.LstdFlags)
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reachserve:", err)
+		os.Exit(1)
+	}
+	// Legacy bridge for call sites (and server internals) still writing
+	// through *log.Logger; lines land in the same structured sink.
+	lg := slog.NewLogLogger(logger.Handler(), slog.LevelInfo)
 	if *demo == (*graphPath != "") {
 		lg.Fatal("need exactly one of -graph or -demo")
 	}
 
+	var tracer *obs.Tracer
+	if *traceBuf > 0 {
+		tracer = obs.NewTracer(*traceBuf, *slowQuery)
+	}
+
+	var (
+		recorder *reach.WorkloadRecorder
+		recFile  *os.File
+	)
+	if *record != "" {
+		recFile, err = os.Create(*record)
+		if err != nil {
+			lg.Fatalf("record: %v", err)
+		}
+		recorder = reach.NewWorkloadRecorder(recFile)
+		logger.Info("workload capture enabled", "file", *record)
+	}
+
 	cfg := reach.DBConfig{
-		Plain:    reach.Kind(*indexKind),
-		LCR:      reach.LCRKind(*lcrKind),
-		Options:  reach.Options{K: *k, Bits: *bits, Workers: *workers, MaxSeq: *maxseq},
-		Metrics:  *metrics,
-		Degraded: *degraded,
+		Plain:          reach.Kind(*indexKind),
+		LCR:            reach.LCRKind(*lcrKind),
+		Options:        reach.Options{K: *k, Bits: *bits, Workers: *workers, MaxSeq: *maxseq},
+		Metrics:        *metrics,
+		Degraded:       *degraded,
+		Tracing:        tracer != nil,
+		RecordWorkload: recorder,
 		CacheSize: func() int {
 			if *cache < 0 {
 				return 0
@@ -91,10 +133,11 @@ func main() {
 		lg.Fatalf("build: %v", err)
 	}
 	g := db.Graph()
-	lg.Printf("serving %d vertices, %d edges, %d labels (index %s, ready in %v)",
-		g.N(), g.M(), g.Labels(), *indexKind, time.Since(start).Round(time.Millisecond))
+	logger.Info("build complete",
+		"vertices", g.N(), "edges", g.M(), "labels", g.Labels(),
+		"index", *indexKind, "dur", time.Since(start).Round(time.Millisecond))
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		DB:             db,
 		Rebuild:        buildDB,
 		MaxInFlight:    *maxInFlight,
@@ -104,7 +147,13 @@ func main() {
 		ReloadTimeout:  *buildTimeout,
 		ExpvarName:     "reach_db",
 		Log:            lg,
-	})
+		Tracer:         tracer,
+		EnablePprof:    *pprofOn,
+	}
+	if *accessLog {
+		scfg.AccessLog = logger
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		lg.Fatalf("server: %v", err)
 	}
@@ -113,7 +162,7 @@ func main() {
 	if err != nil {
 		lg.Fatalf("listen: %v", err)
 	}
-	lg.Printf("listening on %s", l.Addr())
+	logger.Info("listening", "addr", l.Addr().String())
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(l.Addr().String()+"\n"), 0o644); err != nil {
 			lg.Fatalf("addrfile: %v", err)
@@ -128,7 +177,7 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		lg.Printf("signal %v: draining", sig)
+		logger.Info("draining", "signal", sig.String())
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(drainCtx); err != nil {
@@ -137,10 +186,40 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			lg.Fatalf("serve: %v", err)
 		}
-		lg.Printf("drained cleanly (%d requests completed during drain)",
-			srv.Metrics().Drained.Load())
+		logger.Info("drained cleanly", "completed_during_drain", srv.Metrics().Drained.Load())
+		if recorder != nil {
+			// Close after the drain so every completed request's record is
+			// flushed; a capture that cannot be flushed is a hard error —
+			// silently truncated workloads poison downstream replay.
+			n := recorder.Count()
+			if err := recorder.Close(); err != nil {
+				lg.Fatalf("record: %v", err)
+			}
+			if err := recFile.Close(); err != nil {
+				lg.Fatalf("record: %v", err)
+			}
+			logger.Info("workload capture written", "file", *record, "records", n)
+		}
 	case err := <-errc:
 		lg.Fatalf("serve: %v", err)
+	}
+}
+
+// newLogger builds the process logger: structured lines to w, text or
+// JSON, at the requested minimum level.
+func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/rpqindex"
 	"repro/internal/tc"
 	"repro/internal/traversal"
+	"repro/internal/workload"
 )
 
 // DB bundles a graph with one index per query class and routes arbitrary
@@ -52,11 +53,47 @@ type DB struct {
 	// metrics is non-nil when DBConfig.Metrics enabled observability:
 	// routing counters, per-index query metrics, and build-phase spans.
 	metrics *obs.DBMetrics
+	// traceEnabled gates the per-request trace lookup (DBConfig.Tracing):
+	// when false — the default — query paths never walk the context for a
+	// trace, keeping disabled tracing at one bool comparison.
+	traceEnabled bool
+	// recorder appends one workload record per completed query when
+	// DBConfig.RecordWorkload installed it; nil otherwise.
+	recorder *workload.Recorder
 }
 
 // CacheSnapshot re-exports the query-result cache counters; see
 // DB.CacheStats and OBSERVABILITY.md.
 type CacheSnapshot = obs.CacheSnapshot
+
+// Request-tracing re-exports. A DB built with DBConfig.Tracing looks for
+// a *Trace in the context passed to its *Ctx entry points; library
+// callers mint traces from a Tracer and attach them with WithTrace —
+// the same machinery internal/server's middleware uses. See
+// OBSERVABILITY.md.
+type (
+	Trace          = obs.Trace
+	TraceRecord    = obs.TraceRecord
+	Tracer         = obs.Tracer
+	TracerSnapshot = obs.TracerSnapshot
+)
+
+// NewTracer returns a tracer keeping the most recent `capacity` finished
+// traces (and, when slowThreshold > 0, a second ring of traces at or
+// over the threshold).
+func NewTracer(capacity int, slowThreshold time.Duration) *Tracer {
+	return obs.NewTracer(capacity, slowThreshold)
+}
+
+// WithTrace returns a context carrying t for the *Ctx query entry points.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return obs.WithTrace(ctx, t)
+}
+
+// TraceFrom extracts the trace WithTrace attached, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	return obs.TraceFrom(ctx)
+}
 
 // Cache key route tags. Only routes whose (route, s, t, extra) tuple fully
 // determines the answer are cached: plain reachability, alternation star
@@ -125,6 +162,20 @@ type DBConfig struct {
 	// alternation masks, short concatenation sequences — including their
 	// degraded fallbacks; see OBSERVABILITY.md for the cache/* counters.
 	CacheSize int
+	// Tracing enables request-scoped trace recording: the *Ctx query
+	// entry points look for an obs.Trace in their context (placed there
+	// by the serving layer's per-request middleware, see internal/server)
+	// and append named phase timings — cache lookup, index probe,
+	// fallback traversal — to it. Disabled (the default), the query path
+	// pays one bool comparison and never walks the context.
+	Tracing bool
+	// RecordWorkload, when non-nil, appends one record per completed
+	// query — (s, t, constraint, route, outcome, latency) — to the given
+	// recorder: the capture `reachcli replay` re-runs against any index
+	// kind and the future workload-adaptive advisor consumes. The caller
+	// owns the recorder's lifecycle (Close flushes). Recording times
+	// every query (two clock reads each); see OBSERVABILITY.md.
+	RecordWorkload *WorkloadRecorder
 	// PlainSnapshot, when non-nil, warm-starts the plain index from a
 	// snapshot previously written with SaveIndex instead of building it:
 	// the load is a linear deserialization recorded as an "index/load"
@@ -157,7 +208,13 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 	if cfg.LCR == "" {
 		cfg.LCR = LCRP2H
 	}
-	db := &DB{g: g, plainKind: cfg.Plain, cache: qcache.New(cfg.CacheSize)}
+	db := &DB{
+		g:            g,
+		plainKind:    cfg.Plain,
+		cache:        qcache.New(cfg.CacheSize),
+		traceEnabled: cfg.Tracing,
+		recorder:     cfg.RecordWorkload,
+	}
 	if cfg.Metrics {
 		db.metrics = obs.NewDBMetrics()
 		if cfg.Options.Spans == nil {
@@ -364,20 +421,67 @@ func (db *DB) ReachCtx(ctx context.Context, s, t V) (res bool, err error) {
 		}
 	}
 	defer db.boundary(&err)
+	tr := db.traceFrom(ctx)
 	var start time.Time
-	if db.metrics != nil {
+	timed := db.metrics != nil || db.recorder != nil
+	if timed {
 		start = time.Now()
 	}
 	key := qcache.Key{Route: cacheRoutePlain, S: s, T: t}
-	res, hit := db.cache.Get(key)
+	var hit bool
+	if db.cache != nil {
+		tok := tr.Begin("cache/lookup")
+		res, hit = db.cache.Get(key)
+		tr.End(tok)
+	}
 	if !hit {
+		tok := tr.Begin("index/probe")
 		res = db.plain.Reach(s, t)
+		tr.End(tok)
 		db.cache.Put(key, res)
 	}
-	if db.metrics != nil {
-		db.metrics.Route(obs.RoutePlain).Observe(res, time.Since(start))
+	tr.SetRoute(obs.RoutePlain.String())
+	if timed {
+		d := time.Since(start)
+		if db.metrics != nil {
+			db.metrics.Route(obs.RoutePlain).Observe(res, d)
+		}
+		db.record(s, t, "", nil, obs.RoutePlain, res, d)
 	}
 	return res, nil
+}
+
+// traceFrom resolves the request's trace: nil unless DBConfig.Tracing is
+// on AND the context carries one — the two-step gate that keeps the
+// disabled path at a bool comparison instead of a context walk.
+func (db *DB) traceFrom(ctx context.Context) *obs.Trace {
+	if !db.traceEnabled || ctx == nil {
+		return nil
+	}
+	return obs.TraceFrom(ctx)
+}
+
+// record appends one workload record when capture is enabled.
+func (db *DB) record(s, t V, alpha string, labels []Label, route obs.RouteKind, res bool, d time.Duration) {
+	if db.recorder == nil {
+		return
+	}
+	var ls []uint16
+	if len(labels) > 0 {
+		ls = make([]uint16, len(labels))
+		for i, l := range labels {
+			ls[i] = uint16(l)
+		}
+	}
+	db.recorder.Record(workload.Record{
+		S:       uint32(s),
+		T:       uint32(t),
+		Alpha:   alpha,
+		Labels:  ls,
+		Route:   route.String(),
+		Outcome: res,
+		Latency: d,
+	})
 }
 
 func (db *DB) countCanceled() {
@@ -419,34 +523,51 @@ func (db *DB) QueryCtx(ctx context.Context, s, t V, alpha string) (res bool, err
 		}
 	}
 	defer db.boundary(&err)
-	if db.metrics == nil {
-		res, _, err := db.query(ctx, s, t, alpha)
-		return res, err
-	}
-	start := time.Now()
-	res, route, err := db.query(ctx, s, t, alpha)
-	if err != nil {
-		db.metrics.Errors.Inc()
-		if ctx != nil && ctx.Err() != nil {
-			db.metrics.Canceled.Inc()
+	tr := db.traceFrom(ctx)
+	timed := db.metrics != nil || db.recorder != nil
+	if !timed {
+		res, route, err := db.query(ctx, tr, s, t, alpha)
+		if err == nil {
+			tr.SetRoute(route.String())
 		}
 		return res, err
 	}
-	db.metrics.Route(route).Observe(res, time.Since(start))
+	start := time.Now()
+	res, route, err := db.query(ctx, tr, s, t, alpha)
+	if err != nil {
+		if db.metrics != nil {
+			db.metrics.Errors.Inc()
+			if ctx != nil && ctx.Err() != nil {
+				db.metrics.Canceled.Inc()
+			}
+		}
+		return res, err
+	}
+	tr.SetRoute(route.String())
+	d := time.Since(start)
+	if db.metrics != nil {
+		db.metrics.Route(route).Observe(res, d)
+	}
+	db.record(s, t, alpha, nil, route, res, d)
 	return res, err
 }
 
-func (db *DB) query(ctx context.Context, s, t V, alpha string) (bool, obs.RouteKind, error) {
+func (db *DB) query(ctx context.Context, tr *obs.Trace, s, t V, alpha string) (bool, obs.RouteKind, error) {
 	if !db.g.Labeled() {
 		res, err := db.queryUnlabeled(s, t, alpha)
 		return res, obs.RoutePlain, err
 	}
+	tok := tr.Begin("parse")
 	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
+	tr.End(tok)
 	if err != nil {
 		return false, obs.RouteProduct, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if ix, ok := db.registered[ast.String()]; ok {
-		return ix.Reach(s, t), obs.RouteRegistered, nil
+		tok := tr.Begin("index/registered")
+		res := ix.Reach(s, t)
+		tr.End(tok)
+		return res, obs.RouteRegistered, nil
 	}
 	cl := regexpath.Classify(ast)
 	switch cl.Class {
@@ -457,19 +578,21 @@ func (db *DB) query(ctx context.Context, s, t V, alpha string) (bool, obs.RouteK
 		if cl.PlusOnly {
 			// (…)+ requires at least one edge; peel the first step and
 			// then answer the star query from each allowed neighbour.
-			return db.plusAlternation(s, t, cl.Allowed), db.lcrRoute(), nil
+			return db.plusAlternation(tr, s, t, cl.Allowed), db.lcrRoute(), nil
 		}
-		res, route := db.reachLC(s, t, cl.Allowed)
+		res, route := db.reachLC(tr, s, t, cl.Allowed)
 		return res, route, nil
 	case regexpath.ClassConcatenation:
 		if s == t && !cl.PlusOnly {
 			return true, db.rlcRoute(), nil
 		}
-		res, route := db.reachRLC(s, t, cl.Sequence)
+		res, route := db.reachRLC(tr, s, t, cl.Sequence)
 		return res, route, nil
 	default:
+		tok := tr.Begin("fallback/product-bfs")
 		dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), db.g.Labels())
 		res, err := traversal.ProductBFSCtx(ctx, db.g, s, t, dfa)
+		tr.End(tok)
 		return res, obs.RouteProduct, err
 	}
 }
@@ -492,17 +615,26 @@ func (db *DB) rlcRoute() obs.RouteKind {
 // the LCR index, or — on a degraded DB — a label-constrained BFS on the
 // graph itself. The label mask is the cache key's extra word, so distinct
 // masks over one vertex pair cache independently.
-func (db *DB) reachLC(s, t V, allowed labelset.Set) (bool, obs.RouteKind) {
+func (db *DB) reachLC(tr *obs.Trace, s, t V, allowed labelset.Set) (bool, obs.RouteKind) {
 	key := qcache.Key{Route: cacheRouteLCRStar, S: s, T: t, Extra: uint64(allowed)}
-	if res, ok := db.cache.Get(key); ok {
-		return res, db.lcrRoute()
+	if db.cache != nil {
+		tok := tr.Begin("cache/lookup")
+		res, ok := db.cache.Get(key)
+		tr.End(tok)
+		if ok {
+			return res, db.lcrRoute()
+		}
 	}
 	var res bool
 	route := obs.RouteLCR
 	if db.lcr != nil {
+		tok := tr.Begin("index/lcr")
 		res = db.lcr.ReachLC(s, t, allowed)
+		tr.End(tok)
 	} else {
+		tok := tr.Begin("fallback/label-bfs")
 		res = traversal.LabelConstrainedBFS(db.g, s, t, uint64(allowed))
+		tr.End(tok)
 		route = obs.RouteDegradedLCR
 	}
 	db.cache.Put(key, res)
@@ -513,20 +645,27 @@ func (db *DB) reachLC(s, t V, allowed labelset.Set) (bool, obs.RouteKind) {
 // the RLC index, or — on a degraded DB — the online phase-tracking
 // search. Only sequences short enough to pack into the key's extra word
 // exactly (≤ 3 labels) are cached; longer ones always compute.
-func (db *DB) reachRLC(s, t V, seq []Label) (bool, obs.RouteKind) {
+func (db *DB) reachRLC(tr *obs.Trace, s, t V, seq []Label) (bool, obs.RouteKind) {
 	extra, packable := packSeq(seq)
 	key := qcache.Key{Route: cacheRouteRLC, S: s, T: t, Extra: extra}
-	if packable {
-		if res, ok := db.cache.Get(key); ok {
+	if packable && db.cache != nil {
+		tok := tr.Begin("cache/lookup")
+		res, ok := db.cache.Get(key)
+		tr.End(tok)
+		if ok {
 			return res, db.rlcRoute()
 		}
 	}
 	var res bool
 	route := obs.RouteRLC
 	if db.rlc != nil {
+		tok := tr.Begin("index/rlc")
 		res = db.rlc.ReachRLC(s, t, seq)
+		tr.End(tok)
 	} else {
+		tok := tr.Begin("fallback/rlc-traversal")
 		res = tc.RLCReach(db.g, s, t, seq, false)
+		tr.End(tok)
 		route = obs.RouteDegradedRLC
 	}
 	if packable {
@@ -574,7 +713,7 @@ func (db *DB) queryUnlabeled(s, t V, alpha string) (bool, error) {
 // Plus queries cache under their own route tag: (mask)+ and (mask)* give
 // different answers on the same pair (s == t, or t only reachable via the
 // empty path), so the two must never share a key.
-func (db *DB) plusAlternation(s, t V, allowed labelset.Set) bool {
+func (db *DB) plusAlternation(tr *obs.Trace, s, t V, allowed labelset.Set) bool {
 	key := qcache.Key{Route: cacheRouteLCRPlus, S: s, T: t, Extra: uint64(allowed)}
 	if res, ok := db.cache.Get(key); ok {
 		return res
@@ -590,7 +729,7 @@ func (db *DB) plusAlternation(s, t V, allowed labelset.Set) bool {
 			res = true
 			break
 		}
-		if r, _ := db.reachLC(w, t, allowed); r {
+		if r, _ := db.reachLC(tr, w, t, allowed); r {
 			res = true
 			break
 		}
@@ -667,20 +806,25 @@ func (db *DB) QueryAllowed(s, t V, labels ...Label) (res bool, err error) {
 		return false, fmt.Errorf("%w: no LCR index (graph unlabeled)", ErrBadQuery)
 	}
 	defer db.boundary(&err)
-	if db.metrics == nil {
+	timed := db.metrics != nil || db.recorder != nil
+	if !timed {
 		if s == t {
 			return true, nil
 		}
-		res, _ := db.reachLC(s, t, labelset.Of(labels...))
+		res, _ := db.reachLC(nil, s, t, labelset.Of(labels...))
 		return res, nil
 	}
 	start := time.Now()
 	res = s == t
 	route := db.lcrRoute()
 	if !res {
-		res, route = db.reachLC(s, t, labelset.Of(labels...))
+		res, route = db.reachLC(nil, s, t, labelset.Of(labels...))
 	}
-	db.metrics.Route(route).Observe(res, time.Since(start))
+	d := time.Since(start)
+	if db.metrics != nil {
+		db.metrics.Route(route).Observe(res, d)
+	}
+	db.record(s, t, "", labels, route, res, d)
 	return res, nil
 }
 

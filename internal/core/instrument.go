@@ -57,6 +57,9 @@ type Instrumented struct {
 // visited-vertex totals.
 func Instrument(ix Index, g Adjacency, m *obs.IndexMetrics) *Instrumented {
 	w := &Instrumented{inner: ix, g: g, m: m}
+	if m != nil {
+		m.SetLatencySampleStride(latencySampleMask + 1)
+	}
 	if c, ok := ix.(*condensed); ok {
 		w.cond = c
 	} else if rc, ok := ix.(ReachCounter); ok {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,7 +31,20 @@ type IndexMetrics struct {
 	BatchQueries Counter // queries submitted via batches
 
 	Latency Histogram
+
+	// sampleStride is the recorder's latency sampling rate: 1 in every
+	// sampleStride queries records into Latency (0 or 1 = every query).
+	// Set once by the recorder (core.Instrument); exported via snapshots
+	// so /metrics consumers can rescale sampled histogram counts back to
+	// the exact query totals.
+	sampleStride atomic.Int64
 }
+
+// SetLatencySampleStride records the recorder's latency sampling rate.
+func (m *IndexMetrics) SetLatencySampleStride(stride int64) { m.sampleStride.Store(stride) }
+
+// LatencySampleStride reports the sampling rate (0 when never set).
+func (m *IndexMetrics) LatencySampleStride() int64 { return m.sampleStride.Load() }
 
 // Observe records one completed query with its latency.
 func (m *IndexMetrics) Observe(positive bool, d time.Duration) {
@@ -88,6 +102,12 @@ type IndexSnapshot struct {
 	BatchQueries int64 `json:"batch_queries,omitempty"`
 
 	Latency HistSnapshot `json:"latency"`
+
+	// LatencySampleStride is the recorder's sampling rate: 1 in every
+	// this-many queries is timed, so Latency.Count ≈ Queries/stride and
+	// scrapers multiply sampled counts by it to estimate totals. 0 or 1
+	// means every query was timed.
+	LatencySampleStride int64 `json:"latency_sample_stride,omitempty"`
 }
 
 // DecidedRate is the fraction of queries the index settled without guided
@@ -117,15 +137,16 @@ func (m *IndexMetrics) Snapshot() IndexSnapshot {
 		decided = 0
 	}
 	return IndexSnapshot{
-		Queries:      pos + neg,
-		Positive:     pos,
-		Negative:     neg,
-		Decided:      decided,
-		Fallback:     fb,
-		Visited:      m.Visited.Load(),
-		Batches:      m.Batches.Load(),
-		BatchQueries: m.BatchQueries.Load(),
-		Latency:      m.Latency.Snapshot(),
+		Queries:             pos + neg,
+		Positive:            pos,
+		Negative:            neg,
+		Decided:             decided,
+		Fallback:            fb,
+		Visited:             m.Visited.Load(),
+		Batches:             m.Batches.Load(),
+		BatchQueries:        m.BatchQueries.Load(),
+		Latency:             m.Latency.Snapshot(),
+		LatencySampleStride: m.sampleStride.Load(),
 	}
 }
 
@@ -346,7 +367,11 @@ func (s Snapshot) WriteText(w io.Writer) {
 			if is.Batches > 0 {
 				fmt.Fprintf(w, " batches=%d batch_queries=%d", is.Batches, is.BatchQueries)
 			}
-			fmt.Fprintf(w, " p50=%v p99=%v\n", is.Latency.P50, is.Latency.P99)
+			fmt.Fprintf(w, " p50=%v p99=%v", is.Latency.P50, is.Latency.P99)
+			if is.LatencySampleStride > 1 {
+				fmt.Fprintf(w, " (latency sampled 1/%d)", is.LatencySampleStride)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 	if len(s.Routes) > 0 {

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// promSeriesRe matches one exposition sample line: name, optional label
+// set, value. The value charset covers integers, floats and +Inf.
+var promSeriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+
+// checkPromSyntax validates text-format discipline: every sample's
+// family was declared with HELP and TYPE first, no malformed lines.
+// Returns the sample lines keyed by series (name + labels).
+func checkPromSyntax(t *testing.T, out string) map[string]string {
+	t.Helper()
+	declared := map[string]bool{}
+	samples := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			declared[fields[2]] = true
+			continue
+		}
+		m := promSeriesRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := m[1]
+		// Histogram sub-series share their family's declaration.
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !declared[name] && !declared[base] {
+			t.Fatalf("series %q emitted before its HELP/TYPE declaration", name)
+		}
+		samples[m[1]+m[2]] = m[3]
+	}
+	return samples
+}
+
+func TestSnapshotWriteProm(t *testing.T) {
+	m := NewDBMetrics()
+	im := m.Index("BFL")
+	for i := 0; i < 100; i++ {
+		im.Observe(i%2 == 0, time.Duration(i)*time.Microsecond)
+	}
+	im.ObserveProbe(false, 42)
+	im.ObserveBatch(10)
+	im.SetLatencySampleStride(32)
+	m.Route(RoutePlain).Observe(true, time.Millisecond)
+	m.Errors.Inc()
+	end := m.Build.Start("scc/condense")
+	end()
+	snap := m.Snapshot()
+	cache := &CacheSnapshot{Hits: 5, Misses: 3, Entries: 2, Capacity: 8}
+	snap.Cache = cache
+	snap.Degraded = []string{`plain "quoted"`}
+
+	var sb strings.Builder
+	snap.WriteProm(&sb, "reach")
+	out := sb.String()
+	samples := checkPromSyntax(t, out)
+
+	for series, want := range map[string]string{
+		`reach_index_queries_total{index="BFL"}`:                    "100",
+		`reach_index_fallback_visited_total{index="BFL"}`:           "42",
+		`reach_index_batch_queries_total{index="BFL"}`:              "10",
+		`reach_index_latency_sample_stride{index="BFL"}`:            "32",
+		`reach_route_queries_total{route="plain"}`:                  "1",
+		`reach_cache_hits_total`:                                    "5",
+		`reach_errors_total`:                                        "1",
+		`reach_degraded_route{route="plain \"quoted\""}`:            "1",
+		`reach_index_results_total{index="BFL",outcome="positive"}`: "50",
+	} {
+		if got := samples[series]; got != want {
+			t.Errorf("%s = %q, want %q", series, got, want)
+		}
+	}
+
+	// Histogram invariants: cumulative buckets end at +Inf == _count,
+	// and bucket counts are monotone nondecreasing in le order.
+	var lastCum int64 = -1
+	count := samples[`reach_index_latency_seconds_count{index="BFL"}`]
+	inf := samples[`reach_index_latency_seconds_bucket{index="BFL",le="+Inf"}`]
+	if count == "" || inf == "" || count != inf {
+		t.Fatalf("histogram +Inf bucket %q != count %q", inf, count)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	buckets := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, `reach_index_latency_seconds_bucket{index="BFL"`) {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket value in %q: %v", line, err)
+		}
+		if v < lastCum {
+			t.Fatalf("bucket counts not cumulative: %d after %d in %q", v, lastCum, line)
+		}
+		lastCum = v
+	}
+	if buckets < 2 {
+		t.Fatalf("histogram emitted %d bucket lines, want at least lo..hi + +Inf", buckets)
+	}
+	if snap.Indexes["BFL"].Latency.Count != 100 {
+		t.Fatalf("latency samples = %d, want 100", snap.Indexes["BFL"].Latency.Count)
+	}
+}
+
+func TestServerAndTracerWriteProm(t *testing.T) {
+	var m ServerMetrics
+	m.Accepted.Inc()
+	m.Rejected.Inc()
+	m.InFlight.Add(3)
+	m.Queued.Add(1)
+	var sb strings.Builder
+	m.Snapshot().WriteProm(&sb, "reach")
+
+	tcr := NewTracer(4, 250*time.Millisecond)
+	tcr.Finish(tcr.Start(""))
+	tcr.Stats().WriteProm(&sb, "reach")
+
+	samples := checkPromSyntax(t, sb.String())
+	for series, want := range map[string]string{
+		"reach_server_accepted_total":        "1",
+		"reach_server_rejected_total":        "1",
+		"reach_server_in_flight":             "3",
+		"reach_server_queued":                "1",
+		"reach_traces_started_total":         "1",
+		"reach_traces_finished_total":        "1",
+		"reach_trace_slow_threshold_seconds": "0.25",
+	} {
+		if got := samples[series]; got != want {
+			t.Errorf("%s = %q, want %q", series, got, want)
+		}
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	in := "a\\b\"c\nd"
+	want := `a\\b\"c\nd`
+	if got := promEscape(in); got != want {
+		t.Fatalf("promEscape = %q, want %q", got, want)
+	}
+	if got := promEscape("plain"); got != "plain" {
+		t.Fatalf("promEscape(plain) = %q", got)
+	}
+}
+
+// TestServerMetricsConcurrent exercises the gauges and reload counters
+// under racing writers and scrapers; run with -race this is the
+// regression net for the serving layer's shared counters.
+func TestServerMetricsConcurrent(t *testing.T) {
+	var m ServerMetrics
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Queued.Add(1)
+				m.Queued.Add(-1)
+				m.Accepted.Inc()
+				m.InFlight.Add(1)
+				if i%100 == 0 {
+					m.Reloads.Inc()
+					m.ReloadErrors.Inc()
+				}
+				m.InFlight.Add(-1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last ServerSnapshot
+		for i := 0; i < 500; i++ {
+			s := m.Snapshot()
+			if s.Accepted < last.Accepted || s.Reloads < last.Reloads {
+				t.Error("counters went backwards")
+				return
+			}
+			last = s
+		}
+	}()
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Accepted != workers*per {
+		t.Fatalf("accepted = %d, want %d", s.Accepted, workers*per)
+	}
+	if s.Reloads != workers*(per/100) || s.ReloadErrors != workers*(per/100) {
+		t.Fatalf("reloads = %d/%d, want %d", s.Reloads, s.ReloadErrors, workers*(per/100))
+	}
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("gauges not balanced: in-flight=%d queued=%d", s.InFlight, s.Queued)
+	}
+}

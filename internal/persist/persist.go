@@ -66,12 +66,19 @@ func (pw *Writer) Section(name string, fill func(e *Encoder)) {
 	pw.raw(pw.buf.Bytes())
 }
 
-// Close flushes and returns the total byte count and the first error.
-func (pw *Writer) Close() (int64, error) {
+// Flush writes buffered bytes through to the underlying writer without
+// finalizing the stream — long-running appenders (workload capture)
+// checkpoint with it. Returns the byte count so far and the first error.
+func (pw *Writer) Flush() (int64, error) {
 	if pw.err == nil {
 		pw.err = pw.w.Flush()
 	}
 	return pw.n, pw.err
+}
+
+// Close flushes and returns the total byte count and the first error.
+func (pw *Writer) Close() (int64, error) {
+	return pw.Flush()
 }
 
 func (pw *Writer) raw(b []byte) {
@@ -193,18 +200,39 @@ func (pr *Reader) Version() uint16 { return pr.version }
 // exactly that section's payload. The section must carry the expected
 // name — snapshots are read in the order they were written.
 func (pr *Reader) Section(name string) (*Decoder, error) {
-	got, err := readName(pr.r)
+	got, dec, err := pr.Next()
 	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, fmt.Errorf("persist: read section header: %w", err)
 	}
 	if got != name {
 		return nil, fmt.Errorf("persist: section %q, want %q", got, name)
 	}
+	return dec, nil
+}
+
+// Next reads the next section header, whatever its name — the iteration
+// primitive for formats holding a variable number of uniform sections
+// (e.g. workload capture batches). A clean end of stream returns io.EOF;
+// anything cut off mid-header is a truncation error.
+func (pr *Reader) Next() (string, *Decoder, error) {
+	if _, err := pr.r.Peek(1); err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("persist: read section header: %w", err)
+	}
+	name, err := readName(pr.r)
+	if err != nil {
+		return "", nil, fmt.Errorf("persist: read section header: %w", err)
+	}
 	var lb [8]byte
 	if _, err := io.ReadFull(pr.r, lb[:]); err != nil {
-		return nil, fmt.Errorf("persist: section %q length: %w", name, noEOF(err))
+		return "", nil, fmt.Errorf("persist: section %q length: %w", name, noEOF(err))
 	}
-	return &Decoder{
+	return name, &Decoder{
 		r:    pr.r,
 		name: name,
 		rem:  binary.LittleEndian.Uint64(lb[:]),

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -227,5 +228,68 @@ func TestStickyDecodeErrors(t *testing.T) {
 	}
 	if d.Err() != first {
 		t.Errorf("Err changed after further reads: %v then %v", first, d.Err())
+	}
+}
+
+// TestNextIteration drives the name-agnostic Next loop: every section in
+// order, then a clean io.EOF — the primitive workload captures iterate
+// with (a variable number of uniform sections, no fixed schema).
+func TestNextIteration(t *testing.T) {
+	raw := writeSample(t)
+	r, err := NewReader(bytes.NewReader(raw), "sample", 3)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var names []string
+	for {
+		name, dec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		names = append(names, name)
+		// Drain the section so the stream is positioned at the next header.
+		switch name {
+		case "meta":
+			_ = dec.String()
+			dec.U32()
+			dec.U64()
+		case "data":
+			dec.U32s()
+			dec.U64s()
+			dec.U32s()
+		default:
+			t.Fatalf("unexpected section %q", name)
+		}
+		if err := dec.Close(); err != nil {
+			t.Fatalf("section %q: %v", name, err)
+		}
+	}
+	if len(names) != 2 || names[0] != "meta" || names[1] != "data" {
+		t.Fatalf("sections = %v, want [meta data]", names)
+	}
+
+	// A stream cut inside a section header is a truncation error from
+	// Next, not a clean EOF.
+	r2, err := NewReader(bytes.NewReader(raw[:len(raw)-1]), "sample", 3)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	for {
+		_, dec, err := r2.Next()
+		if err == io.EOF {
+			t.Fatal("truncated stream ended with clean EOF")
+		}
+		if err != nil {
+			break // the expected truncation error
+		}
+		_ = dec.String()
+		dec.U32()
+		dec.U64()
+		if dec.Close() != nil {
+			break
+		}
 	}
 }

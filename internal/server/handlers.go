@@ -7,6 +7,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +42,14 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /admin/stats", s.handleStats)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -48,7 +57,20 @@ func (s *Server) routes() http.Handler {
 // accounting, and the per-request deadline.
 func (s *Server) admit(h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch s.adm.acquire(r.Context()) {
+		st := stateFrom(r.Context())
+		var tok int
+		if st != nil && st.trace != nil {
+			tok = st.trace.Begin("admission/wait")
+		}
+		waitStart := time.Now()
+		verdict := s.adm.acquire(r.Context())
+		if st != nil {
+			st.admissionWait = time.Since(waitStart)
+			if st.trace != nil {
+				st.trace.End(tok)
+			}
+		}
+		switch verdict {
 		case admitRejected:
 			s.metrics.Rejected.Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.cfg.RetryAfter)))
@@ -262,7 +284,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		s.writePromMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.metrics.Snapshot().WriteText(w)
 	db := s.DB()
@@ -271,6 +297,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	} else {
 		fmt.Fprintln(w, "db metrics disabled (start with -metrics)")
 	}
+}
+
+// wantsProm decides the /metrics representation. The human-oriented text
+// dump stays the default; Prometheus exposition is selected explicitly
+// with ?format=prometheus or by the version= Accept header a Prometheus
+// scraper sends ("text/plain; version=0.0.4" or an openmetrics type).
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom":
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// writePromMetrics renders every metrics surface the server has —
+// admission/lifecycle gauges, tracer counters, and the current DB's
+// index/route/cache/build cells — as one Prometheus text document under
+// the "reach" namespace.
+func (s *Server) writePromMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.metrics.Snapshot().WriteProm(w, "reach")
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Stats().WriteProm(w, "reach")
+	}
+	if snap, ok := s.DB().MetricsSnapshot(); ok {
+		snap.WriteProm(w, "reach")
+	}
+}
+
+// handleTraces serves the tracer's ring buffers: recent traces and the
+// slow-query log, newest first, with per-phase timings.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Tracer == nil {
+		writeErr(w, http.StatusNotFound, "tracing disabled (start with -trace-buffer > 0)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Tracer.Snapshot())
 }
 
 // statsResponse is the /admin/stats JSON document.

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"expvar"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync/atomic"
@@ -79,6 +80,20 @@ type Config struct {
 	// Log receives serving-lifecycle lines (reloads, drain). Default
 	// log.Default().
 	Log *log.Logger
+	// Tracer, when non-nil, turns on per-request tracing for the /v1/*
+	// query endpoints: each request gets an obs.Trace threaded through
+	// its context (pair it with reach.DBConfig.Tracing so the DB appends
+	// phase timings), finished traces feed the Tracer's ring buffers, and
+	// GET /debug/traces serves the recent/slow rings as JSON.
+	Tracer *obs.Tracer
+	// AccessLog, when non-nil, receives one structured line per request
+	// (method, path, status, latency, bytes, trace ID, admission wait).
+	// Requests over the Tracer's slow threshold log at Warn.
+	AccessLog *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints can stall the process (e.g. a 30s CPU
+	// profile) and belong behind an operator's explicit opt-in.
+	EnablePprof bool
 }
 
 func (cfg *Config) defaults() {
@@ -152,6 +167,11 @@ func New(cfg Config) (*Server, error) {
 	s.db.Store(cfg.DB)
 	s.adm.metrics = s.metrics
 	s.handler = s.routes()
+	// The observe middleware costs a context allocation per request, so
+	// it is only installed when something consumes what it produces.
+	if cfg.Tracer != nil || cfg.AccessLog != nil {
+		s.handler = s.observe(s.handler)
+	}
 	s.httpSrv = &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 5 * time.Second,

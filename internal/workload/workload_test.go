@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleRecord(i int) Record {
+	rec := Record{
+		S:       uint32(i),
+		T:       uint32(i * 7),
+		Route:   fmt.Sprintf("route-%d", i%3),
+		Outcome: i%2 == 0,
+		Latency: time.Duration(i) * time.Microsecond,
+	}
+	switch i % 3 {
+	case 1:
+		rec.Alpha = "(knows|likes)*"
+	case 2:
+		rec.Labels = []uint16{uint16(i % 5), uint16(i % 11)}
+	}
+	return rec
+}
+
+func TestRoundTrip(t *testing.T) {
+	// More than two flush batches plus a partial tail, so the read path
+	// crosses section boundaries and handles the Close-time flush.
+	const n = flushEvery*2 + 37
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	want := make([]Record, n)
+	for i := range want {
+		want[i] = sampleRecord(i)
+		rec.Record(want[i])
+	}
+	if got := rec.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("read %d records, want %d", len(got), n)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty capture decoded %d records", len(got))
+	}
+}
+
+func TestTruncatedCapture(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	for i := 0; i < flushEvery+5; i++ {
+		rec.Record(sampleRecord(i))
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full := buf.Bytes()
+	const n = flushEvery + 5
+	// A strict prefix must never panic and never decode the full record
+	// count: a cut at a batch boundary legitimately reads as a shorter
+	// capture, and every mid-section cut must surface an error.
+	for cut := len(full) - 1; cut > 0; cut -= 7 {
+		got, err := Read(bytes.NewReader(full[:cut]))
+		if err == nil && len(got) >= n {
+			t.Fatalf("truncation at %d/%d bytes decoded all %d records cleanly", cut, len(full), n)
+		}
+	}
+}
+
+func TestGarbageInput(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a capture at all"))); err == nil {
+		t.Fatal("garbage input decoded cleanly")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec.Record(sampleRecord(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != workers*per {
+		t.Fatalf("read %d records, want %d", len(got), workers*per)
+	}
+}

@@ -1,0 +1,27 @@
+package reach
+
+import (
+	"io"
+
+	"repro/internal/workload"
+)
+
+// WorkloadRecord is one captured query: inputs, route, outcome, and
+// capture-time latency. See DBConfig.RecordWorkload and
+// OBSERVABILITY.md ("Workload capture and replay").
+type WorkloadRecord = workload.Record
+
+// WorkloadRecorder appends query records to a capture stream; install
+// one via DBConfig.RecordWorkload. Safe for concurrent use.
+type WorkloadRecorder = workload.Recorder
+
+// NewWorkloadRecorder starts a workload capture on w. The caller owns w
+// and must Close the recorder (not just w) to flush buffered records.
+func NewWorkloadRecorder(w io.Writer) *WorkloadRecorder {
+	return workload.NewRecorder(w)
+}
+
+// ReadWorkload decodes an entire capture written by a WorkloadRecorder.
+func ReadWorkload(r io.Reader) ([]WorkloadRecord, error) {
+	return workload.Read(r)
+}
