@@ -22,9 +22,29 @@ type benchReport struct {
 	N          int          `json:"n"`
 	M          int          `json:"m"`
 	Seed       int64        `json:"seed"`
+	LabelEnc   string       `json:"label_enc,omitempty"`
 	Queries    int          `json:"queries"`
 	Kinds      []benchKind  `json:"kinds"`
+	Labels     []labelBench `json:"labels,omitempty"`
 	Accel      *accelReport `json:"accel,omitempty"`
+}
+
+// labelBench records the flat-label-storage measurements the CI label
+// gates consume: for the CSR-backed kinds at two graph sizes and each
+// encoding, the steady-state query cost, per-query heap allocations, and
+// the footprint split into offset tables vs label payload. The varint
+// rows exist to verify the compression claim (label_bytes down, query
+// cost bounded) against the raw rows.
+type labelBench struct {
+	Kind        string  `json:"kind"`
+	N           int     `json:"n"`
+	Enc         string  `json:"enc"`
+	BuildNs     int64   `json:"build_ns"`
+	QueryNsOp   float64 `json:"query_ns_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	OffsetBytes int     `json:"offset_bytes"`
+	LabelBytes  int     `json:"label_bytes"`
+	AuxBytes    int     `json:"aux_bytes"`
 }
 
 // accelReport records the query-path acceleration measurements: the
@@ -55,6 +75,7 @@ type benchKind struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	Entries     int     `json:"entries,omitempty"`
 	Bytes       int     `json:"bytes,omitempty"`
+	LabelBytes  int     `json:"label_bytes,omitempty"`
 	Skipped     string  `json:"skipped,omitempty"`
 }
 
@@ -66,17 +87,22 @@ var benchSkips = map[reach.Kind]string{
 // writeBenchJSON builds every plain index kind over one shared workload
 // and records build wall time, mean query latency, and per-query heap
 // allocations (MemStats deltas over the whole query sweep).
-func writeBenchJSON(path string, scale int, seed int64, workers int) error {
+func writeBenchJSON(path string, scale int, seed int64, workers int, enc reach.LabelEncoding) error {
 	n := 2000 * scale
 	g := gen.RandomDAG(gen.Config{N: n, M: 4 * n, Seed: seed})
 	qs := gen.Queries(g, 2000, seed+1)
 
+	encName := "raw"
+	if enc == reach.EncVarint {
+		encName = "varint"
+	}
 	rep := benchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    workers,
 		N:          g.N(),
 		M:          g.M(),
 		Seed:       seed,
+		LabelEnc:   encName,
 		Queries:    len(qs),
 	}
 	for _, k := range reach.Kinds() {
@@ -84,7 +110,7 @@ func writeBenchJSON(path string, scale int, seed int64, workers int) error {
 			rep.Kinds = append(rep.Kinds, benchKind{Kind: string(k), Skipped: reason})
 			continue
 		}
-		opt := reach.Options{K: 3, Bits: 256, Seed: seed, Workers: workers}
+		opt := reach.Options{K: 3, Bits: 256, Seed: seed, Workers: workers, LabelEnc: enc}
 		start := time.Now()
 		ix, err := reach.Build(k, g, opt)
 		buildNs := time.Since(start).Nanoseconds()
@@ -115,7 +141,7 @@ func writeBenchJSON(path string, scale int, seed int64, workers int) error {
 			continue
 		}
 		st := ix.Stats()
-		rep.Kinds = append(rep.Kinds, benchKind{
+		bk := benchKind{
 			Kind:        string(k),
 			Name:        ix.Name(),
 			BuildNs:     buildNs,
@@ -123,22 +149,87 @@ func writeBenchJSON(path string, scale int, seed int64, workers int) error {
 			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(len(qs)),
 			Entries:     st.Entries,
 			Bytes:       st.Bytes,
-		})
+		}
+		if _, labels, _, ok := reach.IndexSizes(ix); ok {
+			bk.LabelBytes = labels
+		}
+		rep.Kinds = append(rep.Kinds, bk)
 	}
 
+	rep.Labels = measureLabels(scale, seed, workers)
 	rep.Accel = measureAccel(scale, seed)
 
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&rep); err != nil {
+	je := json.NewEncoder(f)
+	je.SetIndent("", "  ")
+	if err := je.Encode(&rep); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// measureLabels runs the flat-label-storage sweep: the CSR-backed kinds
+// (pll, tol, bfl) at n=2000 and n=20000, raw and — for the 2-hop label
+// kinds — varint encodings. BFL's fixed-stride filter matrix has no
+// varint form, so it reports one raw row per size.
+func measureLabels(scale int, seed int64, workers int) []labelBench {
+	var out []labelBench
+	for _, n := range []int{2000 * scale, 20000 * scale} {
+		g := gen.RandomDAG(gen.Config{N: n, M: 4 * n, Seed: seed})
+		qs := gen.Queries(g, 2000, seed+1)
+		for _, k := range []reach.Kind{reach.KindPLL, reach.KindTOL, reach.KindBFL} {
+			encs := []reach.LabelEncoding{reach.EncRaw, reach.EncVarint}
+			if k == reach.KindBFL {
+				encs = encs[:1]
+			}
+			for _, enc := range encs {
+				opt := reach.Options{Bits: 256, Seed: seed, Workers: workers, LabelEnc: enc}
+				start := time.Now()
+				ix, err := reach.Build(k, g, opt)
+				buildNs := time.Since(start).Nanoseconds()
+				if err != nil {
+					panic(err)
+				}
+				for _, q := range qs[:10] {
+					ix.Reach(q.S, q.T)
+				}
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				qstart := time.Now()
+				for _, q := range qs {
+					if ix.Reach(q.S, q.T) != q.Want {
+						panic("wrong answer in label sweep")
+					}
+				}
+				qdur := time.Since(qstart)
+				runtime.ReadMemStats(&after)
+				off, lab, aux, ok := reach.IndexSizes(ix)
+				if !ok {
+					panic("label-sweep kind without size breakdown")
+				}
+				encName := "raw"
+				if enc == reach.EncVarint {
+					encName = "varint"
+				}
+				out = append(out, labelBench{
+					Kind:        string(k),
+					N:           n,
+					Enc:         encName,
+					BuildNs:     buildNs,
+					QueryNsOp:   float64(qdur.Nanoseconds()) / float64(len(qs)),
+					AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(len(qs)),
+					OffsetBytes: off,
+					LabelBytes:  lab,
+					AuxBytes:    aux,
+				})
+			}
+		}
+	}
+	return out
 }
 
 // measureAccel runs the query-path acceleration measurements for the

@@ -40,6 +40,7 @@ func main() {
 	k := flag.Int("k", 3, "per-technique budget for the -metrics run")
 	bits := flag.Int("bits", 256, "Bloom filter width for the -metrics run")
 	benchjson := flag.String("benchjson", "", "write a machine-readable per-kind benchmark (build ns, query ns/op, allocs/op) to this file and exit")
+	labelEnc := flag.String("labelenc", "raw", "2-hop label storage encoding for the benchmark builds: raw or varint")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -97,12 +98,16 @@ func main() {
 		}
 	}()
 
+	enc, ok := parseLabelEnc(*labelEnc)
+	if !ok {
+		usageExit("bad -labelenc %q (want raw or varint)", *labelEnc)
+	}
 	if *metrics {
-		runMetrics(reach.Kind(*indexKind), *scale, *seed, reach.Options{K: *k, Bits: *bits, Workers: *workers})
+		runMetrics(reach.Kind(*indexKind), *scale, *seed, reach.Options{K: *k, Bits: *bits, Workers: *workers, LabelEnc: enc})
 		return
 	}
 	if *benchjson != "" {
-		if err := writeBenchJSON(*benchjson, *scale, *seed, *workers); err != nil {
+		if err := writeBenchJSON(*benchjson, *scale, *seed, *workers, enc); err != nil {
 			fail("benchjson: %v", err)
 		}
 		return
@@ -180,6 +185,16 @@ func runMetrics(k reach.Kind, scale int, seed int64, opt reach.Options) {
 	fmt.Printf("queries=%d (+%d/-%d) decided=%.1f%% fallback=%d visited=%d p50=%v p99=%v\n",
 		s.Queries, s.Positive, s.Negative, 100*s.DecidedRate(), s.Fallback,
 		s.Visited, s.Latency.P50, s.Latency.P99)
+}
+
+func parseLabelEnc(s string) (reach.LabelEncoding, bool) {
+	switch s {
+	case "raw":
+		return reach.EncRaw, true
+	case "varint":
+		return reach.EncVarint, true
+	}
+	return 0, false
 }
 
 func validKind(k reach.Kind) bool {

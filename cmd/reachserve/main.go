@@ -6,6 +6,7 @@
 //	reachserve -graph g.txt                         # serve on :8080
 //	reachserve -demo -addr 127.0.0.1:0 -addrfile a  # demo graph, random port
 //	reachserve -graph g.txt -snapshot g.idx         # warm-start when g.idx exists
+//	reachserve -graph g.txt -snapshot g.idx -mmap   # zero-copy mapped cold start
 //
 // Endpoints: /v1/reach?s=&t=, /v1/query?s=&t=&alpha=, /v1/allowed?s=&t=&labels=,
 // POST /v1/batch, /v1/path?s=&t=[&alpha=], /healthz, /readyz, /metrics
@@ -55,7 +56,9 @@ func main() {
 	cache := flag.Int("cache", 0, "query-result cache entries; 0 disables")
 	metrics := flag.Bool("metrics", true, "enable the observability layer")
 	degraded := flag.Bool("degraded", false, "keep serving when an optional index build fails")
-	snapshot := flag.String("snapshot", "", "plain-index snapshot file: load when present, write after a fresh build (BFL only)")
+	snapshot := flag.String("snapshot", "", "plain-index snapshot file: load when present, write after a fresh build (bfl/pll/dl kinds)")
+	mmapSnap := flag.Bool("mmap", false, "use the mapped snapshot layout: write aligned+checksummed snapshots and cold-start by page-mapping them (zero-copy) instead of decoding")
+	labelEnc := flag.String("labelenc", "raw", "2-hop label storage encoding: raw (flat uint32 arrays) or varint (delta-compressed)")
 	maxInFlight := flag.Int("max-inflight", 256, "max concurrently executing query requests")
 	maxQueue := flag.Int("max-queue", 0, "max queued query requests; 0 = same as -max-inflight")
 	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "max time a request waits for an admission slot")
@@ -101,10 +104,14 @@ func main() {
 		logger.Info("workload capture enabled", "file", *record)
 	}
 
+	enc, err := parseLabelEnc(*labelEnc)
+	if err != nil {
+		lg.Fatalf("%v", err)
+	}
 	cfg := reach.DBConfig{
 		Plain:          reach.Kind(*indexKind),
 		LCR:            reach.LCRKind(*lcrKind),
-		Options:        reach.Options{K: *k, Bits: *bits, Workers: *workers, MaxSeq: *maxseq},
+		Options:        reach.Options{K: *k, Bits: *bits, Workers: *workers, MaxSeq: *maxseq, LabelEnc: enc},
 		Metrics:        *metrics,
 		Degraded:       *degraded,
 		Tracing:        tracer != nil,
@@ -118,7 +125,7 @@ func main() {
 	}
 
 	buildDB := func(ctx context.Context) (*reach.DB, error) {
-		return openDB(ctx, *graphPath, *demo, *snapshot, cfg, lg)
+		return openDB(ctx, *graphPath, *demo, *snapshot, *mmapSnap, cfg, lg)
 	}
 
 	ctx := context.Background()
@@ -205,6 +212,17 @@ func main() {
 	}
 }
 
+// parseLabelEnc maps the -labelenc flag onto reach.LabelEncoding.
+func parseLabelEnc(s string) (reach.LabelEncoding, error) {
+	switch s {
+	case "raw":
+		return reach.EncRaw, nil
+	case "varint":
+		return reach.EncVarint, nil
+	}
+	return 0, fmt.Errorf("bad -labelenc %q (want raw or varint)", s)
+}
+
 // newLogger builds the process logger: structured lines to w, text or
 // JSON, at the requested minimum level.
 func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
@@ -229,7 +247,7 @@ func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
 // graph file and POSTing /admin/reload picks the new graph up; a stale
 // snapshot that no longer matches the graph fails the build with a typed
 // error rather than serving wrong answers.
-func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, cfg reach.DBConfig, lg *log.Logger) (*reach.DB, error) {
+func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, mmapSnap bool, cfg reach.DBConfig, lg *log.Logger) (*reach.DB, error) {
 	var g *reach.Graph
 	if demo {
 		g = reach.Fig1Labeled()
@@ -249,9 +267,16 @@ func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, c
 	warm := false
 	if snapPath != "" {
 		if f, err := os.Open(snapPath); err == nil {
-			cfg.PlainSnapshot = f
+			if mmapSnap {
+				// Mapped cold start: hand the path through so the DB
+				// page-maps the file instead of decoding the stream.
+				f.Close()
+				cfg.PlainSnapshotMapped = snapPath
+			} else {
+				cfg.PlainSnapshot = f
+				defer f.Close()
+			}
 			warm = true
-			defer f.Close()
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("snapshot %s: %w", snapPath, err)
 		}
@@ -264,9 +289,13 @@ func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, c
 		return nil, err
 	}
 	if warm {
-		lg.Printf("warm-started plain index from %s", snapPath)
+		if mmapSnap {
+			lg.Printf("warm-started plain index from %s (page-mapped)", snapPath)
+		} else {
+			lg.Printf("warm-started plain index from %s", snapPath)
+		}
 	} else if snapPath != "" {
-		if err := writeSnapshot(snapPath, db); err != nil {
+		if err := writeSnapshot(snapPath, cfg.Plain, mmapSnap, db); err != nil {
 			lg.Printf("snapshot save failed (serving anyway): %v", err)
 		} else {
 			lg.Printf("saved plain-index snapshot to %s", snapPath)
@@ -278,17 +307,24 @@ func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, c
 // writeSnapshot persists the DB's plain index atomically: write to a
 // temp file in the same directory, fsync-free rename over the target, so
 // a crash mid-write never leaves a torn snapshot for the next start.
-func writeSnapshot(path string, db *reach.DB) error {
-	ix, ok := db.PlainIndex(reach.KindBFL)
+func writeSnapshot(path string, kind reach.Kind, mapped bool, db *reach.DB) error {
+	if kind == "" {
+		kind = reach.KindBFL
+	}
+	ix, ok := db.PlainIndex(kind)
 	if !ok {
-		return fmt.Errorf("no %s index built (snapshot supports -index bfl)", reach.KindBFL)
+		return fmt.Errorf("no %s index built", kind)
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := reach.SaveIndex(tmp, ix); err != nil {
+	save := reach.SaveIndex
+	if mapped {
+		save = reach.SaveIndexMapped
+	}
+	if err := save(tmp, ix); err != nil {
 		tmp.Close()
 		return err
 	}

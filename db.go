@@ -177,14 +177,21 @@ type DBConfig struct {
 	// every query (two clock reads each); see OBSERVABILITY.md.
 	RecordWorkload *WorkloadRecorder
 	// PlainSnapshot, when non-nil, warm-starts the plain index from a
-	// snapshot previously written with SaveIndex instead of building it:
-	// the load is a linear deserialization recorded as an "index/load"
-	// span (a warm-started DB's build timeline has no "index/build"
-	// phase). The snapshot must pair with g and with Plain — KindBFL, the
-	// default, is the only snapshottable kind today; a kind or graph
-	// mismatch fails NewDB with a typed error. LCR/RLC indexes are always
-	// built fresh.
+	// snapshot previously written with SaveIndex or SaveIndexMapped
+	// instead of building it: the load is a linear deserialization
+	// recorded as an "index/load" span (a warm-started DB's build
+	// timeline has no "index/build" phase). The snapshot must pair with g
+	// and with Plain — the snapshottable kinds are KindBFL (the default),
+	// KindPLL, and KindDL; a kind or graph mismatch fails NewDB with a
+	// typed error. LCR/RLC indexes are always built fresh.
 	PlainSnapshot io.Reader
+	// PlainSnapshotMapped, when non-empty, warm-starts the plain index by
+	// page-mapping the mapped-layout snapshot file at this path (see
+	// LoadIndexMapped): the label arrays are zero-copy views into the
+	// mapping, so cold start is page mapping plus a checksum pass instead
+	// of a decode pass. Mutually exclusive with PlainSnapshot. The same
+	// kind pairing rules apply.
+	PlainSnapshotMapped string
 }
 
 // NewDB builds a DB over g. For unlabeled graphs only the plain index is
@@ -232,17 +239,30 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 	}
 	db.prep = cfg.Options.Prepared
 	var err error
-	if cfg.PlainSnapshot != nil {
-		if cfg.Plain != KindBFL {
-			return nil, fmt.Errorf("%w: PlainSnapshot warm-start supports Plain == %q only, not %q", ErrBadOptions, KindBFL, cfg.Plain)
-		}
+	warm := cfg.PlainSnapshot != nil || cfg.PlainSnapshotMapped != ""
+	if warm && !snapshottableKind(cfg.Plain) {
+		return nil, fmt.Errorf("%w: snapshot warm-start supports Plain in {%q, %q, %q}, not %q",
+			ErrBadOptions, KindBFL, KindPLL, KindDL, cfg.Plain)
+	}
+	switch {
+	case cfg.PlainSnapshot != nil && cfg.PlainSnapshotMapped != "":
+		return nil, fmt.Errorf("%w: PlainSnapshot and PlainSnapshotMapped are mutually exclusive", ErrBadOptions)
+	case cfg.PlainSnapshotMapped != "":
+		db.plain, err = LoadIndexMapped(cfg.PlainSnapshotMapped, g, cfg.Options)
+	case cfg.PlainSnapshot != nil:
 		db.plain, err = LoadIndex(cfg.PlainSnapshot, g, cfg.Options)
-	} else {
+	default:
 		db.plain, err = BuildCtx(ctx, cfg.Plain, g, cfg.Options)
 	}
 	if err != nil {
 		return nil, err
 	}
+	if warm {
+		if want, got := plainKindName(cfg.Plain), db.plain.Name(); want != got {
+			return nil, fmt.Errorf("%w: snapshot contains a %q index but Plain is %q (%s)", ErrBadOptions, got, cfg.Plain, want)
+		}
+	}
+	db.recordFootprint(db.plain)
 	if db.metrics != nil {
 		db.plain = core.Instrument(db.plain, g, db.metrics.Index(db.plain.Name()))
 	}
@@ -258,6 +278,7 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 			db.extra = make(map[Kind]Index, len(cfg.ExtraPlain))
 		}
 		db.extra[kind] = ix
+		db.recordFootprint(ix)
 	}
 	if g.Labeled() {
 		if db.lcr, err = BuildLCRCtx(ctx, cfg.LCR, g, cfg.Options); err != nil {
@@ -288,6 +309,38 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// snapshottableKind reports whether SaveIndex/LoadIndex have a codec for
+// this plain kind.
+func snapshottableKind(k Kind) bool {
+	return k == KindBFL || k == KindPLL || k == KindDL
+}
+
+// plainKindName maps a snapshottable kind to the Name() its loaded index
+// reports, so a warm start can detect a snapshot of the wrong kind.
+func plainKindName(k Kind) string {
+	switch k {
+	case KindBFL:
+		return "BFL"
+	case KindPLL:
+		return "PLL"
+	case KindDL:
+		return "DL"
+	}
+	return string(k)
+}
+
+// recordFootprint publishes ix's section-split footprint into the
+// metrics layer (index_size_bytes on /metrics) when both observability
+// and the index's size breakdown are available.
+func (db *DB) recordFootprint(ix Index) {
+	if db.metrics == nil || ix == nil {
+		return
+	}
+	if b, ok := core.SizesOf(ix); ok {
+		db.metrics.Index(ix.Name()).SetFootprint(int64(b.Offsets), int64(b.Labels), int64(b.Aux))
+	}
 }
 
 // degradable reports whether cfg tolerates this build failure. Only

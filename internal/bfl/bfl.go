@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/labelstore"
 	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/par"
@@ -46,15 +47,18 @@ func (o *Options) defaults() {
 	o.Bits = (o.Bits + 63) &^ 63
 }
 
-// Index is the BFL partial index over a DAG.
+// Index is the BFL partial index over a DAG. Filters are fixed-stride
+// flat labelstore.Words matrices — already a CSR-style layout (the
+// offset of row v is v*Stride, so no offset table is needed).
 type Index struct {
-	g     *graph.Digraph
-	words int
-	out   []uint64 // n * words, forward filters
-	in    []uint64 // n * words, backward filters
-	post  []uint32
-	min   []uint32
-	stats core.Stats
+	g       *graph.Digraph
+	out, in labelstore.Words // forward / backward filters
+	post    []uint32
+	min     []uint32
+	stats   core.Stats
+	// backing pins the snapshot mapping a zero-copy loaded index's
+	// arrays alias (see FromMapped); nil for built indexes.
+	backing interface{ Close() error }
 }
 
 // New builds BFL over a DAG.
@@ -64,10 +68,9 @@ func New(dag *graph.Digraph, opts Options) *Index {
 	n := dag.N()
 	words := opts.Bits / 64
 	ix := &Index{
-		g:     dag,
-		words: words,
-		out:   make([]uint64, n*words),
-		in:    make([]uint64, n*words),
+		g:   dag,
+		out: labelstore.Words{Stride: words, W: make([]uint64, n*words)},
+		in:  labelstore.Words{Stride: words, W: make([]uint64, n*words)},
 	}
 	end := opts.Spans.Start("bfl/dfs-intervals")
 	po := order.DFSForest(dag, order.Sources(dag), nil)
@@ -91,11 +94,11 @@ func New(dag *graph.Digraph, opts Options) *Index {
 	// complete before a vertex unions them in.
 	end = opts.Spans.StartN("bfl/filters-out", nw)
 	par.Sweep(opts.Workers, order.Reversed(buckets), func(_ int, v graph.V) {
-		row := ix.out[int(v)*words : (int(v)+1)*words]
+		row := ix.out.Row(int(v))
 		w, b := bitOf(v)
 		row[w] |= b
 		for _, u := range dag.Succ(v) {
-			src := ix.out[int(u)*words : (int(u)+1)*words]
+			src := ix.out.Row(int(u))
 			for k := range row {
 				row[k] |= src[k]
 			}
@@ -105,11 +108,11 @@ func New(dag *graph.Digraph, opts Options) *Index {
 	// Backward filters, shallowest level first.
 	end = opts.Spans.StartN("bfl/filters-in", nw)
 	par.Sweep(opts.Workers, buckets, func(_ int, v graph.V) {
-		row := ix.in[int(v)*words : (int(v)+1)*words]
+		row := ix.in.Row(int(v))
 		w, b := bitOf(v)
 		row[w] |= b
 		for _, u := range dag.Pred(v) {
-			src := ix.in[int(u)*words : (int(u)+1)*words]
+			src := ix.in.Row(int(u))
 			for k := range row {
 				row[k] |= src[k]
 			}
@@ -138,15 +141,15 @@ func (ix *Index) TryReach(s, t graph.V) (bool, bool) {
 	}
 	// Contra-positive filters: Lout(t) ⊆ Lout(s) and Lin(s) ⊆ Lin(t) are
 	// necessary for reachability.
-	so := ix.out[int(s)*ix.words : (int(s)+1)*ix.words]
-	to := ix.out[int(t)*ix.words : (int(t)+1)*ix.words]
+	so := ix.out.Row(int(s))
+	to := ix.out.Row(int(t))
 	for k := range so {
 		if to[k]&^so[k] != 0 {
 			return false, true
 		}
 	}
-	si := ix.in[int(s)*ix.words : (int(s)+1)*ix.words]
-	ti := ix.in[int(t)*ix.words : (int(t)+1)*ix.words]
+	si := ix.in.Row(int(s))
+	ti := ix.in.Row(int(t))
 	for k := range si {
 		if si[k]&^ti[k] != 0 {
 			return false, true
@@ -170,3 +173,12 @@ func (ix *Index) ReachCounted(s, t graph.V) (bool, int, bool) {
 
 // Stats implements core.Index.
 func (ix *Index) Stats() core.Stats { return ix.stats }
+
+// Sizes implements core.Sized: BFL's fixed-stride filter matrices need
+// no offset table, so Offsets is 0; the DFS intervals are Aux.
+func (ix *Index) Sizes() core.SizeBreakdown {
+	return core.SizeBreakdown{
+		Labels: ix.out.Bytes() + ix.in.Bytes(),
+		Aux:    len(ix.post)*4 + len(ix.min)*4,
+	}
+}

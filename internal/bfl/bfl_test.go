@@ -52,13 +52,14 @@ func TestFilterSubsetInvariant(t *testing.T) {
 	// transitively, every reachable pair).
 	g := gen.RandomDAG(gen.Config{N: 250, M: 750, Seed: 9})
 	ix := New(g, Options{Bits: 192, Seed: 10})
-	w := ix.words
 	g.Edges(func(e graph.Edge) bool {
-		for j := 0; j < w; j++ {
-			if ix.out[int(e.To)*w+j]&^ix.out[int(e.From)*w+j] != 0 {
+		outFrom, outTo := ix.out.Row(int(e.From)), ix.out.Row(int(e.To))
+		inFrom, inTo := ix.in.Row(int(e.From)), ix.in.Row(int(e.To))
+		for j := range outFrom {
+			if outTo[j]&^outFrom[j] != 0 {
 				t.Fatalf("Lout(%d) ⊄ Lout(%d) across edge", e.To, e.From)
 			}
-			if ix.in[int(e.From)*w+j]&^ix.in[int(e.To)*w+j] != 0 {
+			if inFrom[j]&^inTo[j] != 0 {
 				t.Fatalf("Lin(%d) ⊄ Lin(%d) across edge", e.From, e.To)
 			}
 		}

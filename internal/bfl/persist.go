@@ -6,15 +6,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/labelstore"
 	"repro/internal/persist"
 )
 
-// Snapshots use the shared internal/persist container (format "bfl",
-// version 1) with three sections:
+// Snapshots use the shared internal/persist container (format "bfl") in
+// two layouts:
+//
+// Version 1 — the streaming codec (WriteTo):
 //
 //	meta      — vertex count n, filter width in 64-bit words
 //	intervals — DFS post[n] and min[n] (the definite-positive test)
 //	filters   — out filters then in filters, n*words words each
+//
+// Version 2 — the mapped layout (WriteMapped): aligned raw-array
+// sections plus a trailing checksum, loadable zero-copy through
+// persist.OpenMapped + FromMapped:
+//
+//	meta — n, words
+//	post/min — DFS intervals, 4-byte aligned
+//	fout/fin — filter matrices, 8-byte aligned
+//	crc32 — CRC-32C of everything above
 //
 // BFL is a partial index: the guided-DFS fallback needs the graph the
 // labels were computed over, so Read re-binds the snapshot to a caller
@@ -22,80 +34,209 @@ import (
 // responsibility (a vertex-count mismatch is detected, other mismatches
 // are not — as with any external index file in a DBMS).
 const (
-	persistFormat  = "bfl"
-	persistVersion = 1
+	persistFormat     = "bfl"
+	persistVersion    = 1
+	persistVersionMap = 2
 )
 
-// WriteTo serializes the index. It returns the number of bytes written.
+// WriteTo serializes the index in the version-1 streaming codec. It
+// returns the number of bytes written.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	pw := persist.NewWriter(w, persistFormat, persistVersion)
 	pw.Section("meta", func(e *persist.Encoder) {
 		e.U32(uint32(len(ix.post)))
-		e.U32(uint32(ix.words))
+		e.U32(uint32(ix.out.Stride))
 	})
 	pw.Section("intervals", func(e *persist.Encoder) {
 		e.U32s(ix.post)
 		e.U32s(ix.min)
 	})
 	pw.Section("filters", func(e *persist.Encoder) {
-		e.U64s(ix.out)
-		e.U64s(ix.in)
+		e.U64s(ix.out.W)
+		e.U64s(ix.in.W)
 	})
 	return pw.Close()
 }
 
-// Read deserializes an index previously written with WriteTo and binds it
-// to dag — the same DAG the snapshot was built over (for a general graph,
-// the SCC condensation the builder ran on). The filter-guided fallback
-// traverses dag, so answers are only correct over the original graph.
+// WriteMapped serializes the index in the version-2 mapped layout. The
+// writer must be positioned at the start of the file.
+func (ix *Index) WriteMapped(w io.Writer) (int64, error) {
+	pw := persist.NewWriter(w, persistFormat, persistVersionMap)
+	pw.Section("meta", func(e *persist.Encoder) {
+		e.U32(uint32(len(ix.post)))
+		e.U32(uint32(ix.out.Stride))
+	})
+	pw.AlignedU32s("post", ix.post)
+	pw.AlignedU32s("min", ix.min)
+	pw.AlignedU64s("fout", ix.out.W)
+	pw.AlignedU64s("fin", ix.in.W)
+	pw.Checksum()
+	return pw.Close()
+}
+
+type bflMeta struct {
+	n, words uint32
+}
+
+func readMeta(meta *persist.Decoder, dag *graph.Digraph) (bflMeta, error) {
+	var m bflMeta
+	m.n = meta.U32()
+	m.words = meta.U32()
+	if err := meta.Close(); err != nil {
+		return m, err
+	}
+	if int(m.n) != dag.N() {
+		return m, fmt.Errorf("bfl: snapshot has %d vertices, graph has %d (snapshot built over a different graph?)", m.n, dag.N())
+	}
+	if m.words == 0 || m.words > 1<<20 {
+		return m, fmt.Errorf("bfl: implausible filter width %d words", m.words)
+	}
+	return m, nil
+}
+
+// bind validates array lengths and finishes an index skeleton.
+func (ix *Index) bind(m bflMeta) error {
+	n, words := int(m.n), int(m.words)
+	if len(ix.post) != n || len(ix.min) != n {
+		return fmt.Errorf("bfl: interval sections have %d/%d entries, want %d", len(ix.post), len(ix.min), n)
+	}
+	if len(ix.out.W) != n*words || len(ix.in.W) != n*words {
+		return fmt.Errorf("bfl: filter sections have %d/%d words, want %d", len(ix.out.W), len(ix.in.W), n*words)
+	}
+	ix.stats = core.Stats{
+		Entries: 2 * n,
+		Bytes:   2*n*words*8 + 2*n*4,
+	}
+	return nil
+}
+
+// Read deserializes an index previously written with WriteTo (v1) or
+// WriteMapped (v2) and binds it to dag — the same DAG the snapshot was
+// built over (for a general graph, the SCC condensation the builder ran
+// on). The filter-guided fallback traverses dag, so answers are only
+// correct over the original graph.
 func Read(r io.Reader, dag *graph.Digraph) (*Index, error) {
-	pr, err := persist.NewReader(r, persistFormat, persistVersion)
+	pr, err := persist.NewReader(r, persistFormat, persistVersionMap)
 	if err != nil {
 		return nil, err
 	}
+	return readSections(pr, dag)
+}
+
+// ReadSections deserializes from an already-opened container whose
+// format was sniffed by the caller (persist.NewReaderAny).
+func ReadSections(pr *persist.Reader, dag *graph.Digraph) (*Index, error) {
+	if pr.Version() > persistVersionMap {
+		return nil, fmt.Errorf("bfl: snapshot version %d not supported (max %d)", pr.Version(), persistVersionMap)
+	}
+	return readSections(pr, dag)
+}
+
+func readSections(pr *persist.Reader, dag *graph.Digraph) (*Index, error) {
 	meta, err := pr.Section("meta")
 	if err != nil {
 		return nil, err
 	}
-	n := meta.U32()
-	words := meta.U32()
-	if err := meta.Close(); err != nil {
-		return nil, err
-	}
-	if int(n) != dag.N() {
-		return nil, fmt.Errorf("bfl: snapshot has %d vertices, graph has %d (snapshot built over a different graph?)", n, dag.N())
-	}
-	if words == 0 || words > 1<<20 {
-		return nil, fmt.Errorf("bfl: implausible filter width %d words", words)
-	}
-	ix := &Index{g: dag, words: int(words)}
-	iv, err := pr.Section("intervals")
+	m, err := readMeta(meta, dag)
 	if err != nil {
 		return nil, err
 	}
-	ix.post = iv.U32s()
-	ix.min = iv.U32s()
-	if err := iv.Close(); err != nil {
+	ix := &Index{g: dag}
+	if pr.Version() >= persistVersionMap {
+		readU32s := func(name string) ([]uint32, error) {
+			d, err := pr.Section(name)
+			if err != nil {
+				return nil, err
+			}
+			vs := d.AlignedU32s()
+			return vs, d.Close()
+		}
+		readU64s := func(name string) ([]uint64, error) {
+			d, err := pr.Section(name)
+			if err != nil {
+				return nil, err
+			}
+			vs := d.AlignedU64s()
+			return vs, d.Close()
+		}
+		if ix.post, err = readU32s("post"); err != nil {
+			return nil, err
+		}
+		if ix.min, err = readU32s("min"); err != nil {
+			return nil, err
+		}
+		var fout, fin []uint64
+		if fout, err = readU64s("fout"); err != nil {
+			return nil, err
+		}
+		if fin, err = readU64s("fin"); err != nil {
+			return nil, err
+		}
+		ix.out = labelstore.Words{Stride: int(m.words), W: fout}
+		ix.in = labelstore.Words{Stride: int(m.words), W: fin}
+	} else {
+		iv, err := pr.Section("intervals")
+		if err != nil {
+			return nil, err
+		}
+		ix.post = iv.U32s()
+		ix.min = iv.U32s()
+		if err := iv.Close(); err != nil {
+			return nil, err
+		}
+		fl, err := pr.Section("filters")
+		if err != nil {
+			return nil, err
+		}
+		ix.out = labelstore.Words{Stride: int(m.words), W: fl.U64s()}
+		ix.in = labelstore.Words{Stride: int(m.words), W: fl.U64s()}
+		if err := fl.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ix.bind(m); err != nil {
 		return nil, err
 	}
-	if len(ix.post) != int(n) || len(ix.min) != int(n) {
-		return nil, fmt.Errorf("bfl: interval sections have %d/%d entries, want %d", len(ix.post), len(ix.min), n)
+	return ix, nil
+}
+
+// FromMapped binds a version-2 snapshot opened with persist.OpenMapped
+// as a zero-copy index over dag: intervals and filter matrices are views
+// into the mapping. The index pins the mapping for its lifetime.
+func FromMapped(m *persist.Mapped, dag *graph.Digraph) (*Index, error) {
+	if m.Format() != persistFormat {
+		return nil, fmt.Errorf("bfl: mapped snapshot has format %q, want %q", m.Format(), persistFormat)
 	}
-	fl, err := pr.Section("filters")
+	if m.Version() != persistVersionMap {
+		return nil, fmt.Errorf("bfl: mapped snapshot version %d not supported (want %d)", m.Version(), persistVersionMap)
+	}
+	meta, err := m.Section("meta")
 	if err != nil {
 		return nil, err
 	}
-	ix.out = fl.U64s()
-	ix.in = fl.U64s()
-	if err := fl.Close(); err != nil {
+	mm, err := readMeta(meta, dag)
+	if err != nil {
 		return nil, err
 	}
-	if len(ix.out) != int(n)*int(words) || len(ix.in) != int(n)*int(words) {
-		return nil, fmt.Errorf("bfl: filter sections have %d/%d words, want %d", len(ix.out), len(ix.in), int(n)*int(words))
+	ix := &Index{g: dag, backing: m}
+	if ix.post, err = m.U32s("post"); err != nil {
+		return nil, err
 	}
-	ix.stats = core.Stats{
-		Entries: 2 * int(n),
-		Bytes:   2*int(n)*int(words)*8 + 2*int(n)*4,
+	if ix.min, err = m.U32s("min"); err != nil {
+		return nil, err
+	}
+	fout, err := m.U64s("fout")
+	if err != nil {
+		return nil, err
+	}
+	fin, err := m.U64s("fin")
+	if err != nil {
+		return nil, err
+	}
+	ix.out = labelstore.Words{Stride: int(mm.words), W: fout}
+	ix.in = labelstore.Words{Stride: int(mm.words), W: fin}
+	if err := ix.bind(mm); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }

@@ -1,0 +1,101 @@
+package bfl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/persist"
+)
+
+// agreeEverywhere checks got answers every pair identically to want.
+func agreeEverywhere(t *testing.T, g *graph.Digraph, want, got *Index) {
+	t.Helper()
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if want.Reach(s, tt) != got.Reach(s, tt) {
+				t.Fatalf("loaded index disagrees at (%d, %d)", s, tt)
+			}
+		}
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 180, M: 540, Seed: 21})
+	ix := New(g, Options{Bits: 192, Seed: 5})
+
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeEverywhere(t, g, ix, got)
+}
+
+func TestPersistMappedRoundTrip(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 180, M: 540, Seed: 22})
+	ix := New(g, Options{Bits: 192, Seed: 6})
+
+	var buf bytes.Buffer
+	if _, err := ix.WriteMapped(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v2 layout must also decode through the streaming reader.
+	streamed, err := Read(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeEverywhere(t, g, ix, streamed)
+
+	// And load zero-copy through the mapped path.
+	path := filepath.Join(t.TempDir(), "bfl.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := persist.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := FromMapped(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreeEverywhere(t, g, ix, mapped)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations must error cleanly, never panic.
+	for cut := 0; cut < buf.Len(); cut += 97 {
+		trunc := filepath.Join(t.TempDir(), "trunc.snap")
+		if err := os.WriteFile(trunc, buf.Bytes()[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if tm, err := persist.OpenMapped(trunc); err == nil {
+			if _, err := FromMapped(tm, g); err == nil {
+				t.Fatalf("truncation at %d loaded without error", cut)
+			}
+			tm.Close()
+		}
+	}
+}
+
+func TestPersistWrongGraph(t *testing.T) {
+	g := gen.RandomDAG(gen.Config{N: 120, M: 360, Seed: 23})
+	other := gen.RandomDAG(gen.Config{N: 121, M: 360, Seed: 24})
+	ix := New(g, Options{Bits: 128, Seed: 7})
+	var buf bytes.Buffer
+	if _, err := ix.WriteMapped(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("vertex-count mismatch not detected")
+	}
+}

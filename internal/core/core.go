@@ -25,6 +25,68 @@ type Stats struct {
 	BuildTime time.Duration
 }
 
+// SizeBreakdown splits an index's resident bytes by role: CSR offset
+// tables, label payloads (flat or compressed), and everything else
+// (ranks, intervals, condensation maps). The obs layer exports it so a
+// label-compression win is observable, not just benchmarked.
+type SizeBreakdown struct {
+	Offsets int
+	Labels  int
+	Aux     int
+}
+
+// Total is Offsets + Labels + Aux.
+func (b SizeBreakdown) Total() int { return b.Offsets + b.Labels + b.Aux }
+
+// Sized is implemented by indexes that can split their footprint.
+type Sized interface {
+	Sizes() SizeBreakdown
+}
+
+// SizesOf reports the size breakdown of ix, unwrapping instrumentation
+// and condensation adapters (adapter overhead — the component map — is
+// charged to Aux). The second result is false for indexes that don't
+// break their footprint down.
+func SizesOf(ix Index) (SizeBreakdown, bool) {
+	aux := 0
+	for ix != nil {
+		if s, ok := ix.(Sized); ok {
+			b := s.Sizes()
+			b.Aux += aux
+			return b, true
+		}
+		if c, ok := ix.(*condensed); ok {
+			aux += len(c.cond.Comp) * 4
+			ix = c.inner
+			continue
+		}
+		if iw, ok := ix.(interface{ Inner() Index }); ok {
+			ix = iw.Inner()
+			continue
+		}
+		break
+	}
+	return SizeBreakdown{}, false
+}
+
+// IsCondensed reports whether ix answers through the SCC-condensation
+// adapter (its inner index is over the component DAG, not the original
+// graph). Snapshot code uses it to refuse persisting condensation-lifted
+// labels under a format that re-binds to the original graph.
+func IsCondensed(ix Index) bool {
+	for ix != nil {
+		if _, ok := ix.(*condensed); ok {
+			return true
+		}
+		iw, ok := ix.(interface{ Inner() Index })
+		if !ok {
+			return false
+		}
+		ix = iw.Inner()
+	}
+	return false
+}
+
 // Index is a plain reachability index: Reach answers Qr(s, t).
 //
 // Complete indexes answer from index lookups alone; partial indexes run

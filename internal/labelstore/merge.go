@@ -1,0 +1,79 @@
+package labelstore
+
+// The 2-hop query kernel, shared by PLL (and its TFL/DL/HL orders) and
+// TOL: Qr(s, t) holds iff Lout(s) ∩ Lin(t) ≠ ∅, rt ∈ Lout(s), or
+// rs ∈ Lin(t), where rs/rt are the endpoints' own ranks. Two variants
+// cover the two physical layouts — plain sorted slices (raw rows,
+// builder rows, thawed dynamic rows) and Cursors (which also iterate
+// varint rows without materializing them). Both are single forward
+// merges: contiguous, branch-predictable, 0 allocs.
+
+// CoverRows answers the 2-hop cover query over sorted slice rows.
+func CoverRows(ls, lt []uint32, rs, rt uint32) bool {
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		switch {
+		case ls[i] == lt[j]:
+			return true
+		case ls[i] < lt[j]:
+			if ls[i] == rt {
+				return true // t ∈ Lout(s)
+			}
+			i++
+		default:
+			if lt[j] == rs {
+				return true // s ∈ Lin(t)
+			}
+			j++
+		}
+	}
+	for ; i < len(ls); i++ {
+		if ls[i] == rt {
+			return true
+		}
+	}
+	for ; j < len(lt); j++ {
+		if lt[j] == rs {
+			return true
+		}
+	}
+	return false
+}
+
+// CoverCursors answers the same query over cursors.
+func CoverCursors(cs, ct Cursor, rs, rt uint32) bool {
+	a, aok := cs.Next()
+	b, bok := ct.Next()
+	for aok && bok {
+		switch {
+		case a == b:
+			return true
+		case a < b:
+			if a == rt {
+				return true
+			}
+			a, aok = cs.Next()
+		default:
+			if b == rs {
+				return true
+			}
+			b, bok = ct.Next()
+		}
+	}
+	for ; aok; a, aok = cs.Next() {
+		if a == rt {
+			return true
+		}
+	}
+	for ; bok; b, bok = ct.Next() {
+		if b == rs {
+			return true
+		}
+	}
+	return false
+}
+
+// SliceCursor adapts a sorted slice row to the Cursor iteration API, so
+// mixed-layout merges (a thawed dynamic row against a frozen varint row)
+// go through one code path.
+func SliceCursor(row []uint32) Cursor { return Cursor{lab: row} }

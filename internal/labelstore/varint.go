@@ -1,0 +1,47 @@
+package labelstore
+
+// LEB128-style unsigned varints restricted to 32-bit values: at most 5
+// bytes, and the 5th byte may only carry the top 4 bits (<= 0x0f).
+// Decoding enforces canonical form — overlong encodings (a final byte of
+// 0x00 that adds no bits, or a 5th byte overflowing 32 bits) are
+// rejected — so every value has exactly one encoding and fuzzing can
+// assert round-trip identity both ways.
+
+// maxUvarint32Len is the maximum encoded length of a 32-bit varint.
+const maxUvarint32Len = 5
+
+// appendUvarint32 appends the canonical varint encoding of x to dst.
+func appendUvarint32(dst []byte, x uint32) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// uvarint32 decodes a canonical varint from the front of buf. It returns
+// the value and the number of bytes consumed, or n <= 0 on error:
+// 0 means truncated input, negative means invalid (overlong or >32-bit)
+// encoding at byte -n-1.
+func uvarint32(buf []byte) (uint32, int) {
+	var x uint32
+	var s uint
+	for i := 0; i < len(buf); i++ {
+		b := buf[i]
+		if i == maxUvarint32Len-1 {
+			if b > 0x0f || b == 0 { // overflow past 32 bits, or overlong
+				return 0, -(i + 1)
+			}
+			return x | uint32(b)<<s, i + 1
+		}
+		if b < 0x80 {
+			if i > 0 && b == 0 { // overlong: trailing zero byte adds nothing
+				return 0, -(i + 1)
+			}
+			return x | uint32(b)<<s, i + 1
+		}
+		x |= uint32(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

@@ -38,6 +38,20 @@ type IndexMetrics struct {
 	// so /metrics consumers can rescale sampled histogram counts back to
 	// the exact query totals.
 	sampleStride atomic.Int64
+
+	// Resident footprint of the index, split by section (offset tables,
+	// label payloads, auxiliary structures). Set once after build/load via
+	// SetFootprint; gauges, not counters.
+	fpOffsets, fpLabels, fpAux atomic.Int64
+}
+
+// SetFootprint records the index's resident footprint in bytes, split by
+// section: CSR offset tables, label payloads, and auxiliary structures
+// (ranks, DFS intervals, condensation maps, ...).
+func (m *IndexMetrics) SetFootprint(offsets, labels, aux int64) {
+	m.fpOffsets.Store(offsets)
+	m.fpLabels.Store(labels)
+	m.fpAux.Store(aux)
 }
 
 // SetLatencySampleStride records the recorder's latency sampling rate.
@@ -108,6 +122,14 @@ type IndexSnapshot struct {
 	// scrapers multiply sampled counts by it to estimate totals. 0 or 1
 	// means every query was timed.
 	LatencySampleStride int64 `json:"latency_sample_stride,omitempty"`
+
+	// Resident footprint in bytes, split by section (see SetFootprint).
+	// Bytes is the total; all four are zero when the footprint was never
+	// recorded.
+	Bytes        int64 `json:"bytes,omitempty"`
+	BytesOffsets int64 `json:"bytes_offsets,omitempty"`
+	BytesLabels  int64 `json:"bytes_labels,omitempty"`
+	BytesAux     int64 `json:"bytes_aux,omitempty"`
 }
 
 // DecidedRate is the fraction of queries the index settled without guided
@@ -136,6 +158,7 @@ func (m *IndexMetrics) Snapshot() IndexSnapshot {
 	if decided < 0 {
 		decided = 0
 	}
+	off, lab, aux := m.fpOffsets.Load(), m.fpLabels.Load(), m.fpAux.Load()
 	return IndexSnapshot{
 		Queries:             pos + neg,
 		Positive:            pos,
@@ -147,6 +170,10 @@ func (m *IndexMetrics) Snapshot() IndexSnapshot {
 		BatchQueries:        m.BatchQueries.Load(),
 		Latency:             m.Latency.Snapshot(),
 		LatencySampleStride: m.sampleStride.Load(),
+		Bytes:               off + lab + aux,
+		BytesOffsets:        off,
+		BytesLabels:         lab,
+		BytesAux:            aux,
 	}
 }
 
@@ -366,6 +393,10 @@ func (s Snapshot) WriteText(w io.Writer) {
 			}
 			if is.Batches > 0 {
 				fmt.Fprintf(w, " batches=%d batch_queries=%d", is.Batches, is.BatchQueries)
+			}
+			if is.Bytes > 0 {
+				fmt.Fprintf(w, " bytes=%d (off=%d lab=%d aux=%d)",
+					is.Bytes, is.BytesOffsets, is.BytesLabels, is.BytesAux)
 			}
 			fmt.Fprintf(w, " p50=%v p99=%v", is.Latency.P50, is.Latency.P99)
 			if is.LatencySampleStride > 1 {

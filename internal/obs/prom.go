@@ -152,6 +152,16 @@ func (s Snapshot) WriteProm(w io.Writer, prefix string) {
 		}
 		p.int(f, stride, "index", name)
 	}
+	f = p.family("index_size_bytes", "Resident index footprint by section (offsets/labels/aux).", "gauge")
+	for _, name := range idx {
+		is := s.Indexes[name]
+		if is.Bytes == 0 {
+			continue
+		}
+		p.int(f, is.BytesOffsets, "index", name, "section", "offsets")
+		p.int(f, is.BytesLabels, "index", name, "section", "labels")
+		p.int(f, is.BytesAux, "index", name, "section", "aux")
+	}
 
 	routes := sortedKeys(s.Routes)
 	f = p.family("route_queries_total", "DB.Query calls per routing class.", "counter")

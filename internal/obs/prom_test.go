@@ -59,6 +59,7 @@ func TestSnapshotWriteProm(t *testing.T) {
 	im.ObserveProbe(false, 42)
 	im.ObserveBatch(10)
 	im.SetLatencySampleStride(32)
+	im.SetFootprint(404, 9000, 77)
 	m.Route(RoutePlain).Observe(true, time.Millisecond)
 	m.Errors.Inc()
 	end := m.Build.Start("scc/condense")
@@ -83,6 +84,9 @@ func TestSnapshotWriteProm(t *testing.T) {
 		`reach_errors_total`:                                        "1",
 		`reach_degraded_route{route="plain \"quoted\""}`:            "1",
 		`reach_index_results_total{index="BFL",outcome="positive"}`: "50",
+		`reach_index_size_bytes{index="BFL",section="offsets"}`:     "404",
+		`reach_index_size_bytes{index="BFL",section="labels"}`:      "9000",
+		`reach_index_size_bytes{index="BFL",section="aux"}`:         "77",
 	} {
 		if got := samples[series]; got != want {
 			t.Errorf("%s = %q, want %q", series, got, want)

@@ -1,0 +1,310 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Mapped is a whole snapshot opened for zero-copy access: the file is
+// mmap'd (or, where mmap is unavailable, read into memory — same API,
+// no page sharing) and its section table parsed up front. Aligned array
+// sections come back as typed views straight into the mapping, so a
+// cold start touches only the pages the header and offset tables live
+// on; label pages fault in lazily as queries reach them.
+//
+// Because the mapped path skips the streaming decoder's per-field
+// validation, Open requires the trailing "crc32" section and verifies it
+// over the whole file before returning — a corrupt or truncated snapshot
+// fails here with an error, never a panic or a silently wrong index.
+//
+// Views alias the mapping. Whoever holds them must keep the Mapped
+// reachable (indexes built from a Mapped pin it); Close unmaps and is
+// also registered as a finalizer backstop.
+type Mapped struct {
+	data    []byte
+	mapped  bool // true when data is an actual mmap, not a heap copy
+	closed  atomic.Bool
+	format  string
+	version uint16
+	names   []string
+	secs    map[string]mappedSection
+}
+
+type mappedSection struct{ off, len int }
+
+// disableMmap forces the read-into-memory fallback; tests use it to
+// exercise the no-mmap path on platforms that do have mmap.
+var disableMmap atomic.Bool
+
+// OpenMapped maps the snapshot at path and parses its section table.
+// The format and version are available via Format/Version; dispatch on
+// them before handing the Mapped to an index codec.
+func OpenMapped(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open mapped: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("persist: open mapped: %w", err)
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("persist: open mapped: implausible size %d", size)
+	}
+	m := &Mapped{secs: make(map[string]mappedSection)}
+	if !disableMmap.Load() {
+		if data, err := mmapFile(f, int(size)); err == nil {
+			m.data, m.mapped = data, true
+		}
+	}
+	if !m.mapped {
+		// No mmap on this platform (or it failed): fall back to reading
+		// the bytes. Same layout and API, just no shared page cache.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("persist: open mapped: %w", err)
+		}
+		if len(data) != int(size) {
+			return nil, fmt.Errorf("persist: open mapped: file changed size during read")
+		}
+		m.data = data
+	}
+	if err := m.parse(); err != nil {
+		m.Close()
+		return nil, err
+	}
+	if m.mapped {
+		runtime.SetFinalizer(m, (*Mapped).Close)
+	}
+	return m, nil
+}
+
+// parse validates the header, walks the section table, and verifies the
+// trailing checksum. Every access is bounds-checked; corrupt headers
+// surface as errors.
+func (m *Mapped) parse() error {
+	d := m.data
+	pos := 0
+	take := func(n int) ([]byte, bool) {
+		if n < 0 || len(d)-pos < n {
+			return nil, false
+		}
+		b := d[pos : pos+n]
+		pos += n
+		return b, true
+	}
+	magic, ok := take(4)
+	if !ok || [4]byte(magic) != Magic {
+		return fmt.Errorf("persist: mapped: bad magic (not a snapshot)")
+	}
+	name := func() (string, bool) {
+		lb, ok := take(2)
+		if !ok {
+			return "", false
+		}
+		l := int(binary.LittleEndian.Uint16(lb))
+		if l > maxNameLen {
+			return "", false
+		}
+		nb, ok := take(l)
+		if !ok {
+			return "", false
+		}
+		return string(nb), true
+	}
+	format, ok := name()
+	if !ok {
+		return fmt.Errorf("persist: mapped: truncated format name")
+	}
+	m.format = format
+	vb, ok := take(2)
+	if !ok {
+		return fmt.Errorf("persist: mapped: truncated version")
+	}
+	m.version = binary.LittleEndian.Uint16(vb)
+	if m.version == 0 {
+		return fmt.Errorf("persist: mapped: %s snapshot version 0 invalid", format)
+	}
+	checksummed := false
+	for pos < len(d) {
+		hdrOff := pos
+		sname, ok := name()
+		if !ok {
+			return fmt.Errorf("persist: mapped: truncated section name at %d", hdrOff)
+		}
+		lb, ok := take(8)
+		if !ok {
+			return fmt.Errorf("persist: mapped: truncated section %q length", sname)
+		}
+		l := binary.LittleEndian.Uint64(lb)
+		if l > uint64(len(d)-pos) {
+			return fmt.Errorf("persist: mapped: section %q claims %d bytes, %d left", sname, l, len(d)-pos)
+		}
+		payload, _ := take(int(l))
+		if sname == ChecksumSection {
+			if l != 4 {
+				return fmt.Errorf("persist: mapped: checksum section has %d bytes, want 4", l)
+			}
+			want := binary.LittleEndian.Uint32(payload)
+			got := crc32.Checksum(d[:hdrOff], castagnoli)
+			if got != want {
+				return fmt.Errorf("persist: mapped: checksum mismatch (file %08x, computed %08x)", want, got)
+			}
+			if pos != len(d) {
+				return fmt.Errorf("persist: mapped: %d bytes after checksum section", len(d)-pos)
+			}
+			checksummed = true
+			break
+		}
+		if _, dup := m.secs[sname]; dup {
+			return fmt.Errorf("persist: mapped: duplicate section %q", sname)
+		}
+		m.secs[sname] = mappedSection{off: pos - int(l), len: int(l)}
+		m.names = append(m.names, sname)
+	}
+	if !checksummed {
+		return fmt.Errorf("persist: mapped: snapshot has no checksum section (not a mapped-layout snapshot)")
+	}
+	return nil
+}
+
+// Format reports the snapshot's format name.
+func (m *Mapped) Format() string { return m.format }
+
+// Version reports the snapshot's header version.
+func (m *Mapped) Version() uint16 { return m.version }
+
+// Mmapped reports whether the bytes are a real memory mapping (false on
+// the read-into-memory fallback).
+func (m *Mapped) Mmapped() bool { return m.mapped }
+
+// Sections lists section names in file order (checksum excluded).
+func (m *Mapped) Sections() []string { return m.names }
+
+// Close releases the mapping. Idempotent; a finalizer calls it as a
+// backstop. After Close every view handed out is invalid — callers pin
+// the Mapped for as long as they hold views.
+func (m *Mapped) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	if m.mapped && m.data != nil {
+		data := m.data
+		m.data = nil
+		return munmapFile(data)
+	}
+	m.data = nil
+	return nil
+}
+
+func (m *Mapped) section(name string) (mappedSection, error) {
+	s, ok := m.secs[name]
+	if !ok {
+		return mappedSection{}, fmt.Errorf("persist: mapped: no section %q", name)
+	}
+	return s, nil
+}
+
+// Section returns a streaming Decoder over the named section's payload,
+// for small metadata sections written with Writer.Section.
+func (m *Mapped) Section(name string) (*Decoder, error) {
+	s, err := m.section(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{
+		r:    bytes.NewReader(m.data[s.off : s.off+s.len]),
+		name: name,
+		rem:  uint64(s.len),
+	}, nil
+}
+
+// aligned returns the raw array bytes of an aligned section along with
+// its declared alignment.
+func (m *Mapped) aligned(name string) ([]byte, uint32, error) {
+	s, err := m.section(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.len < 8 {
+		return nil, 0, fmt.Errorf("persist: mapped: section %q too short for aligned header", name)
+	}
+	p := m.data[s.off : s.off+s.len]
+	align := binary.LittleEndian.Uint32(p)
+	pad := binary.LittleEndian.Uint32(p[4:])
+	if align == 0 || align > maxAlign || uint64(pad) >= uint64(align) || int(8+pad) > s.len {
+		return nil, 0, fmt.Errorf("persist: mapped: section %q bad alignment %d/pad %d", name, align, pad)
+	}
+	return p[8+pad:], align, nil
+}
+
+// U32s returns the named aligned section as a []uint32 view. Zero-copy
+// when the bytes are suitably aligned in memory (always true for a real
+// mapping, since the writer aligned the file offset and mmap bases are
+// page-aligned); otherwise it converts into a fresh slice.
+func (m *Mapped) U32s(name string) ([]uint32, error) {
+	b, _, err := m.aligned(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("persist: mapped: section %q length %d not a multiple of 4", name, len(b))
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4), nil
+	}
+	vs := make([]uint32, len(b)/4)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return vs, nil
+}
+
+// U64s returns the named aligned section as a []uint64 view (zero-copy
+// when alignment permits, as with U32s).
+func (m *Mapped) U64s(name string) ([]uint64, error) {
+	b, _, err := m.aligned(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("persist: mapped: section %q length %d not a multiple of 8", name, len(b))
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8), nil
+	}
+	vs := make([]uint64, len(b)/8)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return vs, nil
+}
+
+// Bytes returns the named aligned section's raw array as a view into the
+// mapping.
+func (m *Mapped) Bytes(name string) ([]byte, error) {
+	b, _, err := m.aligned(name)
+	return b, err
+}
+
+// Sections store arrays little-endian; zero-copy reinterpretation is
+// only valid when the host agrees. Big-endian hosts (s390x, some mips)
+// take the convert-copy path instead.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package persist
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile reports mmap as unavailable on this platform; OpenMapped
+// falls back to reading the file into memory.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -40,6 +41,7 @@ type Writer struct {
 	w   *bufio.Writer
 	buf bytes.Buffer // current section payload, emitted on section end
 	n   int64
+	crc uint32 // running CRC-32C of every byte written, for Checksum
 	err error
 }
 
@@ -85,9 +87,16 @@ func (pw *Writer) raw(b []byte) {
 	if pw.err != nil {
 		return
 	}
+	pw.crc = crc32.Update(pw.crc, castagnoli, b)
 	m, err := pw.w.Write(b)
 	pw.n += int64(m)
 	pw.err = err
+}
+
+func (pw *Writer) rawU32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	pw.raw(b[:])
 }
 
 func (pw *Writer) rawU16(v uint16) {
@@ -167,30 +176,39 @@ type Reader struct {
 // snapshot from a newer codec revision (version 0 or > maxVersion) all
 // fail here with a descriptive error.
 func NewReader(r io.Reader, format string, maxVersion uint16) (*Reader, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("persist: read magic: %w", noEOF(err))
-	}
-	if magic != Magic {
-		return nil, fmt.Errorf("persist: bad magic %q (not a snapshot)", magic[:])
-	}
-	got, err := readName(br)
+	pr, got, err := readHeader(r)
 	if err != nil {
-		return nil, fmt.Errorf("persist: read format: %w", err)
+		return nil, err
 	}
 	if got != format {
 		return nil, fmt.Errorf("persist: snapshot format is %q, want %q", got, format)
 	}
+	if pr.version == 0 || pr.version > maxVersion {
+		return nil, fmt.Errorf("persist: %s snapshot version %d not supported (max %d)", format, pr.version, maxVersion)
+	}
+	return pr, nil
+}
+
+// readHeader parses the container header — magic, format name, version —
+// without judging the format or version ceiling.
+func readHeader(r io.Reader) (*Reader, string, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, "", fmt.Errorf("persist: read magic: %w", noEOF(err))
+	}
+	if magic != Magic {
+		return nil, "", fmt.Errorf("persist: bad magic %q (not a snapshot)", magic[:])
+	}
+	format, err := readName(br)
+	if err != nil {
+		return nil, "", fmt.Errorf("persist: read format: %w", err)
+	}
 	var vb [2]byte
 	if _, err := io.ReadFull(br, vb[:]); err != nil {
-		return nil, fmt.Errorf("persist: read version: %w", noEOF(err))
+		return nil, "", fmt.Errorf("persist: read version: %w", noEOF(err))
 	}
-	v := binary.LittleEndian.Uint16(vb[:])
-	if v == 0 || v > maxVersion {
-		return nil, fmt.Errorf("persist: %s snapshot version %d not supported (max %d)", format, v, maxVersion)
-	}
-	return &Reader{r: br, version: v}, nil
+	return &Reader{r: br, version: binary.LittleEndian.Uint16(vb[:])}, format, nil
 }
 
 // Version reports the snapshot's header version.

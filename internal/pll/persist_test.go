@@ -5,8 +5,13 @@ import (
 	"strings"
 	"testing"
 
+	"os"
+	"path/filepath"
+
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/labelstore"
+	"repro/internal/persist"
 	"repro/internal/tc"
 )
 
@@ -58,5 +63,78 @@ func TestPersistErrors(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, err := Read(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated stream should fail")
+	}
+}
+
+func TestVarintEncodingConformance(t *testing.T) {
+	// A varint-encoded index must answer identically to raw on every pair.
+	g := gen.ErdosRenyi(gen.Config{N: 120, M: 480, Seed: 3})
+	raw := New(g, Options{})
+	vi := New(g, Options{Enc: labelstore.Varint})
+	if vi.Encoding() != labelstore.Varint {
+		t.Fatalf("encoding = %v", vi.Encoding())
+	}
+	if vi.Stats().Entries != raw.Stats().Entries {
+		t.Fatalf("entries raw %d varint %d", raw.Stats().Entries, vi.Stats().Entries)
+	}
+	if vi.Stats().Bytes >= raw.Stats().Bytes {
+		t.Errorf("varint bytes %d not below raw %d", vi.Stats().Bytes, raw.Stats().Bytes)
+	}
+	for s := graph.V(0); int(s) < g.N(); s++ {
+		for tt := graph.V(0); int(tt) < g.N(); tt++ {
+			if raw.Reach(s, tt) != vi.Reach(s, tt) {
+				t.Fatalf("varint index diverges at (%d,%d)", s, tt)
+			}
+		}
+	}
+}
+
+func TestPersistMappedRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(gen.Config{N: 120, M: 480, Seed: 4})
+	oracle := tc.NewClosure(g)
+	for _, enc := range []labelstore.Encoding{labelstore.Raw, labelstore.Varint} {
+		ix := New(g, Options{Enc: enc})
+
+		// v2 through the streaming decoder.
+		var buf bytes.Buffer
+		if _, err := ix.WriteMapped(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: streaming v2 read: %v", enc, err)
+		}
+
+		// v2 through the mapped loader.
+		path := filepath.Join(t.TempDir(), "pll.rix")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := persist.OpenMapped(path)
+		if err != nil {
+			t.Fatalf("%v: open mapped: %v", enc, err)
+		}
+		mapped, err := FromMapped(m)
+		if err != nil {
+			t.Fatalf("%v: FromMapped: %v", enc, err)
+		}
+		if mapped.Name() != ix.Name() || mapped.Stats().Entries != ix.Stats().Entries {
+			t.Fatalf("%v: mapped meta mismatch", enc)
+		}
+		for s := graph.V(0); int(s) < g.N(); s++ {
+			for tt := graph.V(0); int(tt) < g.N(); tt++ {
+				want := oracle.Reach(s, tt)
+				if dec.Reach(s, tt) != want || mapped.Reach(s, tt) != want {
+					t.Fatalf("%v: v2 index wrong at (%d,%d)", enc, s, tt)
+				}
+			}
+		}
+
+		// Every strict prefix of the v2 stream errors, never panics.
+		for cut := 0; cut < buf.Len(); cut += 211 {
+			if _, err := Read(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+				t.Fatalf("%v: truncated v2 stream of %d bytes accepted", enc, cut)
+			}
+		}
 	}
 }

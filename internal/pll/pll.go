@@ -16,6 +16,11 @@
 // The index is complete and applies to general (cyclic) graphs directly —
 // "unlike the tree-cover index, the 2-hop index can be directly applied to
 // general graphs".
+//
+// Labels live in internal/labelstore flat CSR storage: build emits into
+// pooled arenas, Freeze packs each direction into one offset table plus
+// one contiguous payload, and queries are forward merges over contiguous
+// memory — optionally delta+varint compressed (Options.Enc).
 package pll
 
 import (
@@ -23,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/labelstore"
 	"repro/internal/order"
 )
 
@@ -42,6 +48,9 @@ type Options struct {
 	// Name overrides the reported index name (e.g. "DL", "TFL"); default
 	// derives from the order.
 	Name string
+	// Enc selects the frozen label encoding: labelstore.Raw (default)
+	// keeps flat uint32 arrays, labelstore.Varint delta-compresses them.
+	Enc labelstore.Encoding
 	// Check is an optional cancellation checkpoint ticked once per BFS
 	// dequeue of the labeling passes; nil runs unchecked.
 	Check *core.Check
@@ -50,11 +59,15 @@ type Options struct {
 // Index is the pruned 2-hop label index.
 type Index struct {
 	name string
-	// in[v] and out[v] hold hub ranks, ascending (hubs are identified by
-	// their rank in the total order; lower rank = higher priority).
-	in, out [][]uint32
+	// in and out hold hub ranks per vertex, ascending (hubs are
+	// identified by their rank in the total order; lower rank = higher
+	// priority), packed flat.
+	in, out *labelstore.Store
 	rank    []uint32
 	stats   core.Stats
+	// backing pins the snapshot mapping a zero-copy loaded index's
+	// stores alias (see FromMapped); nil for built indexes.
+	backing interface{ Close() error }
 }
 
 // New builds the pruned 2-hop labeling of g under the configured order.
@@ -92,13 +105,13 @@ func New(g *graph.Digraph, opts Options) *Index {
 	}
 	ix := &Index{
 		name: name,
-		in:   make([][]uint32, n),
-		out:  make([][]uint32, n),
 		rank: make([]uint32, n),
 	}
 	for i, v := range vs {
 		ix.rank[v] = uint32(i)
 	}
+	bin := labelstore.NewBuilder(n)
+	bout := labelstore.NewBuilder(n)
 	queue := make([]graph.V, 0, n)
 	// stamp[w] == 2*i+1 (forward) / 2*i+2 (backward) marks w visited by the
 	// i-th hub's BFS; avoids clearing a visited array per hub.
@@ -114,10 +127,10 @@ func New(g *graph.Digraph, opts Options) *Index {
 			opts.Check.Tick()
 			u := queue[qi]
 			if u != v {
-				if ix.covered(v, u) {
+				if buildCovered(bout, bin, ix.rank, v, u) {
 					continue // pruned: higher-priority hub certifies (v,u)
 				}
-				ix.in[u] = append(ix.in[u], r)
+				bin.Append(int(u), r)
 			}
 			for _, w := range g.Succ(u) {
 				if stamp[w] != fs && ix.rank[w] > r {
@@ -135,10 +148,10 @@ func New(g *graph.Digraph, opts Options) *Index {
 			opts.Check.Tick()
 			u := queue[qi]
 			if u != v {
-				if ix.covered(u, v) {
+				if buildCovered(bout, bin, ix.rank, u, v) {
 					continue
 				}
-				ix.out[u] = append(ix.out[u], r)
+				bout.Append(int(u), r)
 			}
 			for _, w := range g.Pred(u) {
 				if stamp[w] != bs && ix.rank[w] > r {
@@ -148,58 +161,52 @@ func New(g *graph.Digraph, opts Options) *Index {
 			}
 		}
 	}
-	entries := 0
-	for v := 0; v < n; v++ {
-		entries += len(ix.in[v]) + len(ix.out[v])
-	}
-	ix.stats = core.Stats{
-		Entries:   entries,
-		Bytes:     entries*4 + n*4,
-		BuildTime: time.Since(start),
-	}
+	ix.in = bin.Freeze(opts.Enc)
+	ix.out = bout.Freeze(opts.Enc)
+	bin.Release()
+	bout.Release()
+	ix.refreshStats()
+	ix.stats.BuildTime = time.Since(start)
 	return ix
 }
 
-// covered reports whether the current labels already certify s → t,
-// including the s ∈ Lin(t) / t ∈ Lout(s) hub-is-endpoint cases.
+func (ix *Index) refreshStats() {
+	fin, fout := ix.in.Footprint(), ix.out.Footprint()
+	ix.stats.Entries = ix.in.Entries() + ix.out.Entries()
+	ix.stats.Bytes = fin.Total() + fout.Total() + len(ix.rank)*4
+}
+
+// buildCovered reports whether the partial labels accumulating in the
+// builders already certify s → t, including the s ∈ Lin(t) / t ∈ Lout(s)
+// hub-is-endpoint cases.
+func buildCovered(bout, bin *labelstore.Builder, rank []uint32, s, t graph.V) bool {
+	if s == t {
+		return true
+	}
+	return labelstore.CoverRows(bout.Row(int(s)), bin.Row(int(t)), rank[s], rank[t])
+}
+
+// covered reports whether the frozen labels certify s → t (the three
+// query cases of §3.2). Raw stores merge row slices directly; varint
+// stores merge through cursors — both 0 allocs.
 func (ix *Index) covered(s, t graph.V) bool {
 	if s == t {
 		return true
 	}
-	ls, lt := ix.out[s], ix.in[t]
 	rs, rt := ix.rank[s], ix.rank[t]
-	i, j := 0, 0
-	for i < len(ls) && j < len(lt) {
-		switch {
-		case ls[i] == lt[j]:
-			return true
-		case ls[i] < lt[j]:
-			if ls[i] == rt {
-				return true // t ∈ Lout(s)
-			}
-			i++
-		default:
-			if lt[j] == rs {
-				return true // s ∈ Lin(t)
-			}
-			j++
-		}
+	if ls, ok := ix.out.Row(int(s)); ok {
+		lt, _ := ix.in.Row(int(t))
+		return labelstore.CoverRows(ls, lt, rs, rt)
 	}
-	for ; i < len(ls); i++ {
-		if ls[i] == rt {
-			return true
-		}
-	}
-	for ; j < len(lt); j++ {
-		if lt[j] == rs {
-			return true
-		}
-	}
-	return false
+	return labelstore.CoverCursors(ix.out.Cursor(int(s)), ix.in.Cursor(int(t)), rs, rt)
 }
 
 // Name implements core.Index.
 func (ix *Index) Name() string { return ix.name }
+
+// N returns the number of vertices the labels cover — snapshot loaders
+// use it to detect pairing a snapshot with the wrong graph.
+func (ix *Index) N() int { return len(ix.rank) }
 
 // Reach answers Qr(s, t) by hub intersection — a pure index lookup
 // (complete index).
@@ -208,12 +215,22 @@ func (ix *Index) Reach(s, t graph.V) bool { return ix.covered(s, t) }
 // Stats implements core.Index.
 func (ix *Index) Stats() core.Stats { return ix.stats }
 
+// Sizes implements core.Sized: offset tables, label payloads, and the
+// rank array split out.
+func (ix *Index) Sizes() core.SizeBreakdown {
+	fin, fout := ix.in.Footprint(), ix.out.Footprint()
+	return core.SizeBreakdown{
+		Offsets: fin.Offsets + fout.Offsets,
+		Labels:  fin.Labels + fout.Labels,
+		Aux:     len(ix.rank) * 4,
+	}
+}
+
+// Encoding reports the label encoding the frozen stores use.
+func (ix *Index) Encoding() labelstore.Encoding { return ix.in.Encoding() }
+
 // LabelSizes returns (total Lin entries, total Lout entries); E2 reports
 // them against the full TC size.
 func (ix *Index) LabelSizes() (in, out int) {
-	for v := range ix.in {
-		in += len(ix.in[v])
-		out += len(ix.out[v])
-	}
-	return
+	return ix.in.Entries(), ix.out.Entries()
 }

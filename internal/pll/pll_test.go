@@ -59,13 +59,15 @@ func TestLabelsSortedByRank(t *testing.T) {
 	g := gen.RandomDAG(gen.Config{N: 150, M: 450, Seed: 3})
 	ix := New(g, Options{})
 	for v := 0; v < g.N(); v++ {
-		for i := 1; i < len(ix.in[v]); i++ {
-			if ix.in[v][i-1] >= ix.in[v][i] {
+		lin, _ := ix.in.Row(v)
+		for i := 1; i < len(lin); i++ {
+			if lin[i-1] >= lin[i] {
 				t.Fatalf("in[%d] not strictly ascending", v)
 			}
 		}
-		for i := 1; i < len(ix.out[v]); i++ {
-			if ix.out[v][i-1] >= ix.out[v][i] {
+		lout, _ := ix.out.Row(v)
+		for i := 1; i < len(lout); i++ {
+			if lout[i-1] >= lout[i] {
 				t.Fatalf("out[%d] not strictly ascending", v)
 			}
 		}
@@ -83,12 +85,14 @@ func TestLabelsSound(t *testing.T) {
 		hub[ix.rank[v]] = graph.V(v)
 	}
 	for v := 0; v < g.N(); v++ {
-		for _, r := range ix.in[v] {
+		lin, _ := ix.in.Row(v)
+		for _, r := range lin {
 			if !oracle.Reach(hub[r], graph.V(v)) {
 				t.Fatalf("unsound Lin entry: hub %d does not reach %d", hub[r], v)
 			}
 		}
-		for _, r := range ix.out[v] {
+		lout, _ := ix.out.Row(v)
+		for _, r := range lout {
 			if !oracle.Reach(graph.V(v), hub[r]) {
 				t.Fatalf("unsound Lout entry: %d does not reach hub %d", v, hub[r])
 			}

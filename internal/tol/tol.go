@@ -15,6 +15,13 @@
 //     incrementally by exploiting the total order; that machinery is out
 //     of scope here (see DESIGN.md), and a rebuild keeps the index exact
 //     while still exercising the delete path of the E8 experiment.
+//
+// Storage: the bulk of the labeling is frozen in internal/labelstore flat
+// CSR arrays (optionally varint-compressed) — queries merge contiguous
+// memory. Insert repair thaws only the touched rows into a small
+// copy-on-write overlay; a rebuild (or delete) folds everything back into
+// a fresh frozen store, so steady-state reads stay flat no matter how
+// many inserts have happened since construction.
 package tol
 
 import (
@@ -23,30 +30,51 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/labelstore"
 )
+
+// Options configures the index.
+type Options struct {
+	// Enc selects the frozen label encoding: labelstore.Raw (default)
+	// keeps flat uint32 arrays, labelstore.Varint delta-compresses them.
+	Enc labelstore.Encoding
+	// Check is an optional cancellation checkpoint ticked once per BFS
+	// dequeue of the initial build; nil runs unchecked. Incremental
+	// updates run unchecked (they are bounded by the repair frontier).
+	Check *core.Check
+}
 
 // Index is the TOL dynamic 2-hop index over a general digraph.
 type Index struct {
-	g       *core.DynGraph
-	rank    []uint32
-	byRank  []graph.V // byRank[r] = vertex with rank r
-	in, out [][]uint32
-	stamp   []uint64
-	stampID uint64
-	stats   core.Stats
-	chk     *core.Check // only set during the initial build
+	g      *core.DynGraph
+	rank   []uint32
+	byRank []graph.V // byRank[r] = vertex with rank r
+	enc    labelstore.Encoding
+	// in/out are the frozen label stores; inOv/outOv hold rows thawed by
+	// insert repair, superseding the frozen row for that vertex.
+	in, out     *labelstore.Store
+	inOv, outOv map[graph.V][]uint32
+	bin, bout   *labelstore.Builder // non-nil only during rebuild
+	entries     int
+	stamp       []uint64
+	stampID     uint64
+	stats       core.Stats
+	chk         *core.Check // only set during the initial build
 }
 
 // New builds TOL over g using the in-degree × out-degree total order.
-func New(g *graph.Digraph) *Index { return NewChecked(g, nil) }
+func New(g *graph.Digraph) *Index { return NewOptions(g, Options{}) }
 
-// NewChecked is New under a cancellation checkpoint: one tick per BFS
-// dequeue of the rank-ordered labeling. Incremental updates after the
-// build run unchecked (they are bounded by the repair frontier).
+// NewChecked is New under a cancellation checkpoint.
 func NewChecked(g *graph.Digraph, chk *core.Check) *Index {
+	return NewOptions(g, Options{Check: chk})
+}
+
+// NewOptions builds TOL with full configuration.
+func NewOptions(g *graph.Digraph, opts Options) *Index {
 	start := time.Now()
 	n := g.N()
-	ix := &Index{g: core.NewDynGraph(g), stamp: make([]uint64, n), chk: chk}
+	ix := &Index{g: core.NewDynGraph(g), enc: opts.Enc, stamp: make([]uint64, n), chk: opts.Check}
 	defer func() { ix.chk = nil }()
 	key := func(v graph.V) int { return (g.InDegree(v) + 1) * (g.OutDegree(v) + 1) }
 	vs := make([]graph.V, n)
@@ -70,26 +98,145 @@ func NewChecked(g *graph.Digraph, chk *core.Check) *Index {
 	return ix
 }
 
-// rebuild recomputes all labels by pruned BFS in rank order.
+// rebuild recomputes all labels by pruned BFS in rank order, emitting
+// into pooled builder arenas and freezing flat at the end. Any thawed
+// overlay rows are folded away.
 func (ix *Index) rebuild() {
 	n := ix.g.N()
-	ix.in = make([][]uint32, n)
-	ix.out = make([][]uint32, n)
+	ix.in, ix.out = nil, nil
+	ix.inOv, ix.outOv = nil, nil
+	ix.bin = labelstore.NewBuilder(n)
+	ix.bout = labelstore.NewBuilder(n)
 	for r := 0; r < n; r++ {
 		v := ix.byRank[r]
 		ix.prunedBFS(v, uint32(r), v, true)
 		ix.prunedBFS(v, uint32(r), v, false)
 	}
+	ix.in = ix.bin.Freeze(ix.enc)
+	ix.out = ix.bout.Freeze(ix.enc)
+	ix.bin.Release()
+	ix.bout.Release()
+	ix.bin, ix.bout = nil, nil
+	ix.inOv = make(map[graph.V][]uint32)
+	ix.outOv = make(map[graph.V][]uint32)
+	ix.entries = ix.in.Entries() + ix.out.Entries()
 	ix.refreshStats()
 }
 
 func (ix *Index) refreshStats() {
-	entries := 0
-	for v := range ix.in {
-		entries += len(ix.in[v]) + len(ix.out[v])
+	ix.stats.Entries = ix.entries
+	if ix.in == nil {
+		return
 	}
-	ix.stats.Entries = entries
-	ix.stats.Bytes = entries*4 + len(ix.rank)*4
+	overlay := 0
+	for _, row := range ix.inOv {
+		overlay += len(row) * 4
+	}
+	for _, row := range ix.outOv {
+		overlay += len(row) * 4
+	}
+	fin, fout := ix.in.Footprint(), ix.out.Footprint()
+	ix.stats.Bytes = fin.Total() + fout.Total() + len(ix.rank)*4 + len(ix.byRank)*4 + overlay
+}
+
+// Sizes implements core.Sized.
+func (ix *Index) Sizes() core.SizeBreakdown {
+	fin, fout := ix.in.Footprint(), ix.out.Footprint()
+	aux := len(ix.rank)*4 + len(ix.byRank)*4
+	for _, row := range ix.inOv {
+		aux += len(row) * 4
+	}
+	for _, row := range ix.outOv {
+		aux += len(row) * 4
+	}
+	return core.SizeBreakdown{
+		Offsets: fin.Offsets + fout.Offsets,
+		Labels:  fin.Labels + fout.Labels,
+		Aux:     aux,
+	}
+}
+
+// inRow returns Lin(u) as a sorted slice when one is materialized —
+// builder row during rebuild, overlay row after repair, or a raw frozen
+// row. A varint frozen row reports ok == false (iterate via inCursor).
+func (ix *Index) inRow(u graph.V) ([]uint32, bool) {
+	if ix.bin != nil {
+		return ix.bin.Row(int(u)), true
+	}
+	if len(ix.inOv) != 0 {
+		if row, ok := ix.inOv[u]; ok {
+			return row, true
+		}
+	}
+	return ix.in.Row(int(u))
+}
+
+func (ix *Index) outRow(u graph.V) ([]uint32, bool) {
+	if ix.bout != nil {
+		return ix.bout.Row(int(u)), true
+	}
+	if len(ix.outOv) != 0 {
+		if row, ok := ix.outOv[u]; ok {
+			return row, true
+		}
+	}
+	return ix.out.Row(int(u))
+}
+
+func (ix *Index) inCursor(u graph.V) labelstore.Cursor {
+	if row, ok := ix.inRow(u); ok {
+		return labelstore.SliceCursor(row)
+	}
+	return ix.in.Cursor(int(u))
+}
+
+func (ix *Index) outCursor(u graph.V) labelstore.Cursor {
+	if row, ok := ix.outRow(u); ok {
+		return labelstore.SliceCursor(row)
+	}
+	return ix.out.Cursor(int(u))
+}
+
+func (ix *Index) inContains(u graph.V, r uint32) bool {
+	if row, ok := ix.inRow(u); ok {
+		return containsRank(row, r)
+	}
+	return ix.in.Contains(int(u), r)
+}
+
+func (ix *Index) outContains(u graph.V, r uint32) bool {
+	if row, ok := ix.outRow(u); ok {
+		return containsRank(row, r)
+	}
+	return ix.out.Contains(int(u), r)
+}
+
+// insertIn adds rank r to Lin(u): into the builder during rebuild, else
+// by thawing u's row into the overlay (copy-on-write).
+func (ix *Index) insertIn(u graph.V, r uint32) {
+	ix.entries++
+	if ix.bin != nil {
+		ix.bin.InsertSorted(int(u), r)
+		return
+	}
+	row, ok := ix.inOv[u]
+	if !ok {
+		row = ix.in.AppendRow(make([]uint32, 0, 8), int(u))
+	}
+	ix.inOv[u] = insertSorted(row, r)
+}
+
+func (ix *Index) insertOut(u graph.V, r uint32) {
+	ix.entries++
+	if ix.bout != nil {
+		ix.bout.InsertSorted(int(u), r)
+		return
+	}
+	row, ok := ix.outOv[u]
+	if !ok {
+		row = ix.out.AppendRow(make([]uint32, 0, 8), int(u))
+	}
+	ix.outOv[u] = insertSorted(row, r)
 }
 
 // prunedBFS extends hub h's label coverage starting at vertex from: in the
@@ -110,15 +257,15 @@ func (ix *Index) prunedBFS(h graph.V, r uint32, from graph.V, forward bool) {
 			// induction of the total-order framework — or when h already
 			// labels u (an earlier run of h's BFS handled this frontier).
 			if forward {
-				if containsRank(ix.in[u], r) || ix.coveredBelow(h, u, r) {
+				if ix.inContains(u, r) || ix.coveredBelow(h, u, r) {
 					continue
 				}
-				ix.in[u] = insertSorted(ix.in[u], r)
+				ix.insertIn(u, r)
 			} else {
-				if containsRank(ix.out[u], r) || ix.coveredBelow(u, h, r) {
+				if ix.outContains(u, r) || ix.coveredBelow(u, h, r) {
 					continue
 				}
-				ix.out[u] = insertSorted(ix.out[u], r)
+				ix.insertOut(u, r)
 			}
 		}
 		var next []graph.V
@@ -159,63 +306,43 @@ func (ix *Index) coveredBelow(s, t graph.V, limit uint32) bool {
 		return true
 	}
 	rs, rt := ix.rank[s], ix.rank[t]
-	if rt < limit && containsRank(ix.out[s], rt) {
+	if rt < limit && ix.outContains(s, rt) {
 		return true
 	}
-	if rs < limit && containsRank(ix.in[t], rs) {
+	if rs < limit && ix.inContains(t, rs) {
 		return true
 	}
-	ls, lt := ix.out[s], ix.in[t]
-	i, j := 0, 0
-	for i < len(ls) && j < len(lt) && ls[i] < limit && lt[j] < limit {
+	cs, ct := ix.outCursor(s), ix.inCursor(t)
+	a, aok := cs.Next()
+	b, bok := ct.Next()
+	for aok && bok && a < limit && b < limit {
 		switch {
-		case ls[i] == lt[j]:
+		case a == b:
 			return true
-		case ls[i] < lt[j]:
-			i++
+		case a < b:
+			a, aok = cs.Next()
 		default:
-			j++
+			b, bok = ct.Next()
 		}
 	}
 	return false
 }
 
 // covered reports whether current labels certify s → t (the three query
-// cases of §3.2).
+// cases of §3.2). The steady-state path — raw frozen rows, no thawed
+// overlay — merges contiguous slices; thawed or varint rows merge
+// through cursors. Both are 0 allocs.
 func (ix *Index) covered(s, t graph.V) bool {
 	if s == t {
 		return true
 	}
-	ls, lt := ix.out[s], ix.in[t]
 	rs, rt := ix.rank[s], ix.rank[t]
-	i, j := 0, 0
-	for i < len(ls) && j < len(lt) {
-		switch {
-		case ls[i] == lt[j]:
-			return true
-		case ls[i] < lt[j]:
-			if ls[i] == rt {
-				return true
-			}
-			i++
-		default:
-			if lt[j] == rs {
-				return true
-			}
-			j++
-		}
+	ls, lok := ix.outRow(s)
+	lt, tok := ix.inRow(t)
+	if lok && tok {
+		return labelstore.CoverRows(ls, lt, rs, rt)
 	}
-	for ; i < len(ls); i++ {
-		if ls[i] == rt {
-			return true
-		}
-	}
-	for ; j < len(lt); j++ {
-		if lt[j] == rs {
-			return true
-		}
-	}
-	return false
+	return labelstore.CoverCursors(ix.outCursor(s), ix.inCursor(t), rs, rt)
 }
 
 // Name implements core.Index.
@@ -234,17 +361,36 @@ func (ix *Index) InsertEdge(u, v graph.V) error {
 	}
 	// Hubs that reach u extend forward through v; note u itself is a hub
 	// for its own pairs.
-	fwd := append([]uint32{ix.rank[u]}, ix.in[u]...)
+	fwd := make([]uint32, 0, 8)
+	fwd = append(fwd, ix.rank[u])
+	fwd = ix.appendIn(fwd, u)
 	for _, r := range fwd {
 		ix.prunedBFS(ix.byRank[r], r, v, true)
 	}
 	// Hubs reached from v extend backward through u.
-	bwd := append([]uint32{ix.rank[v]}, ix.out[v]...)
+	bwd := make([]uint32, 0, 8)
+	bwd = append(bwd, ix.rank[v])
+	bwd = ix.appendOut(bwd, v)
 	for _, r := range bwd {
 		ix.prunedBFS(ix.byRank[r], r, u, false)
 	}
 	ix.refreshStats()
 	return nil
+}
+
+// appendIn appends the current Lin(u) to dst (overlay or frozen row).
+func (ix *Index) appendIn(dst []uint32, u graph.V) []uint32 {
+	if row, ok := ix.inRow(u); ok {
+		return append(dst, row...)
+	}
+	return ix.in.AppendRow(dst, int(u))
+}
+
+func (ix *Index) appendOut(dst []uint32, u graph.V) []uint32 {
+	if row, ok := ix.outRow(u); ok {
+		return append(dst, row...)
+	}
+	return ix.out.AppendRow(dst, int(u))
 }
 
 // DeleteEdge removes (u, v) and rebuilds the labeling (see package doc).

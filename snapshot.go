@@ -8,6 +8,19 @@ package reach
 // deserialization, visible in build spans as "index/load" instead of
 // "index/build".
 //
+// Two persistence layouts exist per snapshottable kind:
+//
+//   - SaveIndex writes the streaming codec: compact, decoded
+//     field-by-field with full validation at load.
+//   - SaveIndexMapped writes the mapped layout: fixed-width aligned
+//     array sections plus a whole-file CRC-32C, so LoadIndexMapped can
+//     mmap the file and hand the index zero-copy views of the label
+//     arrays — cold start is page mapping plus a checksum pass, not a
+//     decode pass. On platforms without mmap (or when mapping fails)
+//     LoadIndexMapped transparently falls back to reading the file
+//     through the streaming decoder; both layouts are readable by
+//     LoadIndex.
+//
 // Snapshots are positional facts about one specific graph. Pairing a
 // snapshot with the graph it was built from is the caller's
 // responsibility, as with any external index file in a DBMS; a
@@ -21,17 +34,22 @@ import (
 	"repro/internal/bfl"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/persist"
+	"repro/internal/pll"
 )
 
-// SaveIndex writes a portable snapshot of ix. Today the snapshottable
-// kind is KindBFL — the DB's default plain index — whether queried
-// directly or through the SCC-condensation adapter (the adapter is
-// unwrapped; only the DAG-level labels are persisted, the condensation
-// is recomputed at load). Other kinds report ErrBadOptions.
-func SaveIndex(w io.Writer, ix Index) error {
+// snapshotTarget unwraps ix to the concrete index a snapshot codec
+// exists for: *bfl.Index (through any adapter chain — only the DAG-level
+// labels are persisted, the condensation is recomputed at load) or a
+// directly-built *pll.Index (PLL/DL). A condensation-lifted PLL-family
+// index (TFL, HL over a cyclic graph) is refused: its labels are over
+// SCC-component ids, and the pll snapshot format re-binds labels to
+// original vertex ids, which would silently corrupt answers.
+func snapshotTarget(ix Index) (any, error) {
 	if ix == nil {
-		return fmt.Errorf("%w: nil index", ErrBadOptions)
+		return nil, fmt.Errorf("%w: nil index", ErrBadOptions)
 	}
+	condensed := core.IsCondensed(ix)
 	inner := ix
 	for {
 		iw, ok := inner.(interface{ Inner() Index })
@@ -40,17 +58,64 @@ func SaveIndex(w io.Writer, ix Index) error {
 		}
 		inner = iw.Inner()
 	}
-	b, ok := inner.(*bfl.Index)
-	if !ok {
-		return fmt.Errorf("%w: index %q has no snapshot format (only %q snapshots today)", ErrBadOptions, ix.Name(), KindBFL)
+	switch t := inner.(type) {
+	case *bfl.Index:
+		return t, nil
+	case *pll.Index:
+		if condensed {
+			return nil, fmt.Errorf("%w: index %q is lifted through SCC condensation; its labels are over component ids and cannot be re-bound to the original graph (snapshot the directly-built %q/%q kinds instead)",
+				ErrBadOptions, ix.Name(), KindPLL, KindDL)
+		}
+		return t, nil
 	}
-	_, err := b.WriteTo(w)
+	return nil, fmt.Errorf("%w: index %q has no snapshot format (snapshottable kinds: %q, %q, %q)",
+		ErrBadOptions, ix.Name(), KindBFL, KindPLL, KindDL)
+}
+
+// SaveIndex writes a portable snapshot of ix in the streaming codec.
+// Snapshottable kinds are KindBFL — whether queried directly or through
+// the SCC-condensation adapter (the adapter is unwrapped; only the
+// DAG-level labels are persisted, the condensation is recomputed at
+// load) — and the directly-built 2-hop kinds KindPLL and KindDL. Other
+// kinds report ErrBadOptions.
+func SaveIndex(w io.Writer, ix Index) error {
+	t, err := snapshotTarget(ix)
+	if err != nil {
+		return err
+	}
+	switch t := t.(type) {
+	case *bfl.Index:
+		_, err = t.WriteTo(w)
+	case *pll.Index:
+		_, err = t.WriteTo(w)
+	}
 	return err
 }
 
-// LoadIndex reads a snapshot written by SaveIndex and re-binds it to g —
-// the same graph the saved index was built over. The SCC condensation is
-// recomputed (or drawn from Options.Prepared, exactly like a build) and
+// SaveIndexMapped writes a snapshot of ix in the mapped layout —
+// aligned array sections plus a whole-file checksum — for zero-copy
+// loading via LoadIndexMapped. The writer must be positioned at the
+// start of the file (section alignment is computed from the file
+// origin). The same kinds as SaveIndex are supported, and LoadIndex can
+// also read the mapped layout through the streaming decoder.
+func SaveIndexMapped(w io.Writer, ix Index) error {
+	t, err := snapshotTarget(ix)
+	if err != nil {
+		return err
+	}
+	switch t := t.(type) {
+	case *bfl.Index:
+		_, err = t.WriteMapped(w)
+	case *pll.Index:
+		_, err = t.WriteMapped(w)
+	}
+	return err
+}
+
+// LoadIndex reads a snapshot written by SaveIndex or SaveIndexMapped and
+// re-binds it to g — the same graph the saved index was built over. The
+// snapshot kind is sniffed from the stream. For BFL the SCC condensation
+// is recomputed (or drawn from Options.Prepared, exactly like a build);
 // the deserialization is recorded as an "index/load" span, so a
 // warm-started timeline never shows an "index/build" phase. Corrupt,
 // truncated, or mismatched input yields an error, never a panic.
@@ -62,7 +127,81 @@ func LoadIndex(r io.Reader, g *Graph, opt Options) (ix Index, err error) {
 		return nil, fmt.Errorf("%w: nil snapshot reader", ErrBadOptions)
 	}
 	defer core.Recover(&err)
-	return core.ForGeneralLoaded(g, opt.Spans, opt.Prepared, func(dag *graph.Digraph) (Index, error) {
-		return bfl.Read(r, dag)
-	})
+	pr, format, err := persist.NewReaderAny(r)
+	if err != nil {
+		return nil, err
+	}
+	switch format {
+	case "bfl":
+		return core.ForGeneralLoaded(g, opt.Spans, opt.Prepared, func(dag *graph.Digraph) (Index, error) {
+			return bfl.ReadSections(pr, dag)
+		})
+	case "pll":
+		end := opt.Spans.Start("index/load")
+		defer end()
+		px, err := pll.ReadSections(pr)
+		if err != nil {
+			return nil, err
+		}
+		if px.N() != g.N() {
+			return nil, fmt.Errorf("pll: snapshot has %d vertices, graph has %d (snapshot built over a different graph?)", px.N(), g.N())
+		}
+		return px, nil
+	}
+	return nil, fmt.Errorf("%w: unknown snapshot format %q", ErrBadOptions, format)
+}
+
+// LoadIndexMapped opens the mapped-layout snapshot file at path and
+// binds it to g as a zero-copy index: the file is mmap'd (read-only,
+// shared) and the index's label arrays are views into the mapping, so
+// cold start faults in pages on demand instead of decoding the file. On
+// platforms without mmap support the file is read into memory instead —
+// same views, one up-front copy. The file's whole-body CRC-32C is
+// verified before any view is trusted; corruption, truncation, or a
+// streaming-layout file yields an error, never a panic.
+//
+// The returned index pins the mapping for its lifetime; the mapping is
+// released when the index is garbage collected.
+func LoadIndexMapped(path string, g *Graph, opt Options) (ix Index, err error) {
+	if err := checkBuild(nil, g, opt); err != nil {
+		return nil, err
+	}
+	defer core.Recover(&err)
+	m, err := persist.OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	// On any failure past this point the mapping has no owner yet.
+	defer func() {
+		if err != nil {
+			m.Close()
+		}
+	}()
+	switch m.Format() {
+	case "bfl":
+		return core.ForGeneralLoaded(g, opt.Spans, opt.Prepared, func(dag *graph.Digraph) (Index, error) {
+			return bfl.FromMapped(m, dag)
+		})
+	case "pll":
+		end := opt.Spans.Start("index/load")
+		defer end()
+		px, err := pll.FromMapped(m)
+		if err != nil {
+			return nil, err
+		}
+		if px.N() != g.N() {
+			return nil, fmt.Errorf("pll: snapshot has %d vertices, graph has %d (snapshot built over a different graph?)", px.N(), g.N())
+		}
+		return px, nil
+	}
+	return nil, fmt.Errorf("%w: unknown snapshot format %q", ErrBadOptions, m.Format())
+}
+
+// IndexSizes reports ix's resident footprint split by section — CSR
+// offset tables, label payloads, auxiliary structures (ranks, DFS
+// intervals, condensation maps). ok is false for index kinds that do not
+// break their footprint down; Stats().Bytes still reports their total.
+func IndexSizes(ix Index) (offsets, labels, aux int, ok bool) {
+	b, ok := core.SizesOf(ix)
+	return b.Offsets, b.Labels, b.Aux, ok
 }
