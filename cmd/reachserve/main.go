@@ -7,12 +7,20 @@
 //	reachserve -demo -addr 127.0.0.1:0 -addrfile a  # demo graph, random port
 //	reachserve -graph g.txt -snapshot g.idx         # warm-start when g.idx exists
 //	reachserve -graph g.txt -snapshot g.idx -mmap   # zero-copy mapped cold start
+//	reachserve -graph g.txt -wal g.wal              # writable: POST /v1/mutate
 //
 // Endpoints: /v1/reach?s=&t=, /v1/query?s=&t=&alpha=, /v1/allowed?s=&t=&labels=,
-// POST /v1/batch, /v1/path?s=&t=[&alpha=], /healthz, /readyz, /metrics
-// (Prometheus exposition via Accept or ?format=prometheus), /debug/vars,
-// /debug/traces, /debug/pprof/ (with -pprof), /admin/stats,
-// POST /admin/reload.
+// POST /v1/batch, /v1/path?s=&t=[&alpha=], POST /v1/mutate (with -wal),
+// /healthz, /readyz, /metrics (Prometheus exposition via Accept or
+// ?format=prometheus), /debug/vars, /debug/traces, /debug/pprof/ (with
+// -pprof), /admin/stats, POST /admin/reload.
+//
+// -wal makes the DB writable: edge mutations group-commit to the named
+// write-ahead log before acknowledging, queries stay exact via a delta
+// overlay, and a restart on the same -wal (and -graph/-snapshot) replays
+// the log so acknowledged writes survive crashes. /admin/reload is
+// disabled under -wal — reloading from the graph file would silently
+// drop logged mutations.
 //
 // Logs are structured (log/slog); -log-format json switches the sink to
 // JSON lines, -log-level sets the floor. -record captures the query
@@ -58,6 +66,11 @@ func main() {
 	degraded := flag.Bool("degraded", false, "keep serving when an optional index build fails")
 	snapshot := flag.String("snapshot", "", "plain-index snapshot file: load when present, write after a fresh build (bfl/pll/dl kinds)")
 	mmapSnap := flag.Bool("mmap", false, "use the mapped snapshot layout: write aligned+checksummed snapshots and cold-start by page-mapping them (zero-copy) instead of decoding")
+	walPath := flag.String("wal", "", "write-ahead log file; enables POST /v1/mutate and replays the log on start (unlabeled graphs, disables -cache and /admin/reload)")
+	walFsync := flag.String("wal-fsync", "always", "WAL durability: always (fsync before acking each group commit) or never (OS page cache)")
+	mutateBatch := flag.Int("mutate-batch", 0, "max mutation ops per group commit; 0 = default")
+	mutateDelay := flag.Duration("mutate-delay", 0, "max time a mutation waits to share a group commit; 0 = default")
+	rebuildThreshold := flag.Int("rebuild-threshold", 0, "overlay edges that trigger a background reindex; 0 = default, negative disables")
 	labelEnc := flag.String("labelenc", "raw", "2-hop label storage encoding: raw (flat uint32 arrays) or varint (delta-compressed)")
 	maxInFlight := flag.Int("max-inflight", 256, "max concurrently executing query requests")
 	maxQueue := flag.Int("max-queue", 0, "max queued query requests; 0 = same as -max-inflight")
@@ -117,11 +130,27 @@ func main() {
 		Tracing:        tracer != nil,
 		RecordWorkload: recorder,
 		CacheSize: func() int {
-			if *cache < 0 {
+			if *cache < 0 || *walPath != "" {
+				// The query cache has no invalidation path, so a
+				// writable DB must run without it (NewDBCtx rejects
+				// the combination).
 				return 0
 			}
 			return *cache
 		}(),
+	}
+	if *walPath != "" {
+		fsync, err := parseFsync(*walFsync)
+		if err != nil {
+			lg.Fatalf("%v", err)
+		}
+		cfg.Mutation = &reach.MutationConfig{
+			WALPath:          *walPath,
+			Fsync:            fsync,
+			BatchOps:         *mutateBatch,
+			BatchDelay:       *mutateDelay,
+			RebuildThreshold: *rebuildThreshold,
+		}
 	}
 
 	buildDB := func(ctx context.Context) (*reach.DB, error) {
@@ -156,6 +185,13 @@ func main() {
 		Log:            lg,
 		Tracer:         tracer,
 		EnablePprof:    *pprofOn,
+	}
+	if *walPath != "" {
+		// Reload re-reads the graph file, which would discard every
+		// mutation the WAL has acknowledged; a writable server swaps
+		// indexes through the mutation pipeline's own rebuilds instead.
+		scfg.Rebuild = nil
+		logger.Info("mutation enabled; /admin/reload disabled", "wal", *walPath, "fsync", *walFsync)
 	}
 	if *accessLog {
 		scfg.AccessLog = logger
@@ -194,6 +230,14 @@ func main() {
 			lg.Fatalf("serve: %v", err)
 		}
 		logger.Info("drained cleanly", "completed_during_drain", srv.Metrics().Drained.Load())
+		// Close the DB after the drain so no in-flight mutation loses its
+		// group commit: Close flushes the batcher, syncs the WAL, and
+		// stops the background reindexer. A WAL that cannot be closed
+		// cleanly is a hard error — the operator must know before
+		// trusting the file for the next start.
+		if err := srv.DB().Close(); err != nil {
+			lg.Fatalf("close: %v", err)
+		}
 		if recorder != nil {
 			// Close after the drain so every completed request's record is
 			// flushed; a capture that cannot be flushed is a hard error —
@@ -210,6 +254,17 @@ func main() {
 	case err := <-errc:
 		lg.Fatalf("serve: %v", err)
 	}
+}
+
+// parseFsync maps the -wal-fsync flag onto reach.FsyncMode.
+func parseFsync(s string) (reach.FsyncMode, error) {
+	switch s {
+	case "always":
+		return reach.FsyncAlways, nil
+	case "never":
+		return reach.FsyncNever, nil
+	}
+	return 0, fmt.Errorf("bad -wal-fsync %q (want always or never)", s)
 }
 
 // parseLabelEnc maps the -labelenc flag onto reach.LabelEncoding.

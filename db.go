@@ -60,6 +60,11 @@ type DB struct {
 	// recorder appends one workload record per completed query when
 	// DBConfig.RecordWorkload installed it; nil otherwise.
 	recorder *workload.Recorder
+	// mut is the live-mutation engine, nil unless DBConfig.Mutation
+	// enabled it (see mutable.go). When non-nil, plain-reachability
+	// queries go through the delta-overlay path so answers stay exact
+	// between background rebuilds.
+	mut *mutDB
 }
 
 // CacheSnapshot re-exports the query-result cache counters; see
@@ -192,6 +197,16 @@ type DBConfig struct {
 	// of a decode pass. Mutually exclusive with PlainSnapshot. The same
 	// kind pairing rules apply.
 	PlainSnapshotMapped string
+	// Mutation, when non-nil, makes the DB writable: AddEdge/RemoveEdge/
+	// Mutate group-commit through a write-ahead log, queries answer
+	// exactly from the frozen index plus a delta overlay, and a
+	// background reindexer periodically folds the delta into a fresh
+	// index published by hot swap. Unlabeled graphs only; mutually
+	// exclusive with CacheSize and ExtraPlain. An existing WAL at
+	// Mutation.WALPath is replayed during NewDB (after any PlainSnapshot
+	// load), so acknowledged mutations survive restarts. See mutable.go
+	// and DESIGN.md ("Mutation & durability").
+	Mutation *MutationConfig
 }
 
 // NewDB builds a DB over g. For unlabeled graphs only the plain index is
@@ -214,6 +229,9 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 	}
 	if cfg.LCR == "" {
 		cfg.LCR = LCRP2H
+	}
+	if err := checkMutationConfig(g, cfg); err != nil {
+		return nil, err
 	}
 	db := &DB{
 		g:            g,
@@ -308,6 +326,11 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 			db.metrics.SetDegraded(names)
 		}
 	}
+	if cfg.Mutation != nil {
+		if err := db.initMutation(cfg); err != nil {
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -364,8 +387,16 @@ func (db *DB) countBuildFault(err error) {
 	}
 }
 
-// Graph returns the underlying graph.
-func (db *DB) Graph() *Graph { return db.g }
+// Graph returns the underlying graph. On a mutable DB this is the
+// current frozen base graph (the one the serving index was built over) —
+// it advances at every background rebuild but does not reflect the
+// not-yet-folded overlay; the vertex universe and names never change.
+func (db *DB) Graph() *Graph {
+	if db.mut != nil {
+		return db.mut.state.Load().g
+	}
+	return db.g
+}
 
 // Prepared returns the DB's shared preprocessing memo. Tests and callers
 // building further indexes over the same graph can pass it through
@@ -489,7 +520,7 @@ func (db *DB) ReachCtx(ctx context.Context, s, t V) (res bool, err error) {
 	}
 	if !hit {
 		tok := tr.Begin("index/probe")
-		res = db.plain.Reach(s, t)
+		res = db.reachCurrent(s, t)
 		tr.End(tok)
 		db.cache.Put(key, res)
 	}
@@ -751,6 +782,12 @@ func (db *DB) queryUnlabeled(s, t V, alpha string) (bool, error) {
 	}
 	if cl.PlusOnly {
 		// At least one edge: step to every successor, then plain-star.
+		if db.mut != nil {
+			st := db.mut.state.Load()
+			return st.eachSucc(s, func(w V) bool {
+				return w == t || st.reach(w, t)
+			}), nil
+		}
 		for _, w := range db.g.Succ(s) {
 			if w == t || db.plain.Reach(w, t) {
 				return true, nil
@@ -758,7 +795,7 @@ func (db *DB) queryUnlabeled(s, t V, alpha string) (bool, error) {
 		}
 		return false, nil
 	}
-	return db.plain.Reach(s, t), nil
+	return db.reachCurrent(s, t), nil
 }
 
 // plusAlternation answers (l1|l2|...)+ — at least one edge — by stepping
@@ -823,6 +860,18 @@ func (db *DB) ReachPath(s, t V) (path []V, err error) {
 		return nil, err
 	}
 	defer db.boundary(&err)
+	if db.mut != nil {
+		// One state load for both the decision and the witness, so a
+		// concurrent commit or hot swap cannot split them.
+		st := db.mut.state.Load()
+		if !st.reach(s, t) {
+			return nil, nil
+		}
+		if st.ov.Empty() {
+			return traversal.WitnessPath(st.g, s, t), nil
+		}
+		return st.witnessPath(s, t), nil
+	}
 	if !db.plain.Reach(s, t) {
 		return nil, nil
 	}

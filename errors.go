@@ -34,6 +34,10 @@ var (
 	ErrIndexPanic = core.ErrIndexPanic
 )
 
+// ErrNotMutable reports a mutation (AddEdge/RemoveEdge/mutate endpoint)
+// against a DB built without DBConfig.Mutation.
+var ErrNotMutable = errors.New("reach: DB is not mutable (no DBConfig.Mutation)")
+
 // validate rejects option values no technique can interpret. Zero values
 // are always fine (they select defaults); negatives are never meaningful.
 func (o Options) validate() error {
@@ -72,6 +76,7 @@ func checkPrepared(g *Graph, opt Options) error {
 //	context.DeadlineExceeded,
 //	ErrBuildCanceled           → 504 (the per-request deadline fired)
 //	context.Canceled           → 499 (client went away; nobody is reading)
+//	ErrNotMutable              → 501 (endpoint exists, DB lacks the feature)
 //	ErrIndexPanic, anything else → 500
 //
 // Degraded-mode serving never reaches this table: a DB built with
@@ -87,6 +92,8 @@ func StatusCode(err error) int {
 		return 504
 	case errors.Is(err, context.Canceled):
 		return 499
+	case errors.Is(err, ErrNotMutable):
+		return 501
 	default:
 		return 500
 	}

@@ -279,17 +279,24 @@ func Mutate(g *Digraph) *Builder {
 	return b
 }
 
-// RemoveEdge deletes one occurrence of the exact edge e from the builder.
-// It reports whether the edge was present. The removal preserves edge
-// order (no swap-with-last), so a builder loaded from a frozen graph
-// (Mutate) keeps its sorted edge list and the next Freeze skips sorting
-// entirely instead of re-sorting to repair the one displaced element.
+// RemoveEdge deletes every occurrence of the exact edge e from the
+// builder and reports whether at least one was present. Removing all
+// occurrences (not just the first) is what makes remove mean "the edge
+// is gone": a builder fed duplicate AddEdge calls — or a self-loop added
+// twice — would otherwise still freeze into a graph containing e, and an
+// add/remove/add sequence driven through the mutation overlay would
+// diverge from the graph it claims to describe. The removal preserves
+// edge order (no swap-with-last), so a builder loaded from a frozen
+// graph (Mutate) keeps its sorted edge list and the next Freeze skips
+// sorting entirely instead of re-sorting to repair displaced elements.
 func (b *Builder) RemoveEdge(e Edge) bool {
-	for i := range b.edges {
-		if b.edges[i] == e {
-			b.edges = slices.Delete(b.edges, i, i+1)
-			return true
+	kept := b.edges[:0]
+	for _, x := range b.edges {
+		if x != e {
+			kept = append(kept, x)
 		}
 	}
-	return false
+	removed := len(kept) < len(b.edges)
+	b.edges = kept
+	return removed
 }

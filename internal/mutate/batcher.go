@@ -1,0 +1,207 @@
+package mutate
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Batcher implements group commit: callers submit small op slices and
+// block; a single flusher goroutine coalesces everything queued within a
+// size-or-deadline window into one batch, hands it to the commit
+// function once, and then answers every waiting caller individually.
+// This amortizes the per-commit cost (one WAL append + at most one
+// fsync) across concurrent writers.
+type Batcher struct {
+	reqs   chan request
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	mu     sync.RWMutex // guards closed vs. in-flight Submit sends
+	closed bool
+
+	maxOps int
+	delay  time.Duration
+	commit func(ops []Op, sync bool) error
+}
+
+// request is one caller's submission. A request with no ops is a flush
+// barrier: it forces the current window to commit immediately and is
+// answered after that commit completes.
+type request struct {
+	ops  []Op
+	resp chan error
+}
+
+const (
+	defaultBatchOps   = 128
+	defaultBatchDelay = 2 * time.Millisecond
+)
+
+// NewBatcher starts a batcher that flushes when maxOps ops have
+// accumulated (<=0: 128) or delay has elapsed since the window opened
+// (<=0: 2ms), whichever comes first. commit is called from a single
+// goroutine, never concurrently; sync is true when the window contained
+// a flush barrier and the commit must be forced durable regardless of
+// the WAL's fsync policy.
+func NewBatcher(maxOps int, delay time.Duration, commit func(ops []Op, sync bool) error) *Batcher {
+	if maxOps <= 0 {
+		maxOps = defaultBatchOps
+	}
+	if delay <= 0 {
+		delay = defaultBatchDelay
+	}
+	b := &Batcher{
+		reqs:   make(chan request, 64),
+		stop:   make(chan struct{}),
+		maxOps: maxOps,
+		delay:  delay,
+		commit: commit,
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Submit queues ops for the next group commit and waits until that
+// commit is durable (per the WAL's fsync policy) or ctx is done. A
+// context abort abandons only this caller's wait: the batch itself still
+// commits, so a caller that gave up may still find its ops applied —
+// exactly the contract of any write that times out in flight.
+//
+// Submitting zero ops is a flush barrier: it forces any buffered window
+// to commit now and returns once it has.
+func (b *Batcher) Submit(ctx context.Context, ops []Op) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	req := request{ops: ops, resp: make(chan error, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return ErrClosed
+	}
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	default:
+		// Queue full: wait, but drop the read lock first so Close isn't
+		// blocked behind a stalled queue.
+		b.mu.RUnlock()
+		select {
+		case b.reqs <- req:
+		case <-b.stop:
+			return ErrClosed
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	select {
+	case err := <-req.resp:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting submissions, commits anything still queued, and
+// waits for the flusher to exit.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	b.wg.Wait()
+}
+
+func (b *Batcher) run() {
+	defer b.wg.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Wait for the first request of a window.
+		var first request
+		select {
+		case first = <-b.reqs:
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		batch := []request{first}
+		nops := len(first.ops)
+		barrier := len(first.ops) == 0
+		timer.Reset(b.delay)
+		// Fill the window until size, deadline, a barrier, or shutdown.
+		for nops < b.maxOps && !barrier {
+			select {
+			case req := <-b.reqs:
+				batch = append(batch, req)
+				nops += len(req.ops)
+				if len(req.ops) == 0 {
+					barrier = true
+				}
+			case <-timer.C:
+				goto flush
+			case <-b.stop:
+				goto flush
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	flush:
+		b.flush(batch, nops, barrier)
+		select {
+		case <-b.stop:
+			b.drain()
+			return
+		default:
+		}
+	}
+}
+
+// flush commits one window and answers every caller in it.
+func (b *Batcher) flush(batch []request, nops int, barrier bool) {
+	ops := make([]Op, 0, nops)
+	for _, req := range batch {
+		ops = append(ops, req.ops...)
+	}
+	var err error
+	if len(ops) > 0 || barrier {
+		err = b.commit(ops, barrier)
+	}
+	for _, req := range batch {
+		req.resp <- err
+	}
+}
+
+// drain commits whatever is still queued at shutdown, so a caller that
+// managed to enqueue before Close is answered rather than abandoned.
+func (b *Batcher) drain() {
+	for {
+		var batch []request
+		nops := 0
+	gather:
+		for {
+			select {
+			case req := <-b.reqs:
+				batch = append(batch, req)
+				nops += len(req.ops)
+			default:
+				break gather
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		b.flush(batch, nops, true)
+	}
+}

@@ -1,0 +1,282 @@
+package mutate
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectCommits is a commit func that records every batch it was handed.
+// When block is non-nil, every commit first receives from it — tests hold
+// the flusher inside a commit by withholding tokens, and release it (or
+// all future commits) by sending or closing.
+type collectCommits struct {
+	mu      sync.Mutex
+	batches [][]Op
+	syncs   []bool
+	err     error         // returned from every commit when set
+	entered chan struct{} // buffered; signalled on commit entry, before blocking
+	block   chan struct{}
+}
+
+func (c *collectCommits) commit(ops []Op, sync bool) error {
+	if c.entered != nil {
+		c.entered <- struct{}{}
+	}
+	if c.block != nil {
+		<-c.block
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batches = append(c.batches, append([]Op(nil), ops...))
+	c.syncs = append(c.syncs, sync)
+	return c.err
+}
+
+func (c *collectCommits) totalOps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, b := range c.batches {
+		n += len(b)
+	}
+	return n
+}
+
+// TestBatcherCoalesces: with the deadline effectively off, the window
+// closes exactly when maxOps ops have accumulated — so N concurrent
+// single-op submissions must come out as ONE commit carrying all N.
+func TestBatcherCoalesces(t *testing.T) {
+	const writers = 8
+	c := &collectCommits{}
+	b := NewBatcher(writers, time.Hour, c.commit)
+	defer b.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Submit(context.Background(), []Op{{From: uint32(i), To: uint32(i + 1)}})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.batches) != 1 {
+		t.Fatalf("%d commits, want 1 (group commit did not coalesce)", len(c.batches))
+	}
+	if len(c.batches[0]) != writers {
+		t.Fatalf("window carried %d ops, want %d", len(c.batches[0]), writers)
+	}
+}
+
+func TestBatcherFlushesOnSize(t *testing.T) {
+	c := &collectCommits{}
+	b := NewBatcher(1, time.Hour, c.commit) // window closes after 1 op
+	defer b.Close()
+	if err := b.Submit(context.Background(), []Op{{From: 1, To: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.totalOps(); got != 1 {
+		t.Fatalf("ops committed = %d (size trigger did not fire; delay is 1h)", got)
+	}
+}
+
+func TestBatcherFlushesOnDeadline(t *testing.T) {
+	c := &collectCommits{}
+	b := NewBatcher(1000, time.Millisecond, c.commit)
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- b.Submit(context.Background(), []Op{{From: 1, To: 2}}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline trigger never fired")
+	}
+}
+
+// TestBatcherBarrier: a barrier coalescing into a window that also holds
+// ops must (a) force the window out immediately — the deadline is an
+// hour — and (b) flag the combined commit sync, so the WAL fsyncs it
+// even under FsyncNever. This is the Flush durability contract.
+func TestBatcherBarrier(t *testing.T) {
+	c := &collectCommits{entered: make(chan struct{}, 16), block: make(chan struct{})}
+	b := NewBatcher(1000, time.Hour, c.commit)
+	defer b.Close()
+
+	// A sacrificial barrier opens a window alone and flushes immediately,
+	// parking the flusher inside commit #1. While it is parked, enqueue —
+	// in order — an op and then a barrier: they become window #2.
+	sacrificial := make(chan error, 1)
+	go func() { sacrificial <- b.Submit(context.Background(), nil) }()
+	<-c.entered // flusher is inside commit #1
+	opDone := make(chan error, 1)
+	go func() { opDone <- b.Submit(context.Background(), []Op{{From: 1, To: 2}}) }()
+	for len(b.reqs) != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	barrierDone := make(chan error, 1)
+	go func() { barrierDone <- b.Submit(context.Background(), nil) }()
+	for len(b.reqs) != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	c.block <- struct{}{} // release commit #1
+	<-c.entered           // flusher is inside commit #2
+	c.block <- struct{}{} // release commit #2
+	for _, ch := range []chan error{sacrificial, opDone, barrierDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("barrier did not force the window out")
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.batches) != 2 {
+		t.Fatalf("%d commits, want 2: %v", len(c.batches), c.batches)
+	}
+	if len(c.batches[1]) != 1 || !c.syncs[1] {
+		t.Fatalf("window #2 = %d ops, sync=%v — want the op with sync=true",
+			len(c.batches[1]), c.syncs[1])
+	}
+	if !c.syncs[0] {
+		t.Fatal("barrier-only window #1 not marked sync")
+	}
+}
+
+func TestBatcherCommitErrorReachesAllCallers(t *testing.T) {
+	want := errors.New("disk on fire")
+	c := &collectCommits{err: want}
+	b := NewBatcher(2, time.Hour, c.commit)
+	defer b.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Submit(context.Background(), []Op{{From: uint32(i), To: 9}})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, want) {
+			t.Fatalf("caller %d got %v, want the commit error", i, err)
+		}
+	}
+}
+
+func TestBatcherContextCancelAbandonsWaitNotBatch(t *testing.T) {
+	c := &collectCommits{entered: make(chan struct{}, 16), block: make(chan struct{})}
+	b := NewBatcher(1, time.Hour, c.commit)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Submit(ctx, []Op{{From: 1, To: 2}}) }()
+	<-c.entered // the op's batch is inside commit; cancel the waiting caller
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit = %v, want context.Canceled", err)
+	}
+	// The batch still commits — the caller abandoned the wait, not the write.
+	c.block <- struct{}{}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.totalOps() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned batch never committed (ops=%d)", c.totalOps())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBatcherPreCancelledContext(t *testing.T) {
+	c := &collectCommits{}
+	b := NewBatcher(1, time.Hour, c.commit)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Submit(ctx, []Op{{From: 1, To: 2}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit = %v, want context.Canceled", err)
+	}
+	if got := c.totalOps(); got != 0 {
+		t.Fatalf("pre-cancelled submit committed %d ops", got)
+	}
+}
+
+// TestBatcherCloseDrainsQueued: submissions that made it into the queue
+// before Close must be committed and acknowledged, not abandoned.
+func TestBatcherCloseDrainsQueued(t *testing.T) {
+	c := &collectCommits{entered: make(chan struct{}, 16), block: make(chan struct{})}
+	b := NewBatcher(1, time.Hour, c.commit)
+	// The first submission flushes on size and parks inside commit #1.
+	first := make(chan error, 1)
+	go func() { first <- b.Submit(context.Background(), []Op{{From: 0, To: 1}}) }()
+	<-c.entered
+	// Queue more behind the parked flusher.
+	const queued = 4
+	var wg sync.WaitGroup
+	var acked atomic.Int32
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := b.Submit(context.Background(), []Op{{From: uint32(i + 10), To: 1}}); err == nil {
+				acked.Add(1)
+			}
+		}(i)
+	}
+	for len(b.reqs) != queued {
+		time.Sleep(time.Millisecond)
+	}
+	// Begin Close while everything is still queued, then release the
+	// flusher for good: it must answer the parked caller, notice the
+	// stop, and drain the queue.
+	closed := make(chan struct{})
+	go func() { b.Close(); close(closed) }()
+	for {
+		b.mu.RLock()
+		done := b.closed
+		b.mu.RUnlock()
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(c.block)
+	wg.Wait()
+	<-closed
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if int(acked.Load()) != queued {
+		t.Fatalf("%d queued submissions acked across Close, want %d", acked.Load(), queued)
+	}
+	if got := c.totalOps(); got != queued+1 {
+		t.Fatalf("ops committed = %d, want %d", got, queued+1)
+	}
+	// After Close, submissions refuse.
+	if err := b.Submit(context.Background(), []Op{{From: 1, To: 2}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestBatcherCloseIdempotent(t *testing.T) {
+	b := NewBatcher(1, time.Millisecond, (&collectCommits{}).commit)
+	b.Close()
+	b.Close()
+}

@@ -1,0 +1,57 @@
+// Package mutate is the live-mutation subsystem behind reach.DB's
+// AddEdge/RemoveEdge/Flush API: the machinery that makes a frozen,
+// immutable index writable without ever serving a wrong or unavailable
+// answer. It has three cooperating layers (the fourth, the background
+// reindexer, lives in the root package next to the index builders):
+//
+//   - Batcher: a group-commit accumulator. Callers submit small op
+//     slices and block on a per-caller response channel; a single
+//     flusher goroutine coalesces everything queued into one batch per
+//     size-or-deadline window, commits it once, and answers every
+//     caller individually. Context cancellation abandons the wait, not
+//     the batch.
+//   - Log: a write-ahead log on the internal/persist container codec.
+//     One "batch" section per group commit, CRC-32C over the payload,
+//     configurable fsync policy, and recovery that replays the longest
+//     intact prefix and truncates a torn tail — corrupted or truncated
+//     bytes are always an error, never a panic, and never silently
+//     accepted.
+//   - Overlay: the delta the frozen index does not know about, as net
+//     added/removed edge sets. Queries traverse the small delta and
+//     consult the frozen index for the rest, so answers stay exact
+//     between background rebuilds. Overlays are persistent values:
+//     writers publish a fresh Clone+Apply through an atomic pointer,
+//     readers never lock.
+//
+// The package is deliberately unlabeled-only (uint32 vertex pairs): the
+// root package gates DBConfig.Mutation to unlabeled graphs, where the
+// plain transitive closure is the exactness oracle.
+package mutate
+
+import "errors"
+
+// Fault-injection site names on the mutation path (see
+// internal/faultinject). Error plans at the WAL sites simulate disk
+// faults mid-commit; a Panic plan at the rebuild site simulates a
+// broken index build during the background fold.
+const (
+	// SiteWALAppend fires before a batch's bytes are written.
+	SiteWALAppend = "wal/append"
+	// SiteWALFsync fires between the write and the fsync, so injected
+	// failures leave written-but-unsynced bytes for rollback to clean up.
+	SiteWALFsync = "wal/fsync"
+	// SiteRebuild fires at the start of one background reindex attempt.
+	SiteRebuild = "mutate/rebuild"
+)
+
+// ErrClosed reports a mutation submitted after Close began.
+var ErrClosed = errors.New("mutate: mutation pipeline closed")
+
+// Op is one edge mutation. From/To are graph vertex ids (validated
+// against the vertex universe by the caller before submission); Label is
+// carried for forward compatibility and is 0 on unlabeled graphs.
+type Op struct {
+	Remove   bool
+	From, To uint32
+	Label    uint32
+}

@@ -1,0 +1,190 @@
+package mutate
+
+// Overlay is the net difference between the live graph and the frozen
+// graph the current index was built from: the edges added since the
+// freeze and the edges removed from it. It is maintained as a persistent
+// value — writers Clone then Apply then publish, readers use whatever
+// snapshot they loaded — so query paths never lock.
+//
+// Both sets are *net*: re-adding a removed edge cancels the removal
+// rather than recording both, and removing a never-present edge records
+// nothing. That makes add/remove/add of the same edge (including
+// self-loops and edges duplicated in the base graph, which the base
+// stores deduplicated) converge to exactly one state per edge.
+type Overlay struct {
+	added   map[uint64]struct{}
+	removed map[uint64]struct{}
+	// addedSucc indexes added by source vertex for traversal.
+	addedSucc map[uint32][]uint32
+}
+
+// NewOverlay returns an empty overlay.
+func NewOverlay() *Overlay {
+	return &Overlay{
+		added:     make(map[uint64]struct{}),
+		removed:   make(map[uint64]struct{}),
+		addedSucc: make(map[uint32][]uint32),
+	}
+}
+
+func edgeKey(from, to uint32) uint64 { return uint64(from)<<32 | uint64(to) }
+
+// Clone returns an independent deep copy.
+func (o *Overlay) Clone() *Overlay {
+	c := &Overlay{
+		added:     make(map[uint64]struct{}, len(o.added)),
+		removed:   make(map[uint64]struct{}, len(o.removed)),
+		addedSucc: make(map[uint32][]uint32, len(o.addedSucc)),
+	}
+	for k := range o.added {
+		c.added[k] = struct{}{}
+	}
+	for k := range o.removed {
+		c.removed[k] = struct{}{}
+	}
+	for u, succ := range o.addedSucc {
+		c.addedSucc[u] = append([]uint32(nil), succ...)
+	}
+	return c
+}
+
+// Apply folds one op into the overlay. inBase reports whether the edge
+// exists in the frozen base graph; it decides whether an add is a
+// revert-of-remove, a no-op, or a genuine addition (and dually for
+// removes), keeping both sets net.
+func (o *Overlay) Apply(op Op, inBase func(from, to uint32) bool) {
+	k := edgeKey(op.From, op.To)
+	if op.Remove {
+		if _, ok := o.added[k]; ok {
+			o.unadd(k, op.From, op.To)
+			return
+		}
+		if inBase(op.From, op.To) {
+			o.removed[k] = struct{}{}
+		}
+		return
+	}
+	if _, ok := o.removed[k]; ok {
+		delete(o.removed, k)
+		return
+	}
+	if inBase(op.From, op.To) {
+		return
+	}
+	if _, ok := o.added[k]; ok {
+		return
+	}
+	o.added[k] = struct{}{}
+	o.addedSucc[op.From] = append(o.addedSucc[op.From], op.To)
+}
+
+func (o *Overlay) unadd(k uint64, from, to uint32) {
+	delete(o.added, k)
+	succ := o.addedSucc[from]
+	for i, v := range succ {
+		if v == to {
+			succ = append(succ[:i], succ[i+1:]...)
+			break
+		}
+	}
+	if len(succ) == 0 {
+		delete(o.addedSucc, from)
+	} else {
+		o.addedSucc[from] = succ
+	}
+}
+
+// Empty reports whether the overlay changes nothing.
+func (o *Overlay) Empty() bool { return len(o.added) == 0 && len(o.removed) == 0 }
+
+// AddedCount returns the number of net-added edges.
+func (o *Overlay) AddedCount() int { return len(o.added) }
+
+// RemovedCount returns the number of net-removed edges.
+func (o *Overlay) RemovedCount() int { return len(o.removed) }
+
+// Size returns the total number of overlaid edges.
+func (o *Overlay) Size() int { return len(o.added) + len(o.removed) }
+
+// HasAdded reports whether (from,to) is net-added.
+func (o *Overlay) HasAdded(from, to uint32) bool {
+	_, ok := o.added[edgeKey(from, to)]
+	return ok
+}
+
+// HasRemoved reports whether (from,to) is net-removed.
+func (o *Overlay) HasRemoved(from, to uint32) bool {
+	_, ok := o.removed[edgeKey(from, to)]
+	return ok
+}
+
+// AddedSucc returns the net-added successors of u. The slice is shared;
+// callers must not mutate it.
+func (o *Overlay) AddedSucc(u uint32) []uint32 { return o.addedSucc[u] }
+
+// AddedEdges calls fn for every net-added edge.
+func (o *Overlay) AddedEdges(fn func(from, to uint32)) {
+	for k := range o.added {
+		fn(uint32(k>>32), uint32(k))
+	}
+}
+
+// RemovedEdges calls fn for every net-removed edge.
+func (o *Overlay) RemovedEdges(fn func(from, to uint32)) {
+	for k := range o.removed {
+		fn(uint32(k>>32), uint32(k))
+	}
+}
+
+// Rebase computes the overlay that carries cur's live graph forward over
+// a new base. cur is the live overlay (over the old base g0); snap is
+// the snapshot of cur that the reindexer folded into the new base g1.
+// The result expresses the same live graph as cur, but relative to g1.
+//
+// It cannot be computed from cur alone: an op that arrived during the
+// rebuild may have *reverted* a change that snap folded into g1 (remove
+// e taken into the snapshot, then e re-added while rebuilding — e sits
+// in neither of cur's net sets, yet g1 lacks it). So every edge touched
+// by either overlay is re-derived from first principles: its live
+// presence (cur's verdict, falling back to g0) against its presence in
+// g1.
+func Rebase(cur, snap *Overlay, g0Has, g1Has func(from, to uint32) bool) *Overlay {
+	out := NewOverlay()
+	seen := make(map[uint64]struct{}, cur.Size()+snap.Size())
+	consider := func(k uint64) {
+		if _, ok := seen[k]; ok {
+			return
+		}
+		seen[k] = struct{}{}
+		from, to := uint32(k>>32), uint32(k)
+		var present bool
+		switch {
+		case cur.HasAdded(from, to):
+			present = true
+		case cur.HasRemoved(from, to):
+			present = false
+		default:
+			present = g0Has(from, to)
+		}
+		switch {
+		case present && !g1Has(from, to):
+			out.added[k] = struct{}{}
+			out.addedSucc[from] = append(out.addedSucc[from], to)
+		case !present && g1Has(from, to):
+			out.removed[k] = struct{}{}
+		}
+	}
+	for k := range cur.added {
+		consider(k)
+	}
+	for k := range cur.removed {
+		consider(k)
+	}
+	for k := range snap.added {
+		consider(k)
+	}
+	for k := range snap.removed {
+		consider(k)
+	}
+	return out
+}

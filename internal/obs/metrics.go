@@ -268,6 +268,7 @@ type DBMetrics struct {
 	indexes  map[string]*IndexMetrics
 	degraded []string
 	cacheFn  func() CacheSnapshot
+	mutation *MutationMetrics
 }
 
 // NewDBMetrics returns an empty metrics root.
@@ -314,6 +315,7 @@ type Snapshot struct {
 	Routes   map[string]RouteSnapshot `json:"routes"`
 	Build    []PhaseSpan              `json:"build,omitempty"`
 	Cache    *CacheSnapshot           `json:"cache,omitempty"`
+	Mutation *MutationSnapshot        `json:"mutation,omitempty"`
 	Errors   int64                    `json:"errors"`
 	Panics   int64                    `json:"panics,omitempty"`
 	Canceled int64                    `json:"canceled,omitempty"`
@@ -340,10 +342,15 @@ func (m *DBMetrics) Snapshot() Snapshot {
 		s.Degraded = append([]string(nil), m.degraded...)
 	}
 	cacheFn := m.cacheFn
+	mutation := m.mutation
 	m.mu.Unlock()
 	if cacheFn != nil {
 		cs := cacheFn()
 		s.Cache = &cs
+	}
+	if mutation != nil {
+		ms := mutation.Snapshot()
+		s.Mutation = &ms
 	}
 	for name, im := range cells {
 		s.Indexes[name] = im.Snapshot()
@@ -417,6 +424,9 @@ func (s Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "cache: hits=%d misses=%d hit-rate=%.1f%% evictions=%d entries=%d/%d\n",
 			s.Cache.Hits, s.Cache.Misses, 100*s.Cache.HitRate(),
 			s.Cache.Evictions, s.Cache.Entries, s.Cache.Capacity)
+	}
+	if s.Mutation != nil {
+		s.Mutation.writeText(w)
 	}
 	if len(s.Degraded) > 0 {
 		fmt.Fprintf(w, "degraded routes: %s\n", strings.Join(s.Degraded, ", "))

@@ -210,6 +210,10 @@ func (s Snapshot) WriteProm(w io.Writer, prefix string) {
 		}
 	}
 
+	if s.Mutation != nil {
+		s.Mutation.writeProm(p)
+	}
+
 	f = p.family("errors_total", "Query and build errors.", "counter")
 	p.int(f, s.Errors)
 	f = p.family("panics_total", "Index panics contained at the query boundary.", "counter")

@@ -13,6 +13,9 @@ type Gauge struct{ v atomic.Int64 }
 // Add moves the gauge by d (negative to decrement).
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
+// Set replaces the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 

@@ -54,6 +54,15 @@ func NewWriter(w io.Writer, format string, version uint16) *Writer {
 	return pw
 }
 
+// NewAppendWriter returns a Writer that emits no container header, for
+// appending further sections to a log-structured file whose header is
+// already on disk (the write-ahead log reopens its file this way after
+// replay). The caller is responsible for having positioned w at the end
+// of the intact prefix.
+func NewAppendWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
 // Section buffers the payload fill writes into enc, then emits it as one
 // named, length-prefixed section. Sections must be read back in the same
 // order they were written.

@@ -36,6 +36,7 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("/v1/allowed", s.admit(s.handleAllowed))
 	mux.Handle("POST /v1/batch", s.admit(s.handleBatch))
 	mux.Handle("/v1/path", s.admit(s.handlePath))
+	mux.Handle("POST /v1/mutate", s.admit(s.handleMutate))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -214,10 +215,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		pairs[i] = reach.Pair{S: sv, T: tv}
 	}
-	// A nil index selects BatchReachCtx's bit-parallel path: blocks of 64
-	// pairs share one multi-source BFS sweep each — the batch kernel —
-	// instead of len(pairs) point lookups.
-	out, err := reach.BatchReachCtx(r.Context(), nil, g, pairs, 0)
+	// The DB picks the batch path: the 64-way bit-parallel kernel when
+	// the graph is frozen (or the mutation overlay is empty), exact
+	// per-pair overlay evaluation when live mutations are pending.
+	out, err := db.BatchReachCtx(r.Context(), pairs)
 	if err != nil {
 		s.writeQueryErr(w, r, err)
 		return
@@ -348,6 +349,7 @@ type statsResponse struct {
 	Indexes   map[string]reach.Stats `json:"indexes"`
 	Degraded  map[string]string      `json:"degraded,omitempty"`
 	Cache     *reach.CacheSnapshot   `json:"cache,omitempty"`
+	Mutation  *reach.MutationStats   `json:"mutation,omitempty"`
 	Server    obs.ServerSnapshot     `json:"server"`
 	Draining  bool                   `json:"draining,omitempty"`
 	Reloading bool                   `json:"reloading,omitempty"`
@@ -373,6 +375,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if cs, ok := db.CacheStats(); ok {
 		resp.Cache = &cs
+	}
+	if ms, ok := db.MutationStats(); ok {
+		resp.Mutation = &ms
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

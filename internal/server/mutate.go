@@ -1,0 +1,91 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	reach "repro"
+)
+
+// maxMutateBody bounds the /v1/mutate request body, mirroring the batch
+// endpoint's discipline.
+const maxMutateBody = 16 << 20
+
+// mutateRequest is the /v1/mutate body:
+//
+//	{"ops":[{"op":"add","s":3,"t":"G"},{"op":"remove","s":1,"t":2}]}
+//
+// op is "add" or "remove"; vertices are JSON numbers (ids) or strings
+// (ids or names), like everywhere else in the API.
+type mutateRequest struct {
+	Ops []struct {
+		Op string    `json:"op"`
+		S  vertexRef `json:"s"`
+		T  vertexRef `json:"t"`
+	} `json:"ops"`
+}
+
+type mutateResponse struct {
+	Applied        int `json:"applied"`
+	OverlayAdded   int `json:"overlay_added"`
+	OverlayRemoved int `json:"overlay_removed"`
+}
+
+// handleMutate applies a slice of edge mutations as one atomic,
+// durably-logged unit. The request blocks until its group commit is on
+// disk (per the server's WAL fsync policy); the response reports the
+// overlay size so clients can observe rebuild progress. A server whose
+// DB was started without a WAL answers 501.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	db := s.DB()
+	g := db.Graph()
+	var req mutateRequest
+	body := http.MaxBytesReader(w, r.Body, maxMutateBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad mutate body: "+err.Error())
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty ops")
+		return
+	}
+	if len(req.Ops) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("mutation has %d ops, limit is %d", len(req.Ops), s.cfg.MaxBatch))
+		return
+	}
+	ops := make([]reach.EdgeOp, len(req.Ops))
+	for i, o := range req.Ops {
+		var remove bool
+		switch o.Op {
+		case "add":
+		case "remove":
+			remove = true
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("op %d: unknown op %q (want add or remove)", i, o.Op))
+			return
+		}
+		sv, err := o.S.resolve(g)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("op %d: s: %v", i, err))
+			return
+		}
+		tv, err := o.T.resolve(g)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("op %d: t: %v", i, err))
+			return
+		}
+		ops[i] = reach.EdgeOp{Remove: remove, From: sv, To: tv}
+	}
+	if err := db.Mutate(r.Context(), ops); err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	resp := mutateResponse{Applied: len(ops)}
+	if ms, ok := db.MutationStats(); ok {
+		resp.OverlayAdded = ms.OverlayAdded
+		resp.OverlayRemoved = ms.OverlayRemoved
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

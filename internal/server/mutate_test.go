@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	reach "repro"
+	"repro/internal/faultinject"
+	"repro/internal/gen"
+	"repro/internal/mutate"
+)
+
+// mutableServer stands up a server over an unlabeled random DAG with a
+// WAL in a temp dir, returning the server pieces and the graph size.
+func mutableServer(t *testing.T, mc reach.MutationConfig) (*Server, string, int) {
+	t.Helper()
+	g := gen.RandomDAG(gen.Config{N: 20, M: 40, Seed: 99})
+	if mc.WALPath == "" {
+		mc.WALPath = filepath.Join(t.TempDir(), "srv.wal")
+	}
+	db, err := reach.NewDB(g, reach.DBConfig{Metrics: true, Mutation: &mc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s, ts := newTestServer(t, Config{DB: db, MaxBatch: 8})
+	return s, ts.URL, g.N()
+}
+
+func postMutate(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/mutate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var m map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("bad JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, m
+}
+
+func reachAnswer(t *testing.T, url string, s, tt int) bool {
+	t.Helper()
+	m := getJSON(t, fmt.Sprintf("%s/v1/reach?s=%d&t=%d", url, s, tt), 200)
+	return m["reachable"] == true
+}
+
+// TestMutateEndpoint drives the add/remove/re-add cycle over HTTP and
+// watches the query endpoints flip — the end-to-end exactness loop.
+func TestMutateEndpoint(t *testing.T) {
+	_, url, n := mutableServer(t, reach.MutationConfig{RebuildThreshold: -1, Fsync: reach.FsyncNever})
+	s, tt := n-1, 0 // DAG edges go low→high, so n-1 cannot reach 0
+
+	if reachAnswer(t, url, s, tt) {
+		t.Fatalf("%d→%d reachable before mutation", s, tt)
+	}
+	code, m := postMutate(t, url, fmt.Sprintf(`{"ops":[{"op":"add","s":%d,"t":%d}]}`, s, tt))
+	if code != 200 || m["applied"] != float64(1) {
+		t.Fatalf("add: status %d, body %v", code, m)
+	}
+	if m["overlay_added"] != float64(1) {
+		t.Fatalf("overlay_added = %v, want 1", m["overlay_added"])
+	}
+	if !reachAnswer(t, url, s, tt) {
+		t.Fatal("added edge invisible to /v1/reach")
+	}
+	if code, _ := postMutate(t, url, fmt.Sprintf(`{"ops":[{"op":"remove","s":%d,"t":%d}]}`, s, tt)); code != 200 {
+		t.Fatalf("remove: status %d", code)
+	}
+	if reachAnswer(t, url, s, tt) {
+		t.Fatal("removed edge still reachable")
+	}
+	if code, _ := postMutate(t, url, fmt.Sprintf(`{"ops":[{"op":"add","s":%d,"t":%d}]}`, s, tt)); code != 200 {
+		t.Fatalf("re-add: status %d", code)
+	}
+	if !reachAnswer(t, url, s, tt) {
+		t.Fatal("re-added edge invisible (add/remove/add did not converge)")
+	}
+
+	// Batch queries see the same overlay.
+	body := fmt.Sprintf(`{"pairs":[{"s":%d,"t":%d},{"s":%d,"t":%d}]}`, s, tt, tt, s)
+	resp, err := http.Post(url+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br struct {
+		Results []bool `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 2 || !br.Results[0] || br.Results[1] {
+		t.Fatalf("batch results = %v, want [true false]", br.Results)
+	}
+}
+
+// TestMutateEndpointErrors: malformed requests get typed 4xx answers and
+// a WAL-less server answers 501 without touching anything.
+func TestMutateEndpointErrors(t *testing.T) {
+	_, url, n := mutableServer(t, reach.MutationConfig{RebuildThreshold: -1, Fsync: reach.FsyncNever})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty ops", `{"ops":[]}`, 400},
+		{"bad json", `{"ops":`, 400},
+		{"unknown op", `{"ops":[{"op":"upsert","s":0,"t":1}]}`, 400},
+		{"bad vertex", `{"ops":[{"op":"add","s":"nope","t":1}]}`, 400},
+		{"out of range", fmt.Sprintf(`{"ops":[{"op":"add","s":0,"t":%d}]}`, n), 400},
+		{"over batch limit", func() string {
+			var b bytes.Buffer
+			b.WriteString(`{"ops":[`)
+			for i := 0; i < 9; i++ {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `{"op":"add","s":0,"t":1}`)
+			}
+			b.WriteString(`]}`)
+			return b.String()
+		}(), 413},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, _ := postMutate(t, url, tc.body); code != tc.status {
+				t.Fatalf("status = %d, want %d", code, tc.status)
+			}
+		})
+	}
+
+	// A server without a WAL refuses mutations as unimplemented.
+	_, ts := newTestServer(t, Config{})
+	code, m := postMutate(t, ts.URL, `{"ops":[{"op":"add","s":"A","t":"G"}]}`)
+	if code != 501 {
+		t.Fatalf("mutate on immutable DB: status %d (%v), want 501", code, m)
+	}
+}
+
+// TestMutateStatsExposed: /admin/stats grows a mutation block and the
+// Prometheus exposition carries the new families.
+func TestMutateStatsExposed(t *testing.T) {
+	_, url, n := mutableServer(t, reach.MutationConfig{RebuildThreshold: -1, Fsync: reach.FsyncNever})
+	if code, _ := postMutate(t, url, fmt.Sprintf(`{"ops":[{"op":"add","s":%d,"t":0}]}`, n-1)); code != 200 {
+		t.Fatal("seed mutation failed")
+	}
+	stats := getJSON(t, url+"/admin/stats", 200)
+	mut, ok := stats["mutation"].(map[string]any)
+	if !ok {
+		t.Fatalf("no mutation block in stats: %v", stats)
+	}
+	if mut["wal_seq"] != float64(1) || mut["overlay_added"] != float64(1) {
+		t.Fatalf("mutation stats = %v", mut)
+	}
+
+	resp, err := http.Get(url + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	prom, _ := io.ReadAll(resp.Body)
+	for _, family := range []string{
+		"reach_mutations_applied_total 1",
+		"reach_wal_appends_total 1",
+		"reach_overlay_edges{kind=\"added\"} 1",
+	} {
+		if !strings.Contains(string(prom), family) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", family, prom)
+		}
+	}
+}
+
+// TestMutateRebuildPanicAvailability is the acceptance scenario end to
+// end over HTTP: a rebuild that panics must leave the server answering
+// 200s (old index + overlay), with the failure visible in /metrics.
+func TestMutateRebuildPanicAvailability(t *testing.T) {
+	faultinject.Activate(&faultinject.Plan{Site: mutate.SiteRebuild, Kind: faultinject.Panic})
+	t.Cleanup(faultinject.Deactivate)
+
+	s, url, n := mutableServer(t, reach.MutationConfig{
+		RebuildThreshold: 2,
+		RebuildRetries:   -1,
+		Fsync:            reach.FsyncNever,
+	})
+	// Two adds cross the threshold; the triggered rebuild panics.
+	for i := 0; i < 2; i++ {
+		body := fmt.Sprintf(`{"ops":[{"op":"add","s":%d,"t":%d}]}`, n-1-i, i)
+		if code, _ := postMutate(t, url, body); code != 200 {
+			t.Fatalf("mutation %d: status %d", i, code)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ms, ok := s.DB().MutationStats()
+		if ok && ms.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild panic never degraded the engine: %+v", ms)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Availability: the mutated answers still come back 200 and correct.
+	if !reachAnswer(t, url, n-1, 0) || !reachAnswer(t, url, n-2, 1) {
+		t.Fatal("mutated edges lost while degraded")
+	}
+	resp, err := http.Get(url + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	prom, _ := io.ReadAll(resp.Body)
+	for _, family := range []string{"reach_rebuild_panics_total 1", "reach_rebuild_degraded 1"} {
+		if !strings.Contains(string(prom), family) {
+			t.Fatalf("prometheus exposition missing %q", family)
+		}
+	}
+}

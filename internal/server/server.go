@@ -5,6 +5,10 @@
 //   - query endpoints /v1/reach, /v1/query, /v1/allowed, /v1/batch and
 //     /v1/path, threaded through the DB's context-aware entry points so
 //     per-request deadlines and client disconnects cancel work;
+//   - a mutation endpoint POST /v1/mutate (DBs started with a WAL —
+//     see DBConfig.Mutation and reachserve's -wal): edge add/remove
+//     batches group-commit durably before acknowledging, and queries
+//     answer exactly from the frozen index plus the live delta overlay;
 //   - typed errors mapped to status codes via reach.StatusCode (caller
 //     errors → 400, deadline → 504, contained index panics → 500 —
 //     degraded-mode DBs keep answering 200, index-free);
