@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -27,6 +28,39 @@ type benchReport struct {
 	Kinds      []benchKind  `json:"kinds"`
 	Labels     []labelBench `json:"labels,omitempty"`
 	Accel      *accelReport `json:"accel,omitempty"`
+	Shards     *shardReport `json:"shards,omitempty"`
+}
+
+// shardReport records the shard-count sweep the CI shard gate consumes:
+// k ∈ {1,2,4,8} sharded engines over one banded DAG (the topological-
+// locality regime the contiguous-range partitioner targets), each with
+// build wall time, per-shard index bytes, boundary/cut census, and batch
+// scatter-gather throughput. Every engine's answers are validated against
+// the BFS ground truth before its numbers are recorded, so a row in this
+// table is also a correctness witness. The gate keeps k=4's build at or
+// under k=1's: per-shard builds see sub-DAGs, and the 2-hop build is
+// superlinear enough in practice that four quarter-size builds beat one
+// full-size build even on a single core.
+type shardReport struct {
+	N          int          `json:"n"`
+	M          int          `json:"m"`
+	Band       int          `json:"band"`
+	Kind       string       `json:"kind"`
+	BatchPairs int          `json:"batch_pairs"`
+	Sweep      []shardBench `json:"sweep"`
+}
+
+type shardBench struct {
+	K            int     `json:"k"`
+	BuildNs      int64   `json:"build_ns"`
+	BuildSpeedup float64 `json:"build_speedup"` // k=1 build time / this build time
+	IndexBytes   int     `json:"index_bytes"`   // sum of per-shard index footprints
+	ShardBytes   []int   `json:"shard_bytes"`
+	Boundary     int     `json:"boundary"`
+	CutEdges     int     `json:"cut_edges"`
+	SummaryBytes int     `json:"summary_bytes"`
+	BatchNs      int64   `json:"batch_ns"`
+	BatchQPS     float64 `json:"batch_qps"` // batch pairs answered per second
 }
 
 // labelBench records the flat-label-storage measurements the CI label
@@ -158,6 +192,7 @@ func writeBenchJSON(path string, scale int, seed int64, workers int, enc reach.L
 
 	rep.Labels = measureLabels(scale, seed, workers)
 	rep.Accel = measureAccel(scale, seed)
+	rep.Shards = measureShards(scale, seed, workers)
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -230,6 +265,100 @@ func measureLabels(scale int, seed int64, workers int) []labelBench {
 		}
 	}
 	return out
+}
+
+// measureShards runs the shard-count sweep for the shards section of the
+// report. The workload graph is a banded DAG — a backbone path plus
+// extra edges spanning at most `band` topological positions — so the
+// contiguous-range cut stays small no matter where the partitioner lands
+// (a uniform random DAG would put most edges across shards and the
+// summary would grow to the size of the graph). The per-shard kind is
+// TOL, whose build cost grows superlinearly on this family: four
+// quarter-size builds undercut one full-size build even on a single
+// core, which is what the CI shard gate (k=4 ≤ k=1) checks. Build times
+// are the best of three runs so the gate compares costs, not scheduler
+// noise.
+func measureShards(scale int, seed int64, workers int) *shardReport {
+	n := 12000 * scale
+	const band = 100
+	g := gen.BandedDAG(gen.Config{N: n, M: 4 * n, Seed: seed + 11}, band)
+	qs := gen.Queries(g, 2048, seed+12)
+	pairs := make([]reach.Pair, 4096)
+	for i := range pairs {
+		q := qs[i%len(qs)]
+		pairs[i] = reach.Pair{S: q.S, T: q.T}
+	}
+	rep := &shardReport{
+		N: g.N(), M: g.M(), Band: band,
+		Kind:       string(reach.KindTOL),
+		BatchPairs: len(pairs),
+	}
+	var base int64
+	for _, k := range []int{1, 2, 4, 8} {
+		var sdb *reach.ShardedDB
+		var buildNs int64
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			db, err := reach.NewShardedDB(g, reach.ShardedConfig{
+				Shards:  k,
+				Plain:   reach.KindTOL,
+				Options: reach.Options{Seed: seed, Workers: workers},
+			})
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				panic(err)
+			}
+			if sdb == nil || ns < buildNs {
+				sdb, buildNs = db, ns
+			}
+		}
+		for _, q := range qs {
+			res, err := sdb.Reach(q.S, q.T)
+			if err != nil {
+				panic(err)
+			}
+			if res != q.Want {
+				panic("sharded answer diverged from BFS oracle")
+			}
+		}
+		if _, err := sdb.BatchReachCtx(context.Background(), pairs[:64]); err != nil {
+			panic(err)
+		}
+		bstart := time.Now()
+		out, err := sdb.BatchReachCtx(context.Background(), pairs)
+		batchNs := time.Since(bstart).Nanoseconds()
+		if err != nil {
+			panic(err)
+		}
+		for i, r := range out {
+			if r != qs[i%len(qs)].Want {
+				panic("sharded batch diverged from BFS oracle")
+			}
+		}
+		shards, summary, ok := sdb.ShardInfo()
+		if !ok {
+			panic("sharded DB lost its shard engine")
+		}
+		sb := shardBench{
+			K:            k,
+			BuildNs:      buildNs,
+			Boundary:     summary.Boundary,
+			CutEdges:     summary.CutEdges,
+			SummaryBytes: summary.IndexBytes,
+			BatchNs:      batchNs,
+			BatchQPS:     float64(len(pairs)) / (float64(batchNs) / 1e9),
+		}
+		for _, si := range shards {
+			sb.ShardBytes = append(sb.ShardBytes, si.IndexBytes)
+			sb.IndexBytes += si.IndexBytes
+		}
+		if k == 1 {
+			base = buildNs
+		}
+		sb.BuildSpeedup = float64(base) / float64(buildNs)
+		rep.Sweep = append(rep.Sweep, sb)
+	}
+	return rep
 }
 
 // measureAccel runs the query-path acceleration measurements for the

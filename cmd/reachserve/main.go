@@ -8,12 +8,24 @@
 //	reachserve -graph g.txt -snapshot g.idx         # warm-start when g.idx exists
 //	reachserve -graph g.txt -snapshot g.idx -mmap   # zero-copy mapped cold start
 //	reachserve -graph g.txt -wal g.wal              # writable: POST /v1/mutate
+//	reachserve -graph g.txt -shards 4               # sharded plain engine
 //
 // Endpoints: /v1/reach?s=&t=, /v1/query?s=&t=&alpha=, /v1/allowed?s=&t=&labels=,
 // POST /v1/batch, /v1/path?s=&t=[&alpha=], POST /v1/mutate (with -wal),
 // /healthz, /readyz, /metrics (Prometheus exposition via Accept or
 // ?format=prometheus), /debug/vars, /debug/traces, /debug/pprof/ (with
-// -pprof), /admin/stats, POST /admin/reload.
+// -pprof), /admin/stats, /admin/shards (with -shards), POST /admin/reload.
+//
+// -shards k partitions the condensation DAG into k contiguous
+// topological ranges, builds one plain index per shard in parallel, and
+// answers cross-shard queries through a 2-hop summary over the boundary
+// vertices; answers are exact for every k. With -snapshot, each shard
+// warm-starts from <snapshot>.shard<i>. Incompatible with -wal.
+//
+// With -snapshot the graph's CSR arrays are also persisted to
+// <snapshot>.graph, so later boots page-map the adjacency instead of
+// re-parsing the edge-list text (the snapshot is ignored when older than
+// the graph file).
 //
 // -wal makes the DB writable: edge mutations group-commit to the named
 // write-ahead log before acknowledging, queries stay exact via a delta
@@ -66,6 +78,7 @@ func main() {
 	degraded := flag.Bool("degraded", false, "keep serving when an optional index build fails")
 	snapshot := flag.String("snapshot", "", "plain-index snapshot file: load when present, write after a fresh build (bfl/pll/dl kinds)")
 	mmapSnap := flag.Bool("mmap", false, "use the mapped snapshot layout: write aligned+checksummed snapshots and cold-start by page-mapping them (zero-copy) instead of decoding")
+	shards := flag.Int("shards", 0, "partition the DAG into this many shards with per-shard indexes and a boundary summary; 0 disables (incompatible with -wal)")
 	walPath := flag.String("wal", "", "write-ahead log file; enables POST /v1/mutate and replays the log on start (unlabeled graphs, disables -cache and /admin/reload)")
 	walFsync := flag.String("wal-fsync", "always", "WAL durability: always (fsync before acking each group commit) or never (OS page cache)")
 	mutateBatch := flag.Int("mutate-batch", 0, "max mutation ops per group commit; 0 = default")
@@ -97,6 +110,12 @@ func main() {
 	lg := slog.NewLogLogger(logger.Handler(), slog.LevelInfo)
 	if *demo == (*graphPath != "") {
 		lg.Fatal("need exactly one of -graph or -demo")
+	}
+	if *shards > 0 && *walPath != "" {
+		// The mutation pipeline rebuilds and hot-swaps a single index; a
+		// sharded engine has no overlay path, so writable serving stays
+		// unsharded.
+		lg.Fatal("-shards is incompatible with -wal")
 	}
 
 	var tracer *obs.Tracer
@@ -154,7 +173,7 @@ func main() {
 	}
 
 	buildDB := func(ctx context.Context) (*reach.DB, error) {
-		return openDB(ctx, *graphPath, *demo, *snapshot, *mmapSnap, cfg, lg)
+		return openDB(ctx, *graphPath, *demo, *snapshot, *mmapSnap, *shards, cfg, lg)
 	}
 
 	ctx := context.Background()
@@ -302,21 +321,39 @@ func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
 // graph file and POSTing /admin/reload picks the new graph up; a stale
 // snapshot that no longer matches the graph fails the build with a typed
 // error rather than serving wrong answers.
-func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, mmapSnap bool, cfg reach.DBConfig, lg *log.Logger) (*reach.DB, error) {
+func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, mmapSnap bool, shards int, cfg reach.DBConfig, lg *log.Logger) (*reach.DB, error) {
 	var g *reach.Graph
 	if demo {
 		g = reach.Fig1Labeled()
 	} else {
-		f, err := os.Open(graphPath)
+		var err error
+		g, err = loadGraph(graphPath, snapPath, lg)
 		if err != nil {
 			return nil, err
 		}
-		var perr error
-		g, perr = reach.ReadGraph(f)
-		f.Close()
-		if perr != nil {
-			return nil, fmt.Errorf("parse %s: %w", graphPath, perr)
+	}
+
+	if shards > 0 {
+		sdb, err := reach.NewShardedDBCtx(ctx, g, reach.ShardedConfig{
+			Shards:         shards,
+			Plain:          cfg.Plain,
+			Options:        cfg.Options,
+			Metrics:        cfg.Metrics,
+			CacheSize:      cfg.CacheSize,
+			Tracing:        cfg.Tracing,
+			RecordWorkload: cfg.RecordWorkload,
+			SnapshotPrefix: snapPath,
+			Mapped:         mmapSnap,
+		})
+		if err != nil {
+			return nil, err
 		}
+		if snapPath != "" {
+			lg.Printf("sharded plain engine up: k=%d, per-shard snapshots at %s.shard<i>", shards, snapPath)
+		} else {
+			lg.Printf("sharded plain engine up: k=%d", shards)
+		}
+		return sdb.DB, nil
 	}
 
 	warm := false
@@ -357,6 +394,74 @@ func openDB(ctx context.Context, graphPath string, demo bool, snapPath string, m
 		}
 	}
 	return db, nil
+}
+
+// loadGraph reads the graph, preferring the page-mapped CSR snapshot at
+// <snapPath>.graph over re-parsing the edge-list text. The snapshot is
+// skipped when it is older than the graph file (an edited graph plus
+// /admin/reload must win) and rewritten after any successful edge-list
+// read, so the first boot pays the parse and later boots map it.
+func loadGraph(graphPath, snapPath string, lg *log.Logger) (*reach.Graph, error) {
+	gsnap := ""
+	if snapPath != "" {
+		gsnap = snapPath + ".graph"
+		if fresh, err := snapshotFresh(gsnap, graphPath); err == nil && fresh {
+			if g, err := reach.LoadGraphSnapshot(gsnap); err == nil {
+				lg.Printf("warm-started graph from %s (page-mapped CSR)", gsnap)
+				return g, nil
+			} else {
+				lg.Printf("graph snapshot %s unusable, re-reading edge list: %v", gsnap, err)
+			}
+		}
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return nil, err
+	}
+	g, perr := reach.ReadGraph(f)
+	f.Close()
+	if perr != nil {
+		return nil, fmt.Errorf("parse %s: %w", graphPath, perr)
+	}
+	if gsnap != "" {
+		if err := writeGraphSnapshot(gsnap, g); err != nil {
+			lg.Printf("graph snapshot save failed (serving anyway): %v", err)
+		} else {
+			lg.Printf("saved graph CSR snapshot to %s", gsnap)
+		}
+	}
+	return g, nil
+}
+
+// snapshotFresh reports whether the snapshot exists and is at least as
+// new as the source it was derived from.
+func snapshotFresh(snap, source string) (bool, error) {
+	si, err := os.Stat(snap)
+	if err != nil {
+		return false, err
+	}
+	gi, err := os.Stat(source)
+	if err != nil {
+		return false, err
+	}
+	return !si.ModTime().Before(gi.ModTime()), nil
+}
+
+// writeGraphSnapshot persists g's CSR arrays atomically (temp + rename).
+func writeGraphSnapshot(path string, g *reach.Graph) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".graphsnap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := g.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // writeSnapshot persists the DB's plain index atomically: write to a

@@ -197,6 +197,13 @@ type DBConfig struct {
 	// of a decode pass. Mutually exclusive with PlainSnapshot. The same
 	// kind pairing rules apply.
 	PlainSnapshotMapped string
+	// PlainIndex, when non-nil, installs a pre-built index as the plain
+	// engine instead of building (or snapshot-loading) one. The index must
+	// answer over g; Plain should name it (when empty it defaults to the
+	// index's Name()). This is how NewShardedDB mounts the sharded
+	// scatter-gather engine behind the full DB surface. Mutually exclusive
+	// with PlainSnapshot, PlainSnapshotMapped, and Mutation.
+	PlainIndex Index
 	// Mutation, when non-nil, makes the DB writable: AddEdge/RemoveEdge/
 	// Mutate group-commit through a write-ahead log, queries answer
 	// exactly from the frozen index plus a delta overlay, and a
@@ -225,7 +232,11 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 		return nil, fmt.Errorf("%w: nil graph", ErrBadOptions)
 	}
 	if cfg.Plain == "" {
-		cfg.Plain = KindBFL
+		if cfg.PlainIndex != nil {
+			cfg.Plain = Kind(cfg.PlainIndex.Name())
+		} else {
+			cfg.Plain = KindBFL
+		}
 	}
 	if cfg.LCR == "" {
 		cfg.LCR = LCRP2H
@@ -258,13 +269,19 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 	db.prep = cfg.Options.Prepared
 	var err error
 	warm := cfg.PlainSnapshot != nil || cfg.PlainSnapshotMapped != ""
-	if warm && !snapshottableKind(cfg.Plain) {
+	if warm && cfg.PlainIndex == nil && !snapshottableKind(cfg.Plain) {
 		return nil, fmt.Errorf("%w: snapshot warm-start supports Plain in {%q, %q, %q}, not %q",
 			ErrBadOptions, KindBFL, KindPLL, KindDL, cfg.Plain)
 	}
 	switch {
+	case cfg.PlainIndex != nil && warm:
+		return nil, fmt.Errorf("%w: PlainIndex is mutually exclusive with snapshot warm-start", ErrBadOptions)
+	case cfg.PlainIndex != nil && cfg.Mutation != nil:
+		return nil, fmt.Errorf("%w: PlainIndex is mutually exclusive with Mutation", ErrBadOptions)
 	case cfg.PlainSnapshot != nil && cfg.PlainSnapshotMapped != "":
 		return nil, fmt.Errorf("%w: PlainSnapshot and PlainSnapshotMapped are mutually exclusive", ErrBadOptions)
+	case cfg.PlainIndex != nil:
+		db.plain = cfg.PlainIndex
 	case cfg.PlainSnapshotMapped != "":
 		db.plain, err = LoadIndexMapped(cfg.PlainSnapshotMapped, g, cfg.Options)
 	case cfg.PlainSnapshot != nil:

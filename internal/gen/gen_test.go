@@ -86,6 +86,38 @@ func TestTreePlusAcyclic(t *testing.T) {
 	}
 }
 
+func TestBandedDAGBackboneTotalOrder(t *testing.T) {
+	const n = 300
+	g := BandedDAG(Config{N: n, M: 4 * n, Seed: 4}, 25)
+	if !order.IsDAG(g) {
+		t.Fatal("BandedDAG is cyclic")
+	}
+	if g.N() != n || g.M() > 4*n {
+		t.Fatalf("size %d/%d out of range", g.N(), g.M())
+	}
+	// The backbone makes reachability a total order: every ordered pair
+	// is comparable in exactly one direction, so the closure sizes sum
+	// to n(n+1)/2 (each vertex reaches itself plus everything later).
+	sum := 0
+	for v := 0; v < n; v++ {
+		sum += traversal.ReachableFrom(g, graph.V(v)).Count()
+	}
+	if want := n * (n + 1) / 2; sum != want {
+		t.Fatalf("closure mass %d, want %d (reachability is not a total order)", sum, want)
+	}
+	// Determinism: same seed, same graph.
+	h := BandedDAG(Config{N: n, M: 4 * n, Seed: 4}, 25)
+	ea, eb := g.EdgeList(), h.EdgeList()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed, different edge count")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
 func TestZipfLabels(t *testing.T) {
 	g := Zipf(RandomDAG(Config{N: 500, M: 3000, Seed: 1}), 8, 1.0, 2)
 	if !g.Labeled() || g.Labels() != 8 {

@@ -189,7 +189,7 @@ func (b *Builder) Freeze() (*Digraph, error) {
 	es = dedup
 
 	g := &Digraph{n: b.n, m: len(es), numLabels: b.numLabels,
-		labelName: b.labelName, vertName: b.vertName}
+		labelName: b.labelName, vertName: b.vertName, names: &nameIndex{}}
 	g.succOff = make([]uint32, b.n+1)
 	g.predOff = make([]uint32, b.n+1)
 	g.succ = make([]V, len(es))

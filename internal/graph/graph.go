@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // V is a vertex identifier. Vertices of a graph with N vertices are exactly
@@ -55,6 +56,25 @@ type Digraph struct {
 	numLabels int
 	labelName []string // optional human-readable names, index = Label
 	vertName  []string // optional human-readable names, index = V
+
+	// names memoizes the name→vertex map VertexByName answers from. It is
+	// a pointer (not an inline sync.Once) so Reverse's struct copy shares
+	// the holder instead of copying a lock — the reverse view has the same
+	// vertex names, so sharing is also the correct semantics. Nil on
+	// zero-value graphs, where VertexByName falls back to a linear scan.
+	names *nameIndex
+
+	// backing pins the snapshot mapping of a zero-copy loaded graph (see
+	// persist.go) so the views in the CSR arrays stay valid for the
+	// graph's lifetime.
+	backing interface{ Close() error }
+}
+
+// nameIndex lazily builds the name→vertex map shared by a graph and all
+// of its Reverse views.
+type nameIndex struct {
+	once sync.Once
+	m    map[string]V
 }
 
 // N returns the number of vertices.
@@ -162,14 +182,31 @@ func (g *Digraph) VertexName(v V) string {
 	return fmt.Sprintf("v%d", v)
 }
 
-// VertexByName returns the vertex registered under the given name.
+// VertexByName returns the vertex registered under the given name. The
+// lookup map is built once on first use (and shared with Reverse views);
+// subsequent lookups are O(1) — the named-vertex HTTP path resolves every
+// request through here.
 func (g *Digraph) VertexByName(name string) (V, bool) {
-	for v, n := range g.vertName {
-		if n == name {
-			return V(v), true
+	if g.names == nil {
+		// Zero-value or hand-rolled graph without a holder: linear scan.
+		for v, n := range g.vertName {
+			if n == name {
+				return V(v), true
+			}
 		}
+		return 0, false
 	}
-	return 0, false
+	g.names.once.Do(func() {
+		m := make(map[string]V, len(g.vertName))
+		for v, n := range g.vertName {
+			if n != "" {
+				m[n] = V(v)
+			}
+		}
+		g.names.m = m
+	})
+	v, ok := g.names.m[name]
+	return v, ok
 }
 
 // Bytes estimates the memory footprint of the CSR arrays in bytes.

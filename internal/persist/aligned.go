@@ -70,6 +70,23 @@ func (pw *Writer) alignedHeader(name string, align uint32, size int) bool {
 	return pw.err == nil
 }
 
+// AlignedU16s writes vs as one 2-byte-aligned raw little-endian array
+// section (edge-label arrays are uint16).
+func (pw *Writer) AlignedU16s(name string, vs []uint16) {
+	if !pw.alignedHeader(name, 2, len(vs)*2) {
+		return
+	}
+	var buf [4096]byte
+	for len(vs) > 0 {
+		k := min(len(vs), len(buf)/2)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint16(buf[2*i:], vs[i])
+		}
+		pw.raw(buf[:2*k])
+		vs = vs[k:]
+	}
+}
+
 // AlignedU32s writes vs as one 4-byte-aligned raw little-endian array
 // section.
 func (pw *Writer) AlignedU32s(name string, vs []uint32) {
@@ -133,6 +150,19 @@ func (d *Decoder) alignedHeader() bool {
 		}
 	}
 	return true
+}
+
+// AlignedU16s reads an aligned u16-array section.
+func (d *Decoder) AlignedU16s() []uint16 {
+	b := d.alignedRest(2)
+	if b == nil {
+		return nil
+	}
+	vs := make([]uint16, len(b)/2)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return vs
 }
 
 // AlignedU32s reads an aligned u32-array section: the alignment preamble

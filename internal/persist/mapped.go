@@ -246,6 +246,29 @@ func (m *Mapped) aligned(name string) ([]byte, uint32, error) {
 	return p[8+pad:], align, nil
 }
 
+// U16s returns the named aligned section as a []uint16 view (zero-copy
+// when alignment permits, as with U32s).
+func (m *Mapped) U16s(name string) ([]uint16, error) {
+	b, _, err := m.aligned(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%2 != 0 {
+		return nil, fmt.Errorf("persist: mapped: section %q length %d not a multiple of 2", name, len(b))
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%2 == 0 {
+		return unsafe.Slice((*uint16)(unsafe.Pointer(&b[0])), len(b)/2), nil
+	}
+	vs := make([]uint16, len(b)/2)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return vs, nil
+}
+
 // U32s returns the named aligned section as a []uint32 view. Zero-copy
 // when the bytes are suitably aligned in memory (always true for a real
 // mapping, since the writer aligned the file offset and mmap bases are

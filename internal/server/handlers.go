@@ -41,6 +41,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /admin/stats", s.handleStats)
+	mux.HandleFunc("GET /admin/shards", s.handleShards)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -350,9 +351,38 @@ type statsResponse struct {
 	Degraded  map[string]string      `json:"degraded,omitempty"`
 	Cache     *reach.CacheSnapshot   `json:"cache,omitempty"`
 	Mutation  *reach.MutationStats   `json:"mutation,omitempty"`
+	Shards    *shardsResponse        `json:"shards,omitempty"`
 	Server    obs.ServerSnapshot     `json:"server"`
 	Draining  bool                   `json:"draining,omitempty"`
 	Reloading bool                   `json:"reloading,omitempty"`
+}
+
+// shardsResponse is the /admin/shards JSON document (also embedded in
+// /admin/stats when the DB's plain engine is sharded).
+type shardsResponse struct {
+	K       int                     `json:"k"`
+	Shards  []reach.ShardStats      `json:"shards"`
+	Summary reach.ShardSummaryStats `json:"summary"`
+}
+
+func shardsOf(db *reach.DB) *shardsResponse {
+	shards, summary, ok := db.ShardInfo()
+	if !ok {
+		return nil
+	}
+	return &shardsResponse{K: len(shards), Shards: shards, Summary: summary}
+}
+
+// handleShards serves the per-shard census of a sharded DB: sub-DAG
+// sizes, boundary/exit/entry counts, per-shard index footprints and probe
+// counters, plus the boundary summary graph. 404 on an unsharded DB.
+func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	resp := shardsOf(s.DB())
+	if resp == nil {
+		writeErr(w, http.StatusNotFound, "db is not sharded (start with -shards > 1)")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -379,6 +409,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if ms, ok := db.MutationStats(); ok {
 		resp.Mutation = &ms
 	}
+	resp.Shards = shardsOf(db)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/par"
+	"repro/internal/pll"
+)
+
+func buildPLL(_ int, sub *graph.Digraph) (core.Index, error) {
+	return pll.New(sub, pll.Options{Order: pll.OrderDegree}), nil
+}
+
+// TestPlanInvariants checks the two partition invariants every query
+// relies on: contiguous topological ranges (cross-shard condensation
+// edges only run from lower to higher shard ids) and an acyclic summary.
+func TestPlanInvariants(t *testing.T) {
+	graphs := map[string]*graph.Digraph{
+		"banded": gen.BandedDAG(gen.Config{N: 500, M: 2000, Seed: 1}, 60),
+		"dag":    gen.RandomDAG(gen.Config{N: 300, M: 900, Seed: 2}),
+		"cyclic": gen.ErdosRenyi(gen.Config{N: 200, M: 700, Seed: 3}),
+	}
+	for name, g := range graphs {
+		prep := core.NewPrepared(g)
+		for _, k := range []int{1, 2, 3, 8} {
+			p := NewPlan(prep, k, 0)
+			cond, _ := prep.Condensation()
+			cond.DAG.Edges(func(e graph.Edge) bool {
+				su, sv := p.shardOf[e.From], p.shardOf[e.To]
+				if su > sv {
+					t.Fatalf("%s k=%d: cross edge from shard %d to earlier shard %d", name, k, su, sv)
+				}
+				return true
+			})
+			if !order.IsDAG(p.Summary()) {
+				t.Fatalf("%s k=%d: summary graph is cyclic", name, k)
+			}
+			nSub := 0
+			for i := 0; i < p.K(); i++ {
+				nSub += p.Sub(i).N()
+			}
+			if nSub != cond.DAG.N() {
+				t.Fatalf("%s k=%d: shards hold %d components of %d", name, k, nSub, cond.DAG.N())
+			}
+		}
+	}
+}
+
+// TestPlanDeterministicAcrossWorkers requires the plan — including the
+// parallel closure sweep's summary edges — to be identical at any worker
+// count.
+func TestPlanDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.BandedDAG(gen.Config{N: 800, M: 3200, Seed: 5}, 50)
+	prep := core.NewPrepared(g)
+	base := NewPlan(prep, 4, 1)
+	for _, workers := range []int{2, 8} {
+		p := NewPlan(prep, 4, workers)
+		be, pe := base.Summary().EdgeList(), p.Summary().EdgeList()
+		if len(be) != len(pe) {
+			t.Fatalf("workers=%d: %d summary edges, want %d", workers, len(pe), len(be))
+		}
+		for i := range be {
+			if be[i] != pe[i] {
+				t.Fatalf("workers=%d: summary edge %d = %v, want %v", workers, i, pe[i], be[i])
+			}
+		}
+	}
+}
+
+// TestBuildFailureAllOrNothing: an error from any shard's BuildFunc
+// fails the whole build, and a panic on a build goroutine is re-raised
+// after the pool drains.
+func TestBuildFailureAllOrNothing(t *testing.T) {
+	g := gen.BandedDAG(gen.Config{N: 200, M: 800, Seed: 6}, 40)
+	prep := core.NewPrepared(g)
+	boom := errors.New("boom")
+	_, err := Build(prep, 4, 0, func(i int, sub *graph.Digraph) (core.Index, error) {
+		if i == 2 {
+			return nil, boom
+		}
+		return buildPLL(i, sub)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("shard error not surfaced: %v", err)
+	}
+	_, err = Build(prep, 4, 0, func(i int, sub *graph.Digraph) (core.Index, error) {
+		if i == 1 {
+			return nil, nil // no index, no error
+		}
+		return buildPLL(i, sub)
+	})
+	if err == nil {
+		t.Fatal("nil index accepted")
+	}
+	func() {
+		// workers=4 forces the pooled path, where the panic crosses
+		// goroutines and must come back wrapped; on the serial path
+		// (workers<=1) it propagates raw, which the same recover
+		// boundary upstream also converts to ErrIndexPanic.
+		defer func() {
+			r := recover()
+			if _, ok := r.(par.WorkerPanic); !ok {
+				t.Fatalf("recovered %v (%T), want par.WorkerPanic", r, r)
+			}
+		}()
+		_, _ = Build(prep, 4, 4, func(i int, sub *graph.Digraph) (core.Index, error) {
+			if i == 3 {
+				panic(fmt.Sprintf("shard %d exploded", i))
+			}
+			return buildPLL(i, sub)
+		})
+		t.Fatal("panicking build returned")
+	}()
+}
+
+// TestEmptyAndTinyGraphs: the clamps and the empty-graph special case.
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	empty := graph.NewBuilder(0).MustFreeze()
+	x, err := Build(core.NewPrepared(empty), 4, 0, buildPLL)
+	if err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	if x.K() != 1 {
+		t.Fatalf("empty graph: k = %d, want 1", x.K())
+	}
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	tiny := b.MustFreeze()
+	x, err = Build(core.NewPrepared(tiny), 8, 0, buildPLL)
+	if err != nil {
+		t.Fatalf("tiny graph: %v", err)
+	}
+	if x.K() != 3 {
+		t.Fatalf("tiny graph: k = %d, want 3 (clamped to component count)", x.K())
+	}
+	for s := uint32(0); s < 3; s++ {
+		for d := uint32(0); d < 3; d++ {
+			if got, want := x.Reach(s, d), s <= d; got != want {
+				t.Fatalf("tiny: Reach(%d,%d) = %v, want %v", s, d, got, want)
+			}
+		}
+	}
+}

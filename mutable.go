@@ -682,12 +682,16 @@ func (st *mutState) witnessPath(s, t V) []V {
 }
 
 // BatchReachCtx evaluates many plain reachability queries against the
-// live graph. On a DB with an empty (or no) overlay it runs the 64-way
-// bit-parallel batch kernel over the current frozen graph; with a
+// live graph. On a sharded DB the batch scatter-gathers across the
+// per-shard indexes; on a DB with an empty (or no) overlay it runs the
+// 64-way bit-parallel batch kernel over the current frozen graph; with a
 // non-empty overlay each pair is answered by the exact delta-overlay
 // path, polling ctx periodically.
 func (db *DB) BatchReachCtx(ctx context.Context, pairs []Pair) (out []bool, err error) {
 	if db.mut == nil {
+		if sx, ok := shardEngine(db.plain); ok {
+			return db.shardBatch(ctx, sx, pairs)
+		}
 		return BatchReachCtx(ctx, nil, db.g, pairs, 0)
 	}
 	st := db.mut.state.Load()

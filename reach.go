@@ -124,6 +124,13 @@ var (
 	ReadGraphLimited = graph.ReadLimited
 	// WriteGraph serializes a graph in the edge-list exchange format.
 	WriteGraph = graph.Write
+	// LoadGraphSnapshot page-maps a graph CSR snapshot (written with
+	// Graph.WriteSnapshot) as a zero-copy Graph, so a warm start skips
+	// edge-list parsing and the Freeze sort entirely.
+	LoadGraphSnapshot = graph.LoadSnapshot
+	// ReadGraphSnapshot decodes a graph CSR snapshot from a stream (the
+	// non-mmap fallback to LoadGraphSnapshot).
+	ReadGraphSnapshot = graph.ReadSnapshot
 	// Fig1Plain builds the paper's Figure 1(a) plain graph.
 	Fig1Plain = graph.Fig1Plain
 	// Fig1Labeled builds the paper's Figure 1(b) edge-labeled graph.

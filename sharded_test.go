@@ -1,0 +1,184 @@
+package reach
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/tc"
+)
+
+// TestShardedPartitionInvariance is the partition-invariance property:
+// for every graph and every k, the sharded DB answers exactly what the
+// unsharded DB and the exact transitive closure answer, for every
+// (src, dst) pair.
+func TestShardedPartitionInvariance(t *testing.T) {
+	graphs := map[string]*Graph{
+		"fig1":   Fig1Plain(),
+		"dag":    gen.RandomDAG(gen.Config{N: 200, M: 600, Seed: 1}),
+		"banded": gen.BandedDAG(gen.Config{N: 300, M: 1200, Seed: 2}, 40),
+		"cyclic": gen.ErdosRenyi(gen.Config{N: 150, M: 500, Seed: 3}),
+	}
+	for name, g := range graphs {
+		oracle := tc.NewClosure(g)
+		db, err := NewDB(g, DBConfig{})
+		if err != nil {
+			t.Fatalf("%s: unsharded: %v", name, err)
+		}
+		for _, k := range []int{1, 2, 3, 8} {
+			sdb, err := NewShardedDB(g, ShardedConfig{Shards: k, Options: Options{Seed: 3}})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if got := sdb.Engine().K(); got > k {
+				t.Fatalf("%s k=%d: effective shard count %d", name, k, got)
+			}
+			for s := 0; s < g.N(); s++ {
+				for d := 0; d < g.N(); d++ {
+					want := oracle.Reach(V(s), V(d))
+					if plain, err := db.Reach(V(s), V(d)); err != nil || plain != want {
+						t.Fatalf("%s: unsharded Reach(%d,%d) = %v, %v, want %v", name, s, d, plain, err, want)
+					}
+					got, err := sdb.Reach(V(s), V(d))
+					if err != nil {
+						t.Fatalf("%s k=%d: Reach(%d,%d): %v", name, k, s, d, err)
+					}
+					if got != want {
+						t.Fatalf("%s k=%d: Reach(%d,%d) = %v, want %v", name, k, s, d, got, want)
+					}
+				}
+			}
+			sdb.Close()
+		}
+		db.Close()
+	}
+}
+
+// TestShardedBatchMatchesPointQueries drives BatchReachCtx concurrently
+// from several goroutines (exercising the scatter-gather path under
+// -race) and checks every answer against the BFS ground truth.
+func TestShardedBatchMatchesPointQueries(t *testing.T) {
+	g := gen.BandedDAG(gen.Config{N: 2000, M: 8000, Seed: 7}, 50)
+	sdb, err := NewShardedDB(g, ShardedConfig{Shards: 4, Options: Options{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	qs := gen.Queries(g, 512, 8)
+	pairs := make([]Pair, len(qs))
+	for i, q := range qs {
+		pairs[i] = Pair{S: q.S, T: q.T}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each goroutine rotates the workload so the per-shard
+			// buckets differ across concurrent batches.
+			rot := append(append([]Pair(nil), pairs[w:]...), pairs[:w]...)
+			out, err := sdb.BatchReachCtx(context.Background(), rot)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			for i, got := range out {
+				if want := qs[(i+w)%len(qs)].Want; got != want {
+					t.Errorf("worker %d: pair %d = %v, want %v", w, i, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestShardedSnapshotWarmStart round-trips the per-shard snapshots: a
+// cold build writes one file per shard, a warm start loads them, and a
+// corrupted file falls back to a fresh build — answers stay exact in
+// every case.
+func TestShardedSnapshotWarmStart(t *testing.T) {
+	g := gen.BandedDAG(gen.Config{N: 400, M: 1600, Seed: 9}, 30)
+	oracle := tc.NewClosure(g)
+	check := func(sdb *ShardedDB, stage string) {
+		t.Helper()
+		for s := 0; s < g.N(); s += 3 {
+			for d := 0; d < g.N(); d += 5 {
+				got, err := sdb.Reach(V(s), V(d))
+				if err != nil {
+					t.Fatalf("%s: Reach(%d,%d): %v", stage, s, d, err)
+				}
+				if want := oracle.Reach(V(s), V(d)); got != want {
+					t.Fatalf("%s: Reach(%d,%d) = %v, want %v", stage, s, d, got, want)
+				}
+			}
+		}
+	}
+	for _, mapped := range []bool{false, true} {
+		prefix := filepath.Join(t.TempDir(), "snap")
+		cfg := ShardedConfig{
+			Shards: 3, Plain: KindPLL,
+			Options:        Options{Seed: 9},
+			SnapshotPrefix: prefix,
+			Mapped:         mapped,
+		}
+		cold, err := NewShardedDB(g, cfg)
+		if err != nil {
+			t.Fatalf("mapped=%v cold: %v", mapped, err)
+		}
+		check(cold, "cold")
+		cold.Close()
+		for i := 0; i < 3; i++ {
+			if _, err := os.Stat(fmt.Sprintf("%s.shard%d", prefix, i)); err != nil {
+				t.Fatalf("mapped=%v: shard %d snapshot missing: %v", mapped, i, err)
+			}
+		}
+		warm, err := NewShardedDB(g, cfg)
+		if err != nil {
+			t.Fatalf("mapped=%v warm: %v", mapped, err)
+		}
+		check(warm, "warm")
+		warm.Close()
+		// Corrupt one shard's snapshot: that shard rebuilds, the rest
+		// load, and answers stay exact.
+		if err := os.WriteFile(prefix+".shard1", []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		repaired, err := NewShardedDB(g, cfg)
+		if err != nil {
+			t.Fatalf("mapped=%v repaired: %v", mapped, err)
+		}
+		check(repaired, "repaired")
+		repaired.Close()
+	}
+}
+
+// TestShardedConfigErrors covers construction-time rejections.
+func TestShardedConfigErrors(t *testing.T) {
+	if _, err := NewShardedDB(nil, ShardedConfig{Shards: 2}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := Fig1Plain()
+	if _, err := NewShardedDB(g, ShardedConfig{
+		Shards: 2, Plain: KindTOL, SnapshotPrefix: filepath.Join(t.TempDir(), "s"),
+	}); err == nil {
+		t.Error("per-shard snapshots accepted for a non-snapshottable kind")
+	}
+	if _, err := NewDB(g, DBConfig{PlainSnapshot: &failingReader{}, PlainIndex: failIndex{}}); err == nil {
+		t.Error("PlainIndex combined with PlainSnapshot accepted")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, fmt.Errorf("nope") }
+
+type failIndex struct{}
+
+func (failIndex) Name() string      { return "fail" }
+func (failIndex) Reach(s, t V) bool { return false }
+func (failIndex) Stats() Stats      { return Stats{} }
