@@ -1,0 +1,322 @@
+package reach
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"repro/internal/advise"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// AutoTuneConfig enables the workload-adaptive auto-tuner
+// (DBConfig.AutoTune): the DB samples its own plain-query traffic into
+// an in-memory ring, and a background loop periodically runs the index
+// advisor over the sample — shortlist, shadow-build, trace-replay — and
+// hot-swaps the serving plain index when the pick's measured p99 beats
+// the current index by the margin. The swap is a single atomic pointer
+// publish; in-flight queries pin the index they started on, so no
+// request ever fails because of a swap.
+type AutoTuneConfig struct {
+	// CheckInterval is how often the background loop evaluates. Default
+	// 30s.
+	CheckInterval time.Duration
+	// MinImprovement is the fractional p99 improvement the pick must
+	// show over the serving index to be swapped in (0.10 = 10% faster).
+	// Default 0.10.
+	MinImprovement float64
+	// MinSamples is the least plain-query samples the ring must hold
+	// before an evaluation runs. Default 128.
+	MinSamples int
+	// SampleWindow is the ring's capacity: the most recent samples kept.
+	// Default 4096.
+	SampleWindow int
+	// Budget, when > 0, caps candidate footprints in bytes (over-budget
+	// candidates are measured but not chosen unless nothing fits).
+	Budget int64
+	// BuildTimeout time-boxes each candidate's shadow build. Default 30s.
+	BuildTimeout time.Duration
+	// MaxCandidates caps the rule-table shortlist. Default 5.
+	MaxCandidates int
+	// Candidates overrides the rule-table shortlist with an explicit
+	// kind list.
+	Candidates []Kind
+}
+
+// checkAutoTuneConfig validates DBConfig.AutoTune against the rest of
+// the configuration.
+func checkAutoTuneConfig(cfg DBConfig) error {
+	at := cfg.AutoTune
+	if at == nil {
+		return nil
+	}
+	switch {
+	case cfg.Mutation != nil:
+		return fmt.Errorf("%w: AutoTune is mutually exclusive with Mutation (the reindexer owns that swap path)", ErrBadOptions)
+	case cfg.PlainIndex != nil:
+		return fmt.Errorf("%w: AutoTune is mutually exclusive with PlainIndex (no single kind to retune)", ErrBadOptions)
+	case at.MinImprovement < 0:
+		return fmt.Errorf("%w: AutoTune.MinImprovement must be >= 0, got %v", ErrBadOptions, at.MinImprovement)
+	case at.MinSamples < 0 || at.SampleWindow < 0 || at.Budget < 0:
+		return fmt.Errorf("%w: negative AutoTune sizes", ErrBadOptions)
+	case at.CheckInterval < 0 || at.BuildTimeout < 0:
+		return fmt.Errorf("%w: negative AutoTune intervals", ErrBadOptions)
+	}
+	for _, k := range at.Candidates {
+		if !validKind(k) {
+			return fmt.Errorf("%w: unknown AutoTune candidate kind %q", ErrBadOptions, k)
+		}
+	}
+	return nil
+}
+
+func validKind(k Kind) bool {
+	for _, known := range Kinds() {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// autoTuner is the background auto-tuning engine. It reuses the mutate
+// reindexer's containment pattern: the evaluation goroutine recovers
+// panics (core.Recover), failures only count a metric and wait for the
+// next tick, and the publish is one atomic store under no lock.
+type autoTuner struct {
+	db   *DB
+	cfg  AutoTuneConfig
+	opt  Options
+	m    *obs.AdvisorMetrics
+	reps int
+
+	cur  atomic.Pointer[Index]  // the serving plain index
+	kind atomic.Pointer[string] // its kind name
+
+	mu   sync.Mutex
+	ring []workload.Record // most recent plain uncached query samples
+	next int               // ring write cursor
+	n    int               // records currently held (≤ SampleWindow)
+
+	report atomic.Pointer[AdvisorReport] // last completed evaluation
+
+	cancel  context.CancelFunc
+	runCtx  context.Context
+	done    chan struct{}
+	closing sync.Once
+
+	// testHookSwapped observes a published swap (kind name) in tests.
+	testHookSwapped func(kind string)
+	// testHookEvaluated observes every completed evaluation in tests.
+	testHookEvaluated func(err error)
+}
+
+// initAutoTune wires the auto-tuner into a freshly built DB: defaults,
+// metrics, the initial published index (the instrumented Plain), and
+// the background loop.
+func (db *DB) initAutoTune(cfg DBConfig) {
+	at := &autoTuner{db: db, cfg: *cfg.AutoTune, m: &obs.AdvisorMetrics{}, reps: 8}
+	if at.cfg.CheckInterval <= 0 {
+		at.cfg.CheckInterval = 30 * time.Second
+	}
+	if at.cfg.MinImprovement == 0 {
+		at.cfg.MinImprovement = 0.10
+	}
+	if at.cfg.MinSamples <= 0 {
+		at.cfg.MinSamples = 128
+	}
+	if at.cfg.SampleWindow <= 0 {
+		at.cfg.SampleWindow = 4096
+	}
+	if at.cfg.SampleWindow < at.cfg.MinSamples {
+		at.cfg.SampleWindow = at.cfg.MinSamples
+	}
+	if at.cfg.BuildTimeout <= 0 {
+		at.cfg.BuildTimeout = 30 * time.Second
+	}
+	// Shadow builds share the DB's preprocessing memo but not its span
+	// sink: the advisor's background builds must not splice phantom
+	// phases into the DB's build timeline.
+	at.opt = cfg.Options
+	at.opt.Prepared = db.prep
+	at.opt.Spans = nil
+	ix := db.plain
+	at.cur.Store(&ix)
+	k := string(db.plainKind)
+	at.kind.Store(&k)
+	at.m.SetKinds(k, k)
+	if db.metrics != nil {
+		db.metrics.SetAdvisor(at.m)
+	}
+	at.runCtx, at.cancel = context.WithCancel(context.Background())
+	at.done = make(chan struct{})
+	db.aut = at
+	go at.run()
+}
+
+// current returns the serving plain index.
+func (at *autoTuner) current() Index { return *at.cur.Load() }
+
+// currentKind returns the serving plain index's kind name.
+func (at *autoTuner) currentKind() string { return *at.kind.Load() }
+
+// observe feeds one plain uncached query sample into the ring. Called
+// from the query path via db.record: one short mutex hold, no
+// allocation after the ring warms up.
+func (at *autoTuner) observe(rec workload.Record) {
+	at.mu.Lock()
+	if len(at.ring) < at.cfg.SampleWindow {
+		at.ring = append(at.ring, rec)
+		at.n = len(at.ring)
+	} else {
+		at.ring[at.next] = rec
+		at.next = (at.next + 1) % len(at.ring)
+	}
+	n := at.n
+	at.mu.Unlock()
+	at.m.TraceRecords.Set(int64(n))
+}
+
+// sample copies the ring's current contents.
+func (at *autoTuner) sample() []workload.Record {
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	return append([]workload.Record(nil), at.ring...)
+}
+
+func (at *autoTuner) run() {
+	defer close(at.done)
+	ticker := time.NewTicker(at.cfg.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-at.runCtx.Done():
+			return
+		case <-ticker.C:
+			at.evaluate()
+		}
+	}
+}
+
+// evaluate runs one advisor pass over the sampled trace. Errors and
+// panics are contained: they count a metric and the loop waits for the
+// next tick, exactly like the mutate reindexer's rebuildOnce.
+func (at *autoTuner) evaluate() {
+	recs := at.sample()
+	if len(recs) < at.cfg.MinSamples {
+		return
+	}
+	err := at.evaluateOnce(recs)
+	if err != nil {
+		at.m.Failures.Inc()
+	} else {
+		at.m.Evaluations.Inc()
+	}
+	if at.testHookEvaluated != nil {
+		at.testHookEvaluated(err)
+	}
+}
+
+func (at *autoTuner) evaluateOnce(recs []workload.Record) (err error) {
+	defer core.Recover(&err)
+	// Measure the serving index on the same sample the candidates will
+	// replay: the swap decision compares like with like.
+	curIx := at.current()
+	curKind := at.currentKind()
+	curMeas := advise.MeasurePlain(curIx, recs, at.reps)
+	var kinds []string
+	for _, k := range at.cfg.Candidates {
+		kinds = append(kinds, string(k))
+	}
+	rep, err := advise.Run(at.runCtx, at.db.prep, recs, advise.Config{
+		Build:         buildFuncFor(at.db.g, at.opt),
+		Candidates:    kinds,
+		MaxCandidates: at.cfg.MaxCandidates,
+		BuildTimeout:  at.cfg.BuildTimeout,
+		Budget:        at.cfg.Budget,
+		Reps:          at.reps,
+		KeepChosen:    true,
+	})
+	if err != nil {
+		return err
+	}
+	for i := range rep.Candidates {
+		if rep.Candidates[i].Feasible {
+			at.m.CandidatesBuilt.Inc()
+		} else {
+			at.m.BuildFailures.Inc()
+		}
+	}
+	at.report.Store(rep)
+	improvement := 0.0
+	if curMeas.P99NS > 0 {
+		improvement = 1 - float64(rep.ChosenP99NS)/float64(curMeas.P99NS)
+	}
+	at.m.LastImprovementPermille.Set(int64(1000 * improvement))
+	ix, ok := rep.ChosenIndex()
+	if !ok || rep.Chosen == curKind || improvement < at.cfg.MinImprovement {
+		at.m.SwapsSkipped.Inc()
+		return nil
+	}
+	at.publish(rep.Chosen, ix)
+	return nil
+}
+
+// publish hot-swaps the serving plain index: instrument (when metrics
+// are on), then one atomic pointer store. Queries load the pointer once
+// per request, so in-flight requests finish on the index they started
+// with and no request observes a half-swapped state.
+func (at *autoTuner) publish(kind string, ix Index) {
+	at.db.recordFootprint(ix)
+	if at.db.metrics != nil {
+		ix = core.Instrument(ix, at.db.g, at.db.metrics.Index(ix.Name()))
+	}
+	at.cur.Store(&ix)
+	k := kind
+	at.kind.Store(&k)
+	at.m.SetKinds(kind, "")
+	at.m.Swaps.Inc()
+	if at.testHookSwapped != nil {
+		at.testHookSwapped(kind)
+	}
+}
+
+// close stops the background loop and waits for it to exit. The last
+// published index keeps serving.
+func (at *autoTuner) close() {
+	at.closing.Do(func() {
+		at.cancel()
+		<-at.done
+	})
+}
+
+// AdvisorStatus is the auto-tuner's externally visible state: the
+// serving kind, the advisor metrics, and the last evaluation's full
+// report (nil until the first evaluation completes). Served by
+// /admin/advise.
+type AdvisorStatus struct {
+	CurrentKind string              `json:"current_kind"`
+	InitialKind string              `json:"initial_kind"`
+	Metrics     obs.AdvisorSnapshot `json:"metrics"`
+	Report      *AdvisorReport      `json:"report,omitempty"`
+}
+
+// AdvisorStatus reports the auto-tuner's state; ok is false when
+// DBConfig.AutoTune did not enable it.
+func (db *DB) AdvisorStatus() (status AdvisorStatus, ok bool) {
+	if db.aut == nil {
+		return AdvisorStatus{}, false
+	}
+	snap := db.aut.m.Snapshot()
+	return AdvisorStatus{
+		CurrentKind: snap.CurrentKind,
+		InitialKind: snap.InitialKind,
+		Metrics:     snap,
+		Report:      db.aut.report.Load(),
+	}, true
+}

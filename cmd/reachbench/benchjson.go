@@ -9,6 +9,7 @@ import (
 
 	reach "repro"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/traversal"
 )
 
@@ -18,17 +19,37 @@ import (
 // scaling limits make them infeasible at the workload size carry a skip
 // reason instead of numbers.
 type benchReport struct {
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Workers    int          `json:"workers"`
-	N          int          `json:"n"`
-	M          int          `json:"m"`
-	Seed       int64        `json:"seed"`
-	LabelEnc   string       `json:"label_enc,omitempty"`
-	Queries    int          `json:"queries"`
-	Kinds      []benchKind  `json:"kinds"`
-	Labels     []labelBench `json:"labels,omitempty"`
-	Accel      *accelReport `json:"accel,omitempty"`
-	Shards     *shardReport `json:"shards,omitempty"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    int            `json:"workers"`
+	N          int            `json:"n"`
+	M          int            `json:"m"`
+	Seed       int64          `json:"seed"`
+	LabelEnc   string         `json:"label_enc,omitempty"`
+	Queries    int            `json:"queries"`
+	Kinds      []benchKind    `json:"kinds"`
+	Labels     []labelBench   `json:"labels,omitempty"`
+	Accel      *accelReport   `json:"accel,omitempty"`
+	Shards     *shardReport   `json:"shards,omitempty"`
+	Advisor    []advisorBench `json:"advisor,omitempty"`
+}
+
+// advisorBench records one advisor chosen-vs-best scenario the CI regret
+// gate consumes: the advisor runs its rule-table shortlist over a
+// synthetic trace, then a broad sweep measures (on the same trace) what
+// the best achievable p99 was among all reasonable kinds. Regret is
+// chosen p99 / broad-best p99 — 1.0 means the shortlist found the
+// optimum, and the gate holds it at ≤ 2× on both graph shapes.
+type advisorBench struct {
+	Shape         string  `json:"shape"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	TraceRecords  int     `json:"trace_records"`
+	Chosen        string  `json:"chosen"`
+	ChosenP99NS   int64   `json:"chosen_p99_ns"`
+	BaselineP99NS int64   `json:"baseline_p99_ns"`
+	BestKind      string  `json:"best_kind"`
+	BestP99NS     int64   `json:"best_p99_ns"`
+	Regret        float64 `json:"regret"`
 }
 
 // shardReport records the shard-count sweep the CI shard gate consumes:
@@ -193,6 +214,7 @@ func writeBenchJSON(path string, scale int, seed int64, workers int, enc reach.L
 	rep.Labels = measureLabels(scale, seed, workers)
 	rep.Accel = measureAccel(scale, seed)
 	rep.Shards = measureShards(scale, seed, workers)
+	rep.Advisor = measureAdvisor(scale, seed, workers)
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -359,6 +381,76 @@ func measureShards(scale int, seed int64, workers int) *shardReport {
 		rep.Sweep = append(rep.Sweep, sb)
 	}
 	return rep
+}
+
+// measureAdvisor runs the advisor chosen-vs-best scenarios on two graph
+// shapes with opposite winning regimes: a scale-free DAG (heavy degree
+// tail — label kinds win) and a banded DAG (deep backbone — interval and
+// order kinds win). The advisor's pick comes from its default rule-table
+// shortlist; the "best" bar comes from a second run over a broad
+// explicit candidate list measured on the same replayed trace, so the
+// regret ratio compares like with like.
+func measureAdvisor(scale int, seed int64, workers int) []advisorBench {
+	broad := []reach.Kind{
+		reach.KindBFL, reach.KindPLL, reach.KindDL, reach.KindTOL,
+		reach.KindGRAIL, reach.KindFerrari, reach.KindIP, reach.KindPReaCH,
+		reach.KindFeline, reach.KindOReach, reach.KindDBL,
+	}
+	shapes := []struct {
+		name string
+		g    *graph.Digraph
+	}{
+		{"scalefree", gen.ScaleFree(4000*scale, 4, seed+21)},
+		{"banded", gen.BandedDAG(gen.Config{N: 4000 * scale, M: 16000 * scale, Seed: seed + 22}, 64)},
+	}
+	var out []advisorBench
+	for _, sh := range shapes {
+		qs := gen.Queries(sh.g, 600, seed+23)
+		recs := make([]reach.WorkloadRecord, len(qs))
+		for i, q := range qs {
+			recs[i] = reach.WorkloadRecord{S: uint32(q.S), T: uint32(q.T), Route: "plain", Outcome: q.Want}
+		}
+		opt := reach.Options{Seed: seed, Workers: workers, Prepared: reach.Prepare(sh.g)}
+		chosen, err := reach.Advise(context.Background(), sh.g, recs, reach.AdviseConfig{Options: opt})
+		if err != nil {
+			panic(err)
+		}
+		best, err := reach.Advise(context.Background(), sh.g, recs, reach.AdviseConfig{
+			Candidates: broad, Options: opt,
+		})
+		if err != nil {
+			panic(err)
+		}
+		bestP99 := best.BestP99NS
+		bestKind := best.Best
+		// The broad sweep's argmin is the bar; if the shortlist run itself
+		// measured something faster, the bar moves (regret never < 1 by
+		// construction of the max below).
+		if chosen.BestP99NS > 0 && chosen.BestP99NS < bestP99 {
+			bestP99 = chosen.BestP99NS
+			bestKind = chosen.Best
+		}
+		// Same kind twice is definitionally zero regret — the two numbers
+		// are independent measurements of one index and differ only by
+		// timer noise.
+		regret := 1.0
+		if chosen.Chosen != bestKind && bestP99 > 0 && chosen.ChosenP99NS > bestP99 {
+			regret = float64(chosen.ChosenP99NS) / float64(bestP99)
+		}
+		out = append(out, advisorBench{
+			Shape:         sh.name,
+			N:             sh.g.N(),
+			M:             sh.g.M(),
+			TraceRecords:  len(recs),
+			Chosen:        chosen.Chosen,
+			ChosenP99NS:   chosen.ChosenP99NS,
+			BaselineP99NS: chosen.Baseline.P99NS,
+			BestKind:      bestKind,
+			BestP99NS:     bestP99,
+			Regret:        regret,
+		})
+	}
+	return out
 }
 
 // measureAccel runs the query-path acceleration measurements for the

@@ -10,6 +10,7 @@
 //	reachcli -graph g.txt -json -q "0 15"                # JSON result lines
 //	reachcli stats -graph g.txt -index bfl -queries 5000 # observability
 //	reachcli replay -graph g.txt -workload w.rec -index pll
+//	reachcli advise -graph g.txt -trace w.rec -budget 1000000 -json
 //
 // Query lines hold "s t" for plain reachability or "s t α" for a
 // path-constrained query; vertices may be ids or names from the file.
@@ -24,6 +25,14 @@
 // -record` against any index kind and reports per-route latency deltas
 // versus the capture plus the replay index's decided rate — the tool for
 // asking "would a different index have served this traffic better?".
+// With -json it emits the machine-readable per-route summary the index
+// advisor's evaluator shares.
+//
+// The advise subcommand answers that question automatically: it profiles
+// the graph and the capture, short-lists index kinds from the survey's
+// taxonomy, shadow-builds and replays each within a time-box and an
+// optional byte budget, and reports the measured pick (see DESIGN.md,
+// "Advisor").
 package main
 
 import (
@@ -47,6 +56,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "replay" {
 		runReplay(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "advise" {
+		runAdvise(os.Args[2:])
 		return
 	}
 	graphPath := flag.String("graph", "", "graph file (edge-list exchange format)")

@@ -1,10 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	reach "repro"
@@ -14,7 +14,9 @@ import (
 // `reachserve -record` against a freshly built index (any kind) and
 // report, per capture route, how replay latency compares to capture
 // latency, plus the replay index's decided rate — the experiment behind
-// "would index X have served this traffic better?".
+// "would index X have served this traffic better?". The aggregation is
+// reach.ReplayWorkload, the same evaluator the index advisor scores
+// candidates with; -json emits its ReplaySummary struct directly.
 func runReplay(args []string) {
 	fs := flag.NewFlagSet("reachcli replay", flag.ExitOnError)
 	graphPath := fs.String("graph", "", "graph file the workload was captured against")
@@ -25,6 +27,7 @@ func runReplay(args []string) {
 	bits := fs.Int("bits", 0, "Bloom filter width (BFL/DBL); 0 = default")
 	maxseq := fs.Int("maxseq", 0, "RLC max concatenation length κ; 0 = default")
 	workers := fs.Int("workers", 0, "build worker cap; 0 = GOMAXPROCS")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable per-route summary as JSON")
 	verbose := fs.Bool("v", false, "also print the replay DB's full metrics snapshot")
 	fs.Parse(args)
 	if *graphPath == "" || *workloadPath == "" {
@@ -66,77 +69,41 @@ func runReplay(args []string) {
 	if err != nil {
 		fail("build: %v", firstLine(err))
 	}
-	fmt.Printf("replaying %d records from %s against index %s (built in %v)\n",
-		len(records), *workloadPath, *indexKind, time.Since(buildStart).Round(time.Millisecond))
-
-	// Per capture route: how the same queries fared on the replay index.
-	type routeAgg struct {
-		n          int
-		captureNS  int64
-		replayNS   int64
-		mismatches int
-		errors     int
-	}
-	byRoute := map[string]*routeAgg{}
-	n := g.N()
-	for _, rec := range records {
-		agg := byRoute[rec.Route]
-		if agg == nil {
-			agg = &routeAgg{}
-			byRoute[rec.Route] = agg
-		}
-		agg.n++
-		agg.captureNS += rec.Latency.Nanoseconds()
-		if int(rec.S) >= n || int(rec.T) >= n {
-			// The capture came from a different (or since-edited) graph;
-			// count it rather than aborting a long replay midway.
-			agg.errors++
-			continue
-		}
-		s, t := reach.V(rec.S), reach.V(rec.T)
-		var (
-			got  bool
-			qerr error
-		)
-		t0 := time.Now()
-		switch {
-		case len(rec.Labels) > 0:
-			labels := make([]reach.Label, len(rec.Labels))
-			for i, l := range rec.Labels {
-				labels[i] = reach.Label(l)
-			}
-			got, qerr = db.QueryAllowed(s, t, labels...)
-		case rec.Alpha != "":
-			got, qerr = db.Query(s, t, rec.Alpha)
-		default:
-			got, qerr = db.Reach(s, t)
-		}
-		agg.replayNS += time.Since(t0).Nanoseconds()
-		switch {
-		case qerr != nil:
-			agg.errors++
-		case got != rec.Outcome:
-			agg.mismatches++
-		}
+	buildNS := time.Since(buildStart)
+	if !*jsonOut {
+		fmt.Printf("replaying %d records from %s against index %s (built in %v)\n",
+			len(records), *workloadPath, *indexKind, buildNS.Round(time.Millisecond))
 	}
 
-	routes := make([]string, 0, len(byRoute))
-	for r := range byRoute {
-		routes = append(routes, r)
+	sum := reach.ReplayWorkload(db, records)
+
+	if *jsonOut {
+		out := replayJSON{
+			Graph:    *graphPath,
+			Workload: *workloadPath,
+			Index:    *indexKind,
+			BuildNS:  buildNS.Nanoseconds(),
+			Summary:  sum,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail("encode: %v", err)
+		}
+		return
 	}
-	sort.Strings(routes)
+
 	fmt.Printf("%-16s %8s %12s %12s %9s %10s %7s\n",
 		"route", "queries", "capture", "replay", "delta", "mismatch", "errors")
-	for _, r := range routes {
-		a := byRoute[r]
-		cap0 := time.Duration(a.captureNS / int64(a.n))
-		rep := time.Duration(a.replayNS / int64(a.n))
+	for _, r := range sum.Routes {
+		cap0 := time.Duration(r.CaptureNS / int64(r.Queries))
+		rep := time.Duration(r.ReplayNS / int64(r.Queries))
 		delta := "n/a"
-		if a.captureNS > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*float64(a.replayNS-a.captureNS)/float64(a.captureNS))
+		if r.CaptureNS > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*float64(r.ReplayNS-r.CaptureNS)/float64(r.CaptureNS))
 		}
 		fmt.Printf("%-16s %8d %12v %12v %9s %10d %7d\n",
-			r, a.n, cap0, rep, delta, a.mismatches, a.errors)
+			r.Route, r.Queries, cap0, rep, delta, r.Mismatches, r.Errors)
 	}
 
 	// Decided rate of the replay index: the fraction of plain queries it
@@ -153,4 +120,14 @@ func runReplay(args []string) {
 			snap.WriteText(os.Stdout)
 		}
 	}
+}
+
+// replayJSON wraps the shared ReplaySummary with the run's provenance
+// for `reachcli replay -json`.
+type replayJSON struct {
+	Graph    string               `json:"graph"`
+	Workload string               `json:"workload"`
+	Index    string               `json:"index"`
+	BuildNS  int64                `json:"build_ns"`
+	Summary  *reach.ReplaySummary `json:"summary"`
 }

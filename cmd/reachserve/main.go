@@ -9,12 +9,14 @@
 //	reachserve -graph g.txt -snapshot g.idx -mmap   # zero-copy mapped cold start
 //	reachserve -graph g.txt -wal g.wal              # writable: POST /v1/mutate
 //	reachserve -graph g.txt -shards 4               # sharded plain engine
+//	reachserve -graph g.txt -autotune 30s           # workload-adaptive index
 //
 // Endpoints: /v1/reach?s=&t=, /v1/query?s=&t=&alpha=, /v1/allowed?s=&t=&labels=,
 // POST /v1/batch, /v1/path?s=&t=[&alpha=], POST /v1/mutate (with -wal),
 // /healthz, /readyz, /metrics (Prometheus exposition via Accept or
 // ?format=prometheus), /debug/vars, /debug/traces, /debug/pprof/ (with
-// -pprof), /admin/stats, /admin/shards (with -shards), POST /admin/reload.
+// -pprof), /admin/stats, /admin/shards (with -shards), /admin/advise (with
+// -autotune), POST /admin/reload.
 //
 // -shards k partitions the condensation DAG into k contiguous
 // topological ranges, builds one plain index per shard in parallel, and
@@ -33,6 +35,14 @@
 // the log so acknowledged writes survive crashes. /admin/reload is
 // disabled under -wal — reloading from the graph file would silently
 // drop logged mutations.
+//
+// -autotune runs the index advisor over a rolling sample of the live
+// plain-query traffic at the given interval: candidates from the survey
+// taxonomy are shadow-built in the background and trace-replayed, and
+// the serving plain index is hot-swapped when the pick's measured p99
+// beats it by -autotune-margin. /admin/advise reports the tuner's state
+// and the last evaluation. Incompatible with -wal and -shards (each owns
+// its own index-swap path).
 //
 // Logs are structured (log/slog); -log-format json switches the sink to
 // JSON lines, -log-level sets the floor. -record captures the query
@@ -94,6 +104,9 @@ func main() {
 	traceBuf := flag.Int("trace-buffer", 256, "recent-trace ring size for /debug/traces; 0 disables tracing")
 	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "log and retain traces of requests slower than this; 0 disables the slow log")
 	record := flag.String("record", "", "capture the query workload to this file (replay with `reachcli replay`)")
+	autotune := flag.Duration("autotune", 0, "evaluate the index advisor over live traffic this often and hot-swap the plain index when its pick is faster; 0 disables (incompatible with -wal and -shards)")
+	autotuneMargin := flag.Float64("autotune-margin", 0, "min fractional p99 improvement before a hot swap (0 = default 0.10)")
+	autotuneBudget := flag.Int64("autotune-budget", 0, "index footprint budget in bytes for auto-tune candidates; 0 = unlimited")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	accessLog := flag.Bool("access-log", true, "log one structured line per request")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -116,6 +129,11 @@ func main() {
 		// sharded engine has no overlay path, so writable serving stays
 		// unsharded.
 		lg.Fatal("-shards is incompatible with -wal")
+	}
+	if *autotune > 0 && (*walPath != "" || *shards > 0) {
+		// The auto-tuner owns the plain-index swap path; the mutation
+		// reindexer and the sharded engine each own theirs.
+		lg.Fatal("-autotune is incompatible with -wal and -shards")
 	}
 
 	var tracer *obs.Tracer
@@ -157,6 +175,14 @@ func main() {
 			}
 			return *cache
 		}(),
+	}
+	if *autotune > 0 {
+		cfg.AutoTune = &reach.AutoTuneConfig{
+			CheckInterval:  *autotune,
+			MinImprovement: *autotuneMargin,
+			Budget:         *autotuneBudget,
+		}
+		logger.Info("auto-tune enabled", "interval", *autotune, "margin", *autotuneMargin, "budget", *autotuneBudget)
 	}
 	if *walPath != "" {
 		fsync, err := parseFsync(*walFsync)

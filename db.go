@@ -65,6 +65,11 @@ type DB struct {
 	// queries go through the delta-overlay path so answers stay exact
 	// between background rebuilds.
 	mut *mutDB
+	// aut is the auto-tuning engine, nil unless DBConfig.AutoTune enabled
+	// it (see autotune.go). When non-nil, the serving plain index is the
+	// one aut currently publishes — initially the configured Plain, later
+	// whatever the advisor's measured pick hot-swapped in.
+	aut *autoTuner
 }
 
 // CacheSnapshot re-exports the query-result cache counters; see
@@ -214,6 +219,16 @@ type DBConfig struct {
 	// load), so acknowledged mutations survive restarts. See mutable.go
 	// and DESIGN.md ("Mutation & durability").
 	Mutation *MutationConfig
+	// AutoTune, when non-nil, runs the workload-adaptive index advisor in
+	// the background: the DB samples its own plain-query traffic, and at
+	// every check interval the advisor shortlists and shadow-builds
+	// candidate kinds, replays the sampled trace against each, and
+	// hot-swaps the serving plain index when the pick's measured p99
+	// improves on the current index by the configured margin. Mutually
+	// exclusive with Mutation (the reindexer owns that swap path) and
+	// PlainIndex (the sharded engine has no single kind to retune). See
+	// autotune.go and DESIGN.md ("Advisor").
+	AutoTune *AutoTuneConfig
 }
 
 // NewDB builds a DB over g. For unlabeled graphs only the plain index is
@@ -242,6 +257,9 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 		cfg.LCR = LCRP2H
 	}
 	if err := checkMutationConfig(g, cfg); err != nil {
+		return nil, err
+	}
+	if err := checkAutoTuneConfig(cfg); err != nil {
 		return nil, err
 	}
 	db := &DB{
@@ -348,6 +366,9 @@ func NewDBCtx(ctx context.Context, g *Graph, cfg DBConfig) (*DB, error) {
 			return nil, err
 		}
 	}
+	if cfg.AutoTune != nil {
+		db.initAutoTune(cfg)
+	}
 	return db, nil
 }
 
@@ -422,13 +443,27 @@ func (db *DB) Prepared() *PreparedGraph { return db.prep }
 
 // PlainIndex returns the plain index built for kind: the primary one when
 // kind is the configured Plain, otherwise the matching ExtraPlain entry.
-// ok is false when no index of that kind was built.
+// ok is false when no index of that kind was built. On an auto-tuned DB
+// the advisor's currently serving kind resolves to the swapped-in index.
 func (db *DB) PlainIndex(kind Kind) (ix Index, ok bool) {
+	if db.aut != nil && string(kind) == db.aut.currentKind() {
+		return db.aut.current(), true
+	}
 	if kind == db.plainKind {
 		return db.plain, true
 	}
 	ix, ok = db.extra[kind]
 	return ix, ok
+}
+
+// plainCurrent resolves the serving plain index: the advisor's current
+// pick on an auto-tuned DB, the built Plain otherwise. Query paths load
+// it once per query so a concurrent hot swap cannot split a decision.
+func (db *DB) plainCurrent() Index {
+	if db.aut != nil {
+		return db.aut.current()
+	}
+	return db.plain
 }
 
 // CacheStats snapshots the query-result cache counters; ok is false when
@@ -524,7 +559,7 @@ func (db *DB) ReachCtx(ctx context.Context, s, t V) (res bool, err error) {
 	defer db.boundary(&err)
 	tr := db.traceFrom(ctx)
 	var start time.Time
-	timed := db.metrics != nil || db.recorder != nil
+	timed := db.metrics != nil || db.recorder != nil || db.aut != nil
 	if timed {
 		start = time.Now()
 	}
@@ -547,7 +582,7 @@ func (db *DB) ReachCtx(ctx context.Context, s, t V) (res bool, err error) {
 		if db.metrics != nil {
 			db.metrics.Route(obs.RoutePlain).Observe(res, d)
 		}
-		db.record(s, t, "", nil, obs.RoutePlain, res, d)
+		db.record(s, t, "", nil, obs.RoutePlain, res, hit, d)
 	}
 	return res, nil
 }
@@ -562,9 +597,12 @@ func (db *DB) traceFrom(ctx context.Context) *obs.Trace {
 	return obs.TraceFrom(ctx)
 }
 
-// record appends one workload record when capture is enabled.
-func (db *DB) record(s, t V, alpha string, labels []Label, route obs.RouteKind, res bool, d time.Duration) {
-	if db.recorder == nil {
+// record appends one workload record when capture is enabled, and feeds
+// the auto-tuner's in-memory sample ring on plain routes. cached marks a
+// result-cache hit: its latency is a cache-hit latency, so replay
+// scoring skips it (and the auto-tuner never samples it).
+func (db *DB) record(s, t V, alpha string, labels []Label, route obs.RouteKind, res, cached bool, d time.Duration) {
+	if db.recorder == nil && db.aut == nil {
 		return
 	}
 	var ls []uint16
@@ -574,15 +612,22 @@ func (db *DB) record(s, t V, alpha string, labels []Label, route obs.RouteKind, 
 			ls[i] = uint16(l)
 		}
 	}
-	db.recorder.Record(workload.Record{
+	rec := workload.Record{
 		S:       uint32(s),
 		T:       uint32(t),
 		Alpha:   alpha,
 		Labels:  ls,
 		Route:   route.String(),
 		Outcome: res,
+		Cached:  cached,
 		Latency: d,
-	})
+	}
+	if db.recorder != nil {
+		db.recorder.Record(rec)
+	}
+	if db.aut != nil && route == obs.RoutePlain && !cached && alpha == "" && ls == nil {
+		db.aut.observe(rec)
+	}
 }
 
 func (db *DB) countCanceled() {
@@ -627,14 +672,14 @@ func (db *DB) QueryCtx(ctx context.Context, s, t V, alpha string) (res bool, err
 	tr := db.traceFrom(ctx)
 	timed := db.metrics != nil || db.recorder != nil
 	if !timed {
-		res, route, err := db.query(ctx, tr, s, t, alpha)
+		res, route, _, err := db.query(ctx, tr, s, t, alpha)
 		if err == nil {
 			tr.SetRoute(route.String())
 		}
 		return res, err
 	}
 	start := time.Now()
-	res, route, err := db.query(ctx, tr, s, t, alpha)
+	res, route, cached, err := db.query(ctx, tr, s, t, alpha)
 	if err != nil {
 		if db.metrics != nil {
 			db.metrics.Errors.Inc()
@@ -649,52 +694,53 @@ func (db *DB) QueryCtx(ctx context.Context, s, t V, alpha string) (res bool, err
 	if db.metrics != nil {
 		db.metrics.Route(route).Observe(res, d)
 	}
-	db.record(s, t, alpha, nil, route, res, d)
+	db.record(s, t, alpha, nil, route, res, cached, d)
 	return res, err
 }
 
-func (db *DB) query(ctx context.Context, tr *obs.Trace, s, t V, alpha string) (bool, obs.RouteKind, error) {
+func (db *DB) query(ctx context.Context, tr *obs.Trace, s, t V, alpha string) (bool, obs.RouteKind, bool, error) {
 	if !db.g.Labeled() {
 		res, err := db.queryUnlabeled(s, t, alpha)
-		return res, obs.RoutePlain, err
+		return res, obs.RoutePlain, false, err
 	}
 	tok := tr.Begin("parse")
 	ast, err := regexpath.Parse(alpha, regexpath.GraphResolver(db.g))
 	tr.End(tok)
 	if err != nil {
-		return false, obs.RouteProduct, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		return false, obs.RouteProduct, false, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if ix, ok := db.registered[ast.String()]; ok {
 		tok := tr.Begin("index/registered")
 		res := ix.Reach(s, t)
 		tr.End(tok)
-		return res, obs.RouteRegistered, nil
+		return res, obs.RouteRegistered, false, nil
 	}
 	cl := regexpath.Classify(ast)
 	switch cl.Class {
 	case regexpath.ClassAlternation:
 		if s == t && !cl.PlusOnly {
-			return true, db.lcrRoute(), nil
+			return true, db.lcrRoute(), false, nil
 		}
 		if cl.PlusOnly {
 			// (…)+ requires at least one edge; peel the first step and
 			// then answer the star query from each allowed neighbour.
-			return db.plusAlternation(tr, s, t, cl.Allowed), db.lcrRoute(), nil
+			res, cached := db.plusAlternation(tr, s, t, cl.Allowed)
+			return res, db.lcrRoute(), cached, nil
 		}
-		res, route := db.reachLC(tr, s, t, cl.Allowed)
-		return res, route, nil
+		res, route, cached := db.reachLC(tr, s, t, cl.Allowed)
+		return res, route, cached, nil
 	case regexpath.ClassConcatenation:
 		if s == t && !cl.PlusOnly {
-			return true, db.rlcRoute(), nil
+			return true, db.rlcRoute(), false, nil
 		}
-		res, route := db.reachRLC(tr, s, t, cl.Sequence)
-		return res, route, nil
+		res, route, cached := db.reachRLC(tr, s, t, cl.Sequence)
+		return res, route, cached, nil
 	default:
 		tok := tr.Begin("fallback/product-bfs")
 		dfa := regexpath.CompileDFA(regexpath.CompileNFA(ast), db.g.Labels())
 		res, err := traversal.ProductBFSCtx(ctx, db.g, s, t, dfa)
 		tr.End(tok)
-		return res, obs.RouteProduct, err
+		return res, obs.RouteProduct, false, err
 	}
 }
 
@@ -715,15 +761,17 @@ func (db *DB) rlcRoute() obs.RouteKind {
 // reachLC answers the alternation-star query through the result cache,
 // the LCR index, or — on a degraded DB — a label-constrained BFS on the
 // graph itself. The label mask is the cache key's extra word, so distinct
-// masks over one vertex pair cache independently.
-func (db *DB) reachLC(tr *obs.Trace, s, t V, allowed labelset.Set) (bool, obs.RouteKind) {
+// masks over one vertex pair cache independently. cached reports a
+// result-cache hit (the latency the caller observed is a lookup, not a
+// probe).
+func (db *DB) reachLC(tr *obs.Trace, s, t V, allowed labelset.Set) (bool, obs.RouteKind, bool) {
 	key := qcache.Key{Route: cacheRouteLCRStar, S: s, T: t, Extra: uint64(allowed)}
 	if db.cache != nil {
 		tok := tr.Begin("cache/lookup")
 		res, ok := db.cache.Get(key)
 		tr.End(tok)
 		if ok {
-			return res, db.lcrRoute()
+			return res, db.lcrRoute(), true
 		}
 	}
 	var res bool
@@ -739,14 +787,14 @@ func (db *DB) reachLC(tr *obs.Trace, s, t V, allowed labelset.Set) (bool, obs.Ro
 		route = obs.RouteDegradedLCR
 	}
 	db.cache.Put(key, res)
-	return res, route
+	return res, route, false
 }
 
 // reachRLC answers the concatenation-star query through the result cache,
 // the RLC index, or — on a degraded DB — the online phase-tracking
 // search. Only sequences short enough to pack into the key's extra word
 // exactly (≤ 3 labels) are cached; longer ones always compute.
-func (db *DB) reachRLC(tr *obs.Trace, s, t V, seq []Label) (bool, obs.RouteKind) {
+func (db *DB) reachRLC(tr *obs.Trace, s, t V, seq []Label) (bool, obs.RouteKind, bool) {
 	extra, packable := packSeq(seq)
 	key := qcache.Key{Route: cacheRouteRLC, S: s, T: t, Extra: extra}
 	if packable && db.cache != nil {
@@ -754,7 +802,7 @@ func (db *DB) reachRLC(tr *obs.Trace, s, t V, seq []Label) (bool, obs.RouteKind)
 		res, ok := db.cache.Get(key)
 		tr.End(tok)
 		if ok {
-			return res, db.rlcRoute()
+			return res, db.rlcRoute(), true
 		}
 	}
 	var res bool
@@ -772,7 +820,7 @@ func (db *DB) reachRLC(tr *obs.Trace, s, t V, seq []Label) (bool, obs.RouteKind)
 	if packable {
 		db.cache.Put(key, res)
 	}
-	return res, route
+	return res, route, false
 }
 
 // queryUnlabeled serves path-constrained queries on an unlabeled graph
@@ -805,8 +853,9 @@ func (db *DB) queryUnlabeled(s, t V, alpha string) (bool, error) {
 				return w == t || st.reach(w, t)
 			}), nil
 		}
+		ix := db.plainCurrent()
 		for _, w := range db.g.Succ(s) {
-			if w == t || db.plain.Reach(w, t) {
+			if w == t || ix.Reach(w, t) {
 				return true, nil
 			}
 		}
@@ -820,10 +869,10 @@ func (db *DB) queryUnlabeled(s, t V, alpha string) (bool, error) {
 // Plus queries cache under their own route tag: (mask)+ and (mask)* give
 // different answers on the same pair (s == t, or t only reachable via the
 // empty path), so the two must never share a key.
-func (db *DB) plusAlternation(tr *obs.Trace, s, t V, allowed labelset.Set) bool {
+func (db *DB) plusAlternation(tr *obs.Trace, s, t V, allowed labelset.Set) (bool, bool) {
 	key := qcache.Key{Route: cacheRouteLCRPlus, S: s, T: t, Extra: uint64(allowed)}
 	if res, ok := db.cache.Get(key); ok {
-		return res
+		return res, true
 	}
 	res := false
 	succ := db.g.Succ(s)
@@ -836,13 +885,13 @@ func (db *DB) plusAlternation(tr *obs.Trace, s, t V, allowed labelset.Set) bool 
 			res = true
 			break
 		}
-		if r, _ := db.reachLC(tr, w, t, allowed); r {
+		if r, _, _ := db.reachLC(tr, w, t, allowed); r {
 			res = true
 			break
 		}
 	}
 	db.cache.Put(key, res)
-	return res
+	return res, false
 }
 
 // RegisterConstraint builds a dedicated index for the fixed constraint
@@ -889,7 +938,7 @@ func (db *DB) ReachPath(s, t V) (path []V, err error) {
 		}
 		return st.witnessPath(s, t), nil
 	}
-	if !db.plain.Reach(s, t) {
+	if !db.plainCurrent().Reach(s, t) {
 		return nil, nil
 	}
 	return traversal.WitnessPath(db.g, s, t), nil
@@ -930,20 +979,21 @@ func (db *DB) QueryAllowed(s, t V, labels ...Label) (res bool, err error) {
 		if s == t {
 			return true, nil
 		}
-		res, _ := db.reachLC(nil, s, t, labelset.Of(labels...))
+		res, _, _ := db.reachLC(nil, s, t, labelset.Of(labels...))
 		return res, nil
 	}
 	start := time.Now()
 	res = s == t
 	route := db.lcrRoute()
+	cached := false
 	if !res {
-		res, route = db.reachLC(nil, s, t, labelset.Of(labels...))
+		res, route, cached = db.reachLC(nil, s, t, labelset.Of(labels...))
 	}
 	d := time.Since(start)
 	if db.metrics != nil {
 		db.metrics.Route(route).Observe(res, d)
 	}
-	db.record(s, t, "", labels, route, res, d)
+	db.record(s, t, "", labels, route, res, cached, d)
 	return res, nil
 }
 
@@ -951,7 +1001,8 @@ func (db *DB) QueryAllowed(s, t V, labels ...Label) (res bool, err error) {
 // Degraded routes appear under "degraded:lcr"/"degraded:rlc" with zero
 // footprint, so operators see at a glance which class lost its index.
 func (db *DB) Stats() map[string]Stats {
-	out := map[string]Stats{db.plain.Name(): db.plain.Stats()}
+	plain := db.plainCurrent()
+	out := map[string]Stats{plain.Name(): plain.Stats()}
 	for _, ix := range db.extra {
 		out[ix.Name()] = ix.Stats()
 	}

@@ -1,0 +1,124 @@
+package advise
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Engine is the query surface a trace replays against. *reach.DB
+// satisfies it directly (graph.V and graph.Label are uint32/uint16
+// aliases), which is how `reachcli replay` and the advisor share one
+// replay implementation without the internal package importing the root.
+type Engine interface {
+	Reach(s, t uint32) (bool, error)
+	Query(s, t uint32, alpha string) (bool, error)
+	QueryAllowed(s, t uint32, labels ...uint16) (bool, error)
+}
+
+// RouteSummary aggregates one capture route's replay: counts, capture
+// vs replay latency, and replayed latency percentiles.
+type RouteSummary struct {
+	Route      string `json:"route"`
+	Queries    int    `json:"queries"`
+	Cached     int    `json:"cached"` // capture-side result-cache hits
+	CaptureNS  int64  `json:"capture_ns_total"`
+	ReplayNS   int64  `json:"replay_ns_total"`
+	Mismatches int    `json:"mismatches"`
+	Errors     int    `json:"errors"`
+	P50NS      int64  `json:"replay_p50_ns"`
+	P99NS      int64  `json:"replay_p99_ns"`
+}
+
+// ReplaySummary is the machine-readable result of replaying a capture:
+// the struct behind `reachcli replay -json`, consumed unchanged by the
+// advisor's evaluator tooling.
+type ReplaySummary struct {
+	Records int            `json:"records"`
+	Decided int            `json:"decided"` // replayed without error
+	Routes  []RouteSummary `json:"routes"`
+}
+
+// Replay re-runs recs against e, aggregating per capture route. Vertex
+// range and query errors count per route and never abort the replay.
+func Replay(e Engine, recs []Record) *ReplaySummary {
+	byRoute := map[string]*routeAgg{}
+	order := []string{}
+	for i := range recs {
+		rec := &recs[i]
+		agg := byRoute[rec.Route]
+		if agg == nil {
+			agg = &routeAgg{}
+			byRoute[rec.Route] = agg
+			order = append(order, rec.Route)
+		}
+		agg.n++
+		agg.captureNS += int64(rec.Latency)
+		if rec.Cached {
+			agg.cached++
+		}
+		start := time.Now()
+		var (
+			res bool
+			err error
+		)
+		switch {
+		case len(rec.Labels) > 0:
+			res, err = e.QueryAllowed(rec.S, rec.T, rec.Labels...)
+		case rec.Alpha != "":
+			res, err = e.Query(rec.S, rec.T, rec.Alpha)
+		default:
+			res, err = e.Reach(rec.S, rec.T)
+		}
+		d := time.Since(start).Nanoseconds()
+		if err != nil {
+			agg.errors++
+			continue
+		}
+		agg.replayNS += d
+		agg.lat = append(agg.lat, d)
+		if res != rec.Outcome {
+			agg.mismatches++
+		}
+	}
+	sort.Strings(order)
+	sum := &ReplaySummary{Records: len(recs)}
+	for _, route := range order {
+		agg := byRoute[route]
+		p50, p99 := percentiles(agg.lat)
+		sum.Decided += agg.n - agg.errors
+		sum.Routes = append(sum.Routes, RouteSummary{
+			Route:      route,
+			Queries:    agg.n,
+			Cached:     agg.cached,
+			CaptureNS:  agg.captureNS,
+			ReplayNS:   agg.replayNS,
+			Mismatches: agg.mismatches,
+			Errors:     agg.errors,
+			P50NS:      p50,
+			P99NS:      p99,
+		})
+	}
+	return sum
+}
+
+// Record aliases the workload record: the advisor's trace input type.
+type Record = workload.Record
+
+type routeAgg struct {
+	n, cached, mismatches, errors int
+	captureNS, replayNS           int64
+	lat                           []int64
+}
+
+// percentiles sorts lat in place and returns its p50/p99 by the
+// nearest-rank-on-floor convention (the gen.DegreeStats one).
+func percentiles(lat []int64) (p50, p99 int64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	n := len(lat)
+	return lat[(n-1)*50/100], lat[(n-1)*99/100]
+}

@@ -1,0 +1,110 @@
+package advise
+
+import (
+	"repro/internal/workload"
+)
+
+// WorkloadProfile summarizes a recorded trace: the query-mix features
+// the rule table reads alongside the graph's shape.
+type WorkloadProfile struct {
+	Records int `json:"records"`
+	// Plain counts unconstrained reachability records — the ones the
+	// plain-index advisor can score. Labeled queries (alternation masks,
+	// path constraints) ride their own LCR/RLC indexes.
+	Plain      int     `json:"plain"`
+	LabelShare float64 `json:"label_share"` // fraction with a label constraint
+	BatchShare float64 `json:"batch_share"` // fraction arriving via batch routes
+	// PositiveShare is the fraction of positive (reachable) answers among
+	// plain records: negative-heavy workloads reward indexes with strong
+	// negative cuts (IP, BFL, PReaCH).
+	PositiveShare float64 `json:"positive_share"`
+	// CachedShare is the fraction answered by the result cache at capture
+	// time; those records carry cache-hit latencies and are skipped when
+	// scoring candidates.
+	CachedShare float64 `json:"cached_share"`
+	// Source/TargetLocality measure how concentrated the endpoints are:
+	// 1 - distinct/records, so 0 means every record has a fresh endpoint
+	// and values near 1 mean a few hot vertices dominate.
+	SourceLocality float64 `json:"source_locality"`
+	TargetLocality float64 `json:"target_locality"`
+	// RouteShare is the per-route record share as captured.
+	RouteShare map[string]float64 `json:"route_share,omitempty"`
+}
+
+// ProfileWorkload computes the trace features. n is the graph's vertex
+// count; out-of-range records (a trace from a different graph) are
+// counted in Records but excluded from the plain query statistics.
+func ProfileWorkload(recs []workload.Record, n int) WorkloadProfile {
+	p := WorkloadProfile{Records: len(recs)}
+	if len(recs) == 0 {
+		return p
+	}
+	routes := map[string]int{}
+	srcs := map[uint32]struct{}{}
+	tgts := map[uint32]struct{}{}
+	labeled, batch, cached, positive := 0, 0, 0, 0
+	for i := range recs {
+		rec := &recs[i]
+		routes[rec.Route]++
+		if rec.Route == "batch" {
+			batch++
+		}
+		if rec.Cached {
+			cached++
+		}
+		if rec.Alpha != "" || len(rec.Labels) > 0 {
+			labeled++
+			continue
+		}
+		if int(rec.S) >= n || int(rec.T) >= n {
+			continue
+		}
+		p.Plain++
+		srcs[rec.S] = struct{}{}
+		tgts[rec.T] = struct{}{}
+		if rec.Outcome {
+			positive++
+		}
+	}
+	total := float64(len(recs))
+	p.LabelShare = float64(labeled) / total
+	p.BatchShare = float64(batch) / total
+	p.CachedShare = float64(cached) / total
+	if p.Plain > 0 {
+		p.PositiveShare = float64(positive) / float64(p.Plain)
+		p.SourceLocality = 1 - float64(len(srcs))/float64(p.Plain)
+		p.TargetLocality = 1 - float64(len(tgts))/float64(p.Plain)
+	}
+	p.RouteShare = make(map[string]float64, len(routes))
+	for r, c := range routes {
+		p.RouteShare[r] = float64(c) / total
+	}
+	return p
+}
+
+// PlainPairs extracts the scorable replay set: plain (unconstrained),
+// uncached, in-range records — cached entries carry cache-hit latencies,
+// not index-probe latencies, so they would skew candidate scoring. When
+// max > 0 caps the set, records are stride-sampled so the sample keeps
+// the trace's temporal mix instead of its head.
+func PlainPairs(recs []workload.Record, n int, max int) []workload.Record {
+	out := make([]workload.Record, 0, len(recs))
+	for i := range recs {
+		rec := recs[i]
+		if rec.Alpha != "" || len(rec.Labels) > 0 || rec.Cached {
+			continue
+		}
+		if int(rec.S) >= n || int(rec.T) >= n {
+			continue
+		}
+		out = append(out, rec)
+	}
+	if max > 0 && len(out) > max {
+		sampled := make([]workload.Record, max)
+		for i := 0; i < max; i++ {
+			sampled[i] = out[i*len(out)/max]
+		}
+		out = sampled
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Graph analyzers: the structural statistics the index advisor
+// (internal/advise) feeds its rule table. They live here, next to the
+// generators, so the property tests can pin each feature against graphs
+// whose shape is known by construction (Fig1, BandedDAG, ErdosRenyi, ...).
+//
+// All analyzers are deterministic, single-pass or sort-bounded, and take
+// the immutable CSR graph as-is — no RNG, no allocation beyond the stats
+// scratch.
+
+package gen
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DegreeStats summarizes one degree distribution (out- or in-). Percentiles
+// use the nearest-rank-on-floor convention: P(q) = sorted[(len-1)*q/100],
+// so P100 is the maximum and P0 the minimum; on a single-vertex graph all
+// percentiles collapse to that vertex's degree.
+type DegreeStats struct {
+	Avg  float64 `json:"avg"` // M / N
+	P50  int     `json:"p50"`
+	P90  int     `json:"p90"`
+	P99  int     `json:"p99"`
+	Max  int     `json:"max"`
+	Skew float64 `json:"skew"` // P99 / max(Avg, 1): ≈1 for regular graphs, large for heavy tails
+}
+
+// OutDegrees analyzes the out-degree distribution of g.
+func OutDegrees(g *graph.Digraph) DegreeStats {
+	return degreeStats(g, g.OutDegree)
+}
+
+// InDegrees analyzes the in-degree distribution of g.
+func InDegrees(g *graph.Digraph) DegreeStats {
+	return degreeStats(g, g.InDegree)
+}
+
+func degreeStats(g *graph.Digraph, deg func(graph.V) int) DegreeStats {
+	n := g.N()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	ds := make([]int, n)
+	for v := 0; v < n; v++ {
+		ds[v] = deg(graph.V(v))
+	}
+	sort.Ints(ds)
+	pick := func(q int) int { return ds[(n-1)*q/100] }
+	st := DegreeStats{
+		Avg: float64(g.M()) / float64(n),
+		P50: pick(50),
+		P90: pick(90),
+		P99: pick(99),
+		Max: ds[n-1],
+	}
+	st.Skew = float64(st.P99) / math.Max(st.Avg, 1)
+	return st
+}
+
+// LabelStats summarizes the edge-label distribution of a labeled graph.
+// Entropy is normalized to [0, 1]: 1 means the labels are uniformly used,
+// values near 0 mean almost all edges carry one label. For a plain graph
+// (or one with fewer than two distinct labels in use) Entropy is 1 and
+// TopShare is 1 iff any edges exist.
+type LabelStats struct {
+	Declared int     `json:"declared"`  // g.Labels(): the declared label universe
+	Used     int     `json:"used"`      // labels appearing on at least one edge
+	TopShare float64 `json:"top_share"` // share of edges carrying the most frequent label
+	Entropy  float64 `json:"entropy"`   // H(label) / log2(Used), normalized; 1 if Used < 2
+}
+
+// AnalyzeLabels analyzes the edge-label distribution of g. On a plain
+// graph it returns the degenerate single-label statistics.
+func AnalyzeLabels(g *graph.Digraph) LabelStats {
+	st := LabelStats{Declared: g.Labels(), Entropy: 1}
+	if g.M() == 0 {
+		return st
+	}
+	if !g.Labeled() {
+		st.Used = 1
+		st.TopShare = 1
+		return st
+	}
+	counts := make([]int, g.Labels())
+	g.Edges(func(e graph.Edge) bool {
+		counts[e.Label]++
+		return true
+	})
+	top, used := 0, 0
+	for _, c := range counts {
+		if c > 0 {
+			used++
+		}
+		if c > top {
+			top = c
+		}
+	}
+	m := float64(g.M())
+	st.Used = used
+	st.TopShare = float64(top) / m
+	if used >= 2 {
+		h := 0.0
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / m
+			h -= p * math.Log2(p)
+		}
+		st.Entropy = h / math.Log2(float64(used))
+	}
+	return st
+}

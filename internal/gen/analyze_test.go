@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// refDegreeStats recomputes DegreeStats from first principles (an
+// independent code path) so the analyzer can be checked on arbitrary
+// generated graphs, not just hand-counted ones.
+func refDegreeStats(g *graph.Digraph, out bool) DegreeStats {
+	ds := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		if out {
+			ds[v] = len(g.Succ(graph.V(v)))
+		} else {
+			ds[v] = len(g.Pred(graph.V(v)))
+		}
+	}
+	sort.Ints(ds)
+	n := len(ds)
+	st := DegreeStats{
+		Avg: float64(g.M()) / float64(n),
+		P50: ds[(n-1)*50/100],
+		P90: ds[(n-1)*90/100],
+		P99: ds[(n-1)*99/100],
+		Max: ds[n-1],
+	}
+	st.Skew = float64(st.P99) / math.Max(st.Avg, 1)
+	return st
+}
+
+func checkDegreeInvariants(t *testing.T, name string, g *graph.Digraph, st DegreeStats) {
+	t.Helper()
+	if st.P50 > st.P90 || st.P90 > st.P99 || st.P99 > st.Max {
+		t.Fatalf("%s: percentiles not monotone: %+v", name, st)
+	}
+	if want := float64(g.M()) / float64(g.N()); st.Avg != want {
+		t.Fatalf("%s: Avg = %v, want %v", name, st.Avg, want)
+	}
+	if st.Skew < 0 {
+		t.Fatalf("%s: negative skew: %+v", name, st)
+	}
+}
+
+func TestOutDegreesFig1(t *testing.T) {
+	g := graph.Fig1Plain()
+	st := OutDegrees(g)
+	checkDegreeInvariants(t, "fig1", g, st)
+	// Figure 1 has 9 vertices and 11 edges; the largest fan-out is A
+	// (A→B, A→C, A→G: 3 edges) and the sinks have none.
+	if st.Max != 3 {
+		t.Fatalf("fig1 max out-degree = %d, want 3", st.Max)
+	}
+	if got := refDegreeStats(g, true); got != st {
+		t.Fatalf("fig1 OutDegrees = %+v, reference = %+v", st, got)
+	}
+	if in := InDegrees(g); in != refDegreeStats(g, false) {
+		t.Fatalf("fig1 InDegrees = %+v, reference = %+v", in, refDegreeStats(g, false))
+	}
+}
+
+func TestDegreeStatsGenerated(t *testing.T) {
+	cases := map[string]*graph.Digraph{
+		"banded": BandedDAG(Config{N: 800, M: 3200, Seed: 5}, 32),
+		"cyclic": ErdosRenyi(Config{N: 500, M: 2500, Seed: 9}),
+		"scale":  ScaleFree(800, 4, 11),
+	}
+	for name, g := range cases {
+		st := OutDegrees(g)
+		checkDegreeInvariants(t, name, g, st)
+		if got := refDegreeStats(g, true); got != st {
+			t.Fatalf("%s: OutDegrees = %+v, reference = %+v", name, st, got)
+		}
+	}
+	// The preferential-attachment graph must look heavier-tailed on the
+	// in-side than the banded DAG, whose extra edges are uniform.
+	if bs, ss := InDegrees(cases["banded"]), InDegrees(cases["scale"]); ss.Max <= bs.Max {
+		t.Fatalf("scale-free in-degree tail (%d) not heavier than banded (%d)", ss.Max, bs.Max)
+	}
+}
+
+func TestAnalyzeLabels(t *testing.T) {
+	base := RandomDAG(Config{N: 600, M: 3000, Seed: 3})
+
+	plain := AnalyzeLabels(base)
+	if plain.Used != 1 || plain.TopShare != 1 || plain.Entropy != 1 {
+		t.Fatalf("plain graph labels = %+v, want degenerate single-label stats", plain)
+	}
+
+	uni := AnalyzeLabels(UniformLabels(base, 8, 17))
+	skew := AnalyzeLabels(Zipf(base, 8, 1.5, 17))
+	if uni.Declared != 8 || skew.Declared != 8 {
+		t.Fatalf("declared labels: uniform=%d zipf=%d, want 8", uni.Declared, skew.Declared)
+	}
+	if uni.Used != 8 {
+		t.Fatalf("uniform labels used = %d, want 8", uni.Used)
+	}
+	// Zipf s=1.5 concentrates mass on label 0: its top share must beat
+	// uniform by a wide margin and its entropy must be visibly lower.
+	if skew.TopShare <= uni.TopShare+0.2 {
+		t.Fatalf("zipf top share %v not clearly above uniform %v", skew.TopShare, uni.TopShare)
+	}
+	if skew.Entropy >= uni.Entropy {
+		t.Fatalf("zipf entropy %v not below uniform %v", skew.Entropy, uni.Entropy)
+	}
+	if uni.Entropy < 0.95 || uni.Entropy > 1 {
+		t.Fatalf("uniform entropy = %v, want ≈1", uni.Entropy)
+	}
+
+	// Entropy and TopShare are distribution properties: re-labeling the
+	// same graph with a different seed must not move them much.
+	again := AnalyzeLabels(Zipf(base, 8, 1.5, 99))
+	if math.Abs(again.TopShare-skew.TopShare) > 0.1 {
+		t.Fatalf("zipf top share unstable across seeds: %v vs %v", again.TopShare, skew.TopShare)
+	}
+
+	lab := AnalyzeLabels(graph.Fig1Labeled())
+	if lab.Used < 2 || lab.Entropy <= 0 || lab.Entropy > 1 {
+		t.Fatalf("fig1 labeled stats out of range: %+v", lab)
+	}
+}

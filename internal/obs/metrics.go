@@ -269,6 +269,7 @@ type DBMetrics struct {
 	degraded []string
 	cacheFn  func() CacheSnapshot
 	mutation *MutationMetrics
+	advisor  *AdvisorMetrics
 }
 
 // NewDBMetrics returns an empty metrics root.
@@ -316,6 +317,7 @@ type Snapshot struct {
 	Build    []PhaseSpan              `json:"build,omitempty"`
 	Cache    *CacheSnapshot           `json:"cache,omitempty"`
 	Mutation *MutationSnapshot        `json:"mutation,omitempty"`
+	Advisor  *AdvisorSnapshot         `json:"advisor,omitempty"`
 	Errors   int64                    `json:"errors"`
 	Panics   int64                    `json:"panics,omitempty"`
 	Canceled int64                    `json:"canceled,omitempty"`
@@ -343,6 +345,7 @@ func (m *DBMetrics) Snapshot() Snapshot {
 	}
 	cacheFn := m.cacheFn
 	mutation := m.mutation
+	advisor := m.advisor
 	m.mu.Unlock()
 	if cacheFn != nil {
 		cs := cacheFn()
@@ -351,6 +354,10 @@ func (m *DBMetrics) Snapshot() Snapshot {
 	if mutation != nil {
 		ms := mutation.Snapshot()
 		s.Mutation = &ms
+	}
+	if advisor != nil {
+		as := advisor.Snapshot()
+		s.Advisor = &as
 	}
 	for name, im := range cells {
 		s.Indexes[name] = im.Snapshot()
@@ -427,6 +434,9 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 	if s.Mutation != nil {
 		s.Mutation.writeText(w)
+	}
+	if s.Advisor != nil {
+		s.Advisor.writeText(w)
 	}
 	if len(s.Degraded) > 0 {
 		fmt.Fprintf(w, "degraded routes: %s\n", strings.Join(s.Degraded, ", "))

@@ -214,6 +214,10 @@ func (s Snapshot) WriteProm(w io.Writer, prefix string) {
 		s.Mutation.writeProm(p)
 	}
 
+	if s.Advisor != nil {
+		s.Advisor.writeProm(p)
+	}
+
 	f = p.family("errors_total", "Query and build errors.", "counter")
 	p.int(f, s.Errors)
 	f = p.family("panics_total", "Index panics contained at the query boundary.", "counter")

@@ -42,6 +42,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /admin/stats", s.handleStats)
 	mux.HandleFunc("GET /admin/shards", s.handleShards)
+	mux.HandleFunc("GET /admin/advise", s.handleAdvise)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -351,6 +352,7 @@ type statsResponse struct {
 	Degraded  map[string]string      `json:"degraded,omitempty"`
 	Cache     *reach.CacheSnapshot   `json:"cache,omitempty"`
 	Mutation  *reach.MutationStats   `json:"mutation,omitempty"`
+	Advisor   *reach.AdvisorStatus   `json:"advisor,omitempty"`
 	Shards    *shardsResponse        `json:"shards,omitempty"`
 	Server    obs.ServerSnapshot     `json:"server"`
 	Draining  bool                   `json:"draining,omitempty"`
@@ -385,6 +387,18 @@ func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleAdvise serves the auto-tuner's state: serving/initial kind, the
+// reach_advisor_* counters, and the last evaluation's full report. 404
+// when the DB runs without DBConfig.AutoTune.
+func (s *Server) handleAdvise(w http.ResponseWriter, _ *http.Request) {
+	status, ok := s.DB().AdvisorStatus()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "auto-tune disabled (start with -autotune > 0)")
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	db := s.DB()
 	g := db.Graph()
@@ -408,6 +422,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if ms, ok := db.MutationStats(); ok {
 		resp.Mutation = &ms
+	}
+	if as, ok := db.AdvisorStatus(); ok {
+		resp.Advisor = &as
 	}
 	resp.Shards = shardsOf(db)
 	writeJSON(w, http.StatusOK, resp)

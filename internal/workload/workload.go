@@ -25,23 +25,29 @@ import (
 	"repro/internal/persist"
 )
 
-// Format and Version identify the capture container.
+// Format and Version identify the capture container. Version 2 packs a
+// cached bit alongside the outcome (bit 1 of the same word); version-1
+// captures decode through the same path since they only ever wrote 0/1.
 const (
 	Format  = "reach-workload"
-	Version = 1
+	Version = 2
 )
 
 // Record is one completed query: the inputs needed to re-run it
 // exactly, plus the route, outcome, and latency observed at capture
 // time. Exactly one of the query shapes applies: Labels non-empty means
 // a QueryAllowed label-mask query, else Alpha non-empty means a
-// path-constrained Query, else a plain Reach.
+// path-constrained Query, else a plain Reach. Cached marks a query that
+// was answered from the result cache at capture time — its latency is a
+// cache-hit latency, not an index-probe latency, so replay scoring
+// (the advisor's evaluator) must skip it.
 type Record struct {
 	S, T    uint32
 	Alpha   string
 	Labels  []uint16
 	Route   string
 	Outcome bool
+	Cached  bool
 	Latency time.Duration
 }
 
@@ -104,7 +110,10 @@ func (r *Recorder) flushLocked() {
 			e.String(rec.Route)
 			out := uint32(0)
 			if rec.Outcome {
-				out = 1
+				out |= 1
+			}
+			if rec.Cached {
+				out |= 2
 			}
 			e.U32(out)
 			e.U64(uint64(rec.Latency))
@@ -167,7 +176,9 @@ func Read(rd io.Reader) ([]Record, error) {
 				}
 			}
 			rec.Route = dec.String()
-			rec.Outcome = dec.U32() != 0
+			flags := dec.U32()
+			rec.Outcome = flags&1 != 0
+			rec.Cached = flags&2 != 0
 			rec.Latency = time.Duration(dec.U64())
 			if err := dec.Err(); err != nil {
 				return nil, err

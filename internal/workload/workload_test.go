@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/persist"
 )
 
 func sampleRecord(i int) Record {
@@ -15,6 +17,7 @@ func sampleRecord(i int) Record {
 		T:       uint32(i * 7),
 		Route:   fmt.Sprintf("route-%d", i%3),
 		Outcome: i%2 == 0,
+		Cached:  i%5 == 0,
 		Latency: time.Duration(i) * time.Microsecond,
 	}
 	switch i % 3 {
@@ -92,6 +95,36 @@ func TestTruncatedCapture(t *testing.T) {
 		if err == nil && len(got) >= n {
 			t.Fatalf("truncation at %d/%d bytes decoded all %d records cleanly", cut, len(full), n)
 		}
+	}
+}
+
+func TestReadVersion1(t *testing.T) {
+	// A version-1 capture (no cached bit; the outcome word is strictly
+	// 0/1) must keep decoding: bit 1 was never set, so Cached reads as
+	// false on every record.
+	var buf bytes.Buffer
+	pw := persist.NewWriter(&buf, Format, 1)
+	pw.Section("batch", func(e *persist.Encoder) {
+		e.U32(2)
+		for _, out := range []uint32{1, 0} {
+			e.U32(3)
+			e.U32(4)
+			e.String("")
+			e.U32s(nil)
+			e.String("plain")
+			e.U32(out)
+			e.U64(uint64(5 * time.Microsecond))
+		}
+	})
+	if _, err := pw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read v1: %v", err)
+	}
+	if len(got) != 2 || !got[0].Outcome || got[0].Cached || got[1].Outcome || got[1].Cached {
+		t.Fatalf("v1 decode = %+v", got)
 	}
 }
 

@@ -477,12 +477,16 @@ func (db *DB) Flush(ctx context.Context) error {
 	return db.mut.submit(ctx, nil)
 }
 
-// Close shuts the mutation pipeline down: queued submissions are
-// committed and acknowledged, the background reindexer is stopped, and
-// the WAL is synced and closed. Further mutations fail. Queries keep
-// working (the last published state serves forever). On a non-mutable DB
+// Close shuts the background engines down. On a mutable DB, queued
+// submissions are committed and acknowledged, the background reindexer
+// is stopped, and the WAL is synced and closed; further mutations fail.
+// On an auto-tuned DB the advisor loop stops (the currently published
+// index serves forever). Queries keep working either way. On a plain DB
 // it is a no-op.
 func (db *DB) Close() error {
+	if db.aut != nil {
+		db.aut.close()
+	}
 	if db.mut == nil {
 		return nil
 	}
@@ -510,11 +514,12 @@ func (db *DB) MutationStats() (stats MutationStats, ok bool) {
 }
 
 // reachCurrent answers plain reachability against the live graph: the
-// frozen index when the DB is not mutable (or the overlay is empty),
-// exact overlay-aware evaluation otherwise.
+// serving plain index when the DB is not mutable (or the overlay is
+// empty), exact overlay-aware evaluation otherwise. On an auto-tuned DB
+// the serving index is whatever the advisor last published.
 func (db *DB) reachCurrent(s, t V) bool {
 	if db.mut == nil {
-		return db.plain.Reach(s, t)
+		return db.plainCurrent().Reach(s, t)
 	}
 	return db.mut.state.Load().reach(s, t)
 }
